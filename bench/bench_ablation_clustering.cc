@@ -1,0 +1,136 @@
+// Ablation: SOM vs K-means vs hierarchical clustering for regression
+// deduplication (§5.5.1 "Discussion of alternatives").
+//
+// The paper chose SOM because its single hyperparameter has a robust
+// setting (grid L = ceil(n^1/4)) across workloads, while K needs to be known
+// for K-means and the cut level for hierarchical clustering depends on the
+// data distribution (and Silhouette-driven selection often fails).
+//
+// We generate cohorts with a KNOWN number of regression causes (each cause
+// produces several near-duplicate feature vectors) at several cohort sizes
+// and spreads, then measure how close each algorithm's cluster count gets to
+// the truth using its workload-independent setting:
+//   SOM          — grid rule, no tuning;
+//   K-means      — K fixed to one global value (8) for all cohorts;
+//   hierarchical — cut level chosen by maximizing the Silhouette score over
+//                  a geometric grid.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/clustering_alternatives.h"
+#include "src/core/som.h"
+
+namespace fbdetect {
+namespace {
+
+struct Cohort {
+  std::vector<std::vector<double>> items;
+  int true_causes = 0;
+};
+
+Cohort MakeCohort(int causes, int duplicates_per_cause, double spread, bool mixed,
+                  uint64_t seed) {
+  Cohort cohort;
+  cohort.true_causes = causes;
+  Rng rng(seed);
+  const size_t dims = 8;
+  for (int cause = 0; cause < causes; ++cause) {
+    std::vector<double> center(dims);
+    for (double& c : center) {
+      c = rng.Uniform(-5.0, 5.0);
+    }
+    // "Mixed" cohorts model production heterogeneity: per-cause spreads vary
+    // 20x, which is what destabilizes a single global cut level.
+    const double cause_spread = mixed ? rng.Uniform(0.1, 2.0) : spread;
+    for (int duplicate = 0; duplicate < duplicates_per_cause; ++duplicate) {
+      std::vector<double> item(dims);
+      for (size_t d = 0; d < dims; ++d) {
+        item[d] = center[d] + rng.Normal(0.0, cause_spread);
+      }
+      cohort.items.push_back(std::move(item));
+    }
+  }
+  return cohort;
+}
+
+int SomClusterCount(const Cohort& cohort, uint64_t seed) {
+  const int grid = SomGridSize(cohort.items.size());
+  SelfOrganizingMap som(cohort.items[0].size(), grid, seed);
+  SomTrainConfig train;
+  train.seed = seed;
+  som.Train(cohort.items, train);
+  return CountClusters(som.Assign(cohort.items));
+}
+
+int HierarchicalBySilhouette(const Cohort& cohort) {
+  double best_score = -2.0;
+  int best_count = 1;
+  for (double threshold = 0.125; threshold <= 16.0; threshold *= 2.0) {
+    const std::vector<int> assignment = HierarchicalCluster(cohort.items, threshold);
+    const double score = SilhouetteScore(cohort.items, assignment);
+    if (score > best_score) {
+      best_score = score;
+      best_count = CountClusters(assignment);
+    }
+  }
+  return best_count;
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  using namespace fbdetect;
+  PrintHeader("§5.5.1 ablation — SOM vs K-means vs hierarchical clustering");
+  std::printf("%-8s %-8s %-8s | %-10s %-12s %-14s\n", "causes", "items", "spread", "SOM(rule)",
+              "KMeans(K=8)", "Hier(silh.)");
+  struct Case {
+    int causes;
+    int duplicates;
+    double spread;  // Ignored when mixed.
+    bool mixed;
+  };
+  const Case cases[] = {
+      {2, 12, 0.3, false}, {4, 10, 0.3, false}, {8, 8, 0.3, false},  {16, 6, 0.3, false},
+      {4, 10, 0.0, true},  {8, 8, 0.0, true},   {16, 6, 0.0, true},  {32, 5, 0.0, true},
+  };
+  // For deduplication, merging DISTINCT causes is the costly failure (a
+  // regression report is lost); over-segmentation is cleaned up by the later
+  // PairwiseDedup pass. Track undercount (causes lost) as the key metric.
+  double som_lost = 0.0;
+  double kmeans_lost = 0.0;
+  double hier_lost = 0.0;
+  double som_excess = 0.0;
+  double kmeans_excess = 0.0;
+  double hier_excess = 0.0;
+  uint64_t seed = 1;
+  for (const Case& c : cases) {
+    const Cohort cohort = MakeCohort(c.causes, c.duplicates, c.spread, c.mixed, seed++);
+    const int som = SomClusterCount(cohort, seed++);
+    const int kmeans = CountClusters(KMeansCluster(cohort.items, 8, 50, seed++));
+    const int hier = HierarchicalBySilhouette(cohort);
+    std::printf("%-8d %-8zu %-8s | %-10d %-12d %-14d\n", c.causes, cohort.items.size(),
+                c.mixed ? "mixed" : FormatDouble(c.spread, "%.1f").c_str(), som, kmeans, hier);
+    som_lost += std::max(0, c.causes - som) / static_cast<double>(c.causes);
+    kmeans_lost += std::max(0, c.causes - kmeans) / static_cast<double>(c.causes);
+    hier_lost += std::max(0, c.causes - hier) / static_cast<double>(c.causes);
+    som_excess += std::max(0, som - c.causes) / static_cast<double>(c.causes);
+    kmeans_excess += std::max(0, kmeans - c.causes) / static_cast<double>(c.causes);
+    hier_excess += std::max(0, hier - c.causes) / static_cast<double>(c.causes);
+  }
+  const double n = static_cast<double>(std::size(cases));
+  std::printf("\nmean fraction of causes LOST to under-merging —\n"
+              "  SOM(grid rule): %.2f   K-means(fixed K): %.2f   hierarchical(silhouette): %.2f\n",
+              som_lost / n, kmeans_lost / n, hier_lost / n);
+  std::printf("mean EXCESS clusters (duplicate reports not merged, relative to true) —\n"
+              "  SOM(grid rule): %.2f   K-means(fixed K): %.2f   hierarchical(silhouette): %.2f\n",
+              som_excess / n, kmeans_excess / n, hier_excess / n);
+  std::printf(
+      "\nPaper shape to compare: the SOM grid rule needs no per-workload tuning and\n"
+      "rarely merges distinct causes; a fixed K loses causes whenever K < true count;\n"
+      "silhouette-driven cut selection degrades on heterogeneous (mixed-spread) data.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: STL vs moving-average decomposition for the seasonality detector
+// (§5.2.3 "Discussion of alternatives").
+//
+// The paper kept STL because it is "sensitive to slight changes in
+// seasonality while being robust against sudden changes". We measure both
+// properties:
+//  (a) robustness to sudden changes — a step regression on a seasonal series
+//      must mostly land in TREND+RESIDUAL, not be absorbed into the seasonal
+//      component (else the deseasonalized z-score shrinks and a true
+//      regression is filtered);
+//  (b) sensitivity to drifting seasonality — when the seasonal amplitude
+//      slowly grows, the residual should stay small (the decomposition keeps
+//      tracking the pattern).
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/stats/descriptive.h"
+#include "src/tsa/stl.h"
+
+namespace fbdetect {
+namespace {
+
+constexpr size_t kPeriod = 144;  // One day at 10-minute ticks.
+
+// (a) Step on a seasonal series: fraction of the step magnitude recovered in
+// the deseasonalized (trend+residual) median shift. 1.0 = perfect.
+double StepRecovery(const Decomposition& decomposition, size_t change, double step) {
+  if (!decomposition.valid) {
+    return 0.0;
+  }
+  const std::vector<double> deseasonalized = decomposition.Deseasonalized();
+  const std::span<const double> all(deseasonalized);
+  const double before = Median(all.subspan(0, change));
+  const double after = Median(all.subspan(change));
+  return (after - before) / step;
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  using namespace fbdetect;
+  PrintHeader("§5.2.3 ablation — STL vs moving-average seasonality handling");
+
+  // --- (a) Sudden change robustness ---------------------------------------
+  Rng rng(1);
+  const size_t n = kPeriod * 8;
+  const size_t change = n - kPeriod;  // Step one day before the end.
+  const double step = 0.010;
+  std::vector<double> series;
+  for (size_t i = 0; i < n; ++i) {
+    const double seasonal =
+        0.008 * std::sin(2.0 * M_PI * static_cast<double>(i) / kPeriod);
+    const double level = i >= change ? 0.05 + step : 0.05;
+    series.push_back(level + seasonal + rng.Normal(0.0, 0.001));
+  }
+  const Decomposition stl = StlDecompose(series, kPeriod);
+  const Decomposition ma = MovingAverageDecompose(series, kPeriod);
+  std::printf("(a) step recovery in deseasonalized series (1.0 = ideal):\n");
+  std::printf("    STL:            %.3f\n", StepRecovery(stl, change, step));
+  std::printf("    moving average: %.3f\n", StepRecovery(ma, change, step));
+
+  // --- (b) Drifting seasonality ---------------------------------------------
+  Rng rng2(2);
+  std::vector<double> drifting;
+  for (size_t i = 0; i < n; ++i) {
+    const double amplitude = 0.004 + 0.008 * static_cast<double>(i) / n;  // Grows 3x.
+    drifting.push_back(0.05 +
+                       amplitude * std::sin(2.0 * M_PI * static_cast<double>(i) / kPeriod) +
+                       rng2.Normal(0.0, 0.0005));
+  }
+  const Decomposition stl_drift = StlDecompose(drifting, kPeriod);
+  const Decomposition ma_drift = MovingAverageDecompose(drifting, kPeriod);
+  std::printf("\n(b) residual sd under drifting seasonal amplitude (lower = tracks better):\n");
+  std::printf("    STL:            %.6f\n", SampleStdDev(stl_drift.residual));
+  std::printf("    moving average: %.6f\n", SampleStdDev(ma_drift.residual));
+
+  std::printf("\nPaper shape to compare: STL recovers (a) close to 1.0 while tracking (b)\n"
+              "with a smaller residual; the moving average smears sudden changes into the\n"
+              "trend gradually and leaves drifting seasonality in the residual.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Ablation: the went-away detector's three production iterations (§5.2.2).
+//
+// Corpus of labelled post-change shapes:
+//  * persistent step (TRUE regression) — must keep;
+//  * step with a temporary dip + recovery (TRUE) — iteration 1's weakness;
+//  * overshoot decaying to a still-regressed plateau, with a historical
+//    spike (TRUE) — iteration 2's weakness (Fig. 7);
+//  * transient spike that fully recovers (FALSE) — everyone must filter.
+// We report keep-rates per iteration per shape; the current (SAX-based)
+// iteration should be the only one right on all four.
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/change_point_stage.h"
+#include "src/stats/descriptive.h"
+#include "src/core/went_away.h"
+#include "src/core/went_away_legacy.h"
+#include "src/core/workload_config.h"
+#include "src/tsdb/timeseries.h"
+#include "src/tsdb/window.h"
+
+namespace fbdetect {
+namespace {
+
+constexpr Duration kTick = Minutes(10);
+
+DetectionConfig BenchConfig() {
+  DetectionConfig config;
+  config.threshold = 0.0005;
+  config.windows.historical = Days(2);
+  config.windows.analysis = Hours(4);
+  config.windows.extended = Hours(2);
+  return config;
+}
+
+enum class Shape {
+  kPersistentStep,
+  kStepWithDip,
+  kDecayingOvershoot,  // With a historical spike.
+  kTransientSpike,
+};
+
+const char* ShapeName(Shape shape) {
+  switch (shape) {
+    case Shape::kPersistentStep:
+      return "persistent step (TRUE)";
+    case Shape::kStepWithDip:
+      return "step + temp dip (TRUE)";
+    case Shape::kDecayingOvershoot:
+      return "overshoot decay + hist spike (TRUE)";
+    case Shape::kTransientSpike:
+      return "transient spike (FALSE)";
+  }
+  return "?";
+}
+
+bool IsTrueRegression(Shape shape) { return shape != Shape::kTransientSpike; }
+
+TimeSeries MakeSeries(Shape shape, uint64_t seed) {
+  const DetectionConfig config = BenchConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint change_at = total - Hours(5);
+  Rng rng(seed);
+  TimeSeries series;
+  for (TimePoint t = 0; t < total; t += kTick) {
+    double level = 0.050;
+    switch (shape) {
+      case Shape::kPersistentStep:
+        if (t >= change_at) {
+          level = 0.062;
+        }
+        break;
+      case Shape::kStepWithDip:
+        if (t >= change_at) {
+          level = 0.062;
+          const Duration age = t - change_at;
+          if (age >= Minutes(90) && age < Minutes(210)) {
+            level = 0.048;  // Long temporary dip below the baseline; the
+                            // level recovers with 2h still elevated.
+          }
+        }
+        break;
+      case Shape::kDecayingOvershoot:
+        if (t >= Hours(10) && t < Hours(11)) {
+          level = 0.085;  // Historical spike (~2% of history).
+        } else if (t >= change_at) {
+          const double age_hours =
+              static_cast<double>(t - change_at) / static_cast<double>(kHour);
+          level = 0.062 + 0.015 * std::exp(-age_hours / 3.0);  // Slow decay.
+        }
+        break;
+      case Shape::kTransientSpike:
+        if (t >= change_at && t < change_at + Hours(2)) {
+          level = 0.065;  // Recovers before the series ends.
+        }
+        break;
+    }
+    series.Append(t, rng.Normal(level, 0.0008));
+  }
+  return series;
+}
+
+struct KeepRates {
+  int candidates = 0;
+  int iteration1 = 0;
+  int iteration2_good = 0;  // Baseline slice without the spike.
+  int iteration2_bad = 0;   // Baseline slice containing the spike.
+  int iteration3 = 0;
+};
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  using namespace fbdetect;
+  PrintHeader("§5.2.2 ablation — went-away detector iterations 1/2/3");
+  const DetectionConfig config = BenchConfig();
+  const int kTrials = 40;
+
+  std::printf("%-38s %-6s %-8s %-10s %-10s %-8s %s\n", "shape", "cands", "iter1", "iter2good",
+              "iter2bad", "iter3", "expected");
+  for (Shape shape : {Shape::kPersistentStep, Shape::kStepWithDip, Shape::kDecayingOvershoot,
+                      Shape::kTransientSpike}) {
+    KeepRates rates;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const TimeSeries series = MakeSeries(shape, 1000 + static_cast<uint64_t>(trial));
+      const WindowExtract windows =
+          ExtractWindows(series, series.end_time() + kTick, config.windows);
+      // Build the regression record at the KNOWN change point — the ablation
+      // compares the went-away predicates, not change-point placement.
+      Regression candidate;
+      candidate.metric = {"svc", MetricKind::kGcpu, "sub", ""};
+      candidate.historical = windows.historical;
+      candidate.analysis = windows.analysis_plus_extended;
+      candidate.analysis_timestamps = windows.analysis_timestamps;
+      candidate.extended_size = windows.extended.size();
+      const TimePoint change_at = series.end_time() + kTick - Hours(5);
+      candidate.change_index = 0;
+      for (size_t i = 0; i < windows.analysis_timestamps.size(); ++i) {
+        if (windows.analysis_timestamps[i] >= change_at) {
+          candidate.change_index = i;
+          break;
+        }
+      }
+      candidate.change_time = change_at;
+      candidate.baseline_mean = Mean(candidate.historical);
+      candidate.regressed_mean =
+          Mean(std::span<const double>(candidate.analysis).subspan(candidate.change_index));
+      candidate.delta = candidate.regressed_mean - candidate.baseline_mean;
+      if (candidate.delta <= 0.0) {
+        continue;
+      }
+      candidate.relative_delta = candidate.delta / candidate.baseline_mean;
+      ++rates.candidates;
+      rates.iteration1 += InverseCusumWentAway(config).Keep(candidate) ? 1 : 0;
+      rates.iteration2_good += TrendCompareWentAway(config, 0).Keep(candidate) ? 1 : 0;
+      // The "bad" offset selects the historical slice containing the spike
+      // (spike at hours 10-11 of a 48h history; slices are one analysis+
+      // extended window = 6h wide, counted from the end: offset 6 covers
+      // hours 6..12).
+      rates.iteration2_bad += TrendCompareWentAway(config, 6).Keep(candidate) ? 1 : 0;
+      rates.iteration3 += WentAwayDetector(config).Evaluate(candidate, 144).keep ? 1 : 0;
+    }
+    auto pct = [&](int kept) {
+      return rates.candidates == 0 ? 0.0 : 100.0 * kept / rates.candidates;
+    };
+    std::printf("%-38s %-6d %-7.0f%% %-9.0f%% %-9.0f%% %-7.0f%% %s\n", ShapeName(shape),
+                rates.candidates, pct(rates.iteration1), pct(rates.iteration2_good),
+                pct(rates.iteration2_bad), pct(rates.iteration3),
+                IsTrueRegression(shape) ? "keep (100%)" : "filter (0%)");
+  }
+  std::printf(
+      "\nPaper shape to compare: iteration 1 wrongly filters true regressions with a\n"
+      "temporary dip; iteration 2 is fragile to the historical-window choice when the\n"
+      "history contains a spike; iteration 3 (SAX validity) is right on all shapes.\n");
+  return 0;
+}

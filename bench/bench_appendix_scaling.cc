@@ -1,0 +1,81 @@
+// Appendix A.2 reproduction: the detection-threshold law
+//     Delta_threshold ∝ sqrt(sigma^2 / n).
+//
+// For a grid of (sigma^2, n) we find the empirical minimum detectable mean
+// shift (80% power at alpha=0.01 under the Welch t-test) by bisection over
+// repeated trials, then report Delta / sqrt(sigma^2/n), which the law
+// predicts to be a constant (T_critical-ish) across the whole grid.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/stats/hypothesis.h"
+
+namespace fbdetect {
+namespace {
+
+// Detection power for shift `delta` at (sigma, n).
+double Power(double delta, double sigma, int n, Rng& rng) {
+  const int kTrials = 60;
+  int detected = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    a.reserve(static_cast<size_t>(n));
+    b.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      a.push_back(rng.Normal(0.0, sigma));
+      b.push_back(rng.Normal(delta, sigma));
+    }
+    detected += WelchTTest(a, b, 0.01).significant ? 1 : 0;
+  }
+  return static_cast<double>(detected) / kTrials;
+}
+
+double MinimumDetectableShift(double sigma, int n, Rng& rng) {
+  double lo = 0.0;
+  double hi = 8.0 * sigma;  // Always detectable.
+  for (int iter = 0; iter < 18; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (Power(mid, sigma, n, rng) >= 0.8) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  using namespace fbdetect;
+  PrintHeader("Appendix A.2 — Delta_threshold ∝ sqrt(sigma^2 / n)");
+  std::printf("%-10s %-8s %-16s %-20s %-18s\n", "sigma^2", "n", "Delta_threshold",
+              "sqrt(sigma^2/n)", "ratio (≈const)");
+  Rng rng(99);
+  std::vector<double> ratios;
+  for (double variance : {0.25, 1.0, 4.0}) {
+    const double sigma = std::sqrt(variance);
+    for (int n : {50, 200, 800, 3200}) {
+      const double delta = MinimumDetectableShift(sigma, n, rng);
+      const double scale = std::sqrt(variance / n);
+      const double ratio = delta / scale;
+      ratios.push_back(ratio);
+      std::printf("%-10.2f %-8d %-16.5f %-20.5f %-18.2f\n", variance, n, delta, scale, ratio);
+    }
+  }
+  const double mean_ratio = Mean(ratios);
+  double max_dev = 0.0;
+  for (double r : ratios) {
+    max_dev = std::max(max_dev, std::fabs(r - mean_ratio) / mean_ratio);
+  }
+  std::printf("\nmean ratio = %.2f, max deviation = %.1f%% — the ratio is (near) constant\n"
+              "across a 16x variance range and a 64x sample-size range, confirming\n"
+              "Delta_threshold ∝ sqrt(sigma^2/n) (Expression 1).\n",
+              mean_ratio, 100.0 * max_dev);
+  return 0;
+}

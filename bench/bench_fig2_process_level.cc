@@ -1,0 +1,61 @@
+// Figure 2 reproduction: averaging Linux-process-level CPU across m servers.
+//
+// Two server generations: half at (mu=40%, var=0.01) gaining +0.003% after
+// the change point, half at (mu=60%, var=0.02) gaining +0.007%. The paper
+// shows noise shrinking as m grows from 500k to 50M, with the tiny
+// regression becoming visible only at impractical m. We reproduce the
+// series, report the residual noise level, and test detectability with the
+// Welch t-test on the before/after halves.
+#include <cstdio>
+#include <span>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/fleet/scenario.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/hypothesis.h"
+
+namespace fbdetect {
+namespace {
+
+void RunOne(double num_servers) {
+  FleetAverageOptions options;
+  options.groups[0].num_servers = num_servers / 2.0;
+  options.groups[0].mean = 0.40;
+  options.groups[0].variance = 0.01;
+  options.groups[0].regression = 0.00003;  // +0.003%.
+  options.groups[1].num_servers = num_servers / 2.0;
+  options.groups[1].mean = 0.60;
+  options.groups[1].variance = 0.02;
+  options.groups[1].regression = 0.00007;  // +0.007%.
+  options.num_ticks = 200;
+  options.change_tick = 100;
+
+  Rng rng(2024);
+  const std::vector<double> series = SimulateFleetAverage(options, rng);
+  const std::span<const double> all(series);
+  const auto before = all.subspan(0, options.change_tick);
+  const auto after = all.subspan(options.change_tick);
+  const TTestResult test = WelchTTest(before, after, 0.01);
+  const double noise_sd = SampleStdDev(before);
+
+  std::printf("m=%-12.0f noise_sd=%.3e  mean_shift=%+.3e  t=%7.2f  detected=%s\n",
+              num_servers, noise_sd, Mean(after) - Mean(before), test.t_statistic,
+              test.significant ? "YES" : "no");
+  std::printf("  %s\n", Sparkline(series).c_str());
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  fbdetect::PrintHeader(
+      "Figure 2 — process-level fleet averages; 0.005% regression needs ~50M servers");
+  std::printf("(paper: noise visible at m=500k, regression visible only at m=50M)\n\n");
+  for (double m : {500000.0, 5000000.0, 50000000.0}) {
+    fbdetect::RunOne(m);
+  }
+  std::printf("\nConclusion: sampling 50M servers is impractical -> need variance\n"
+              "reduction via subroutine-level measurement (Figure 3).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 3 reproduction: subroutine-level measurement needs 1000x fewer
+// servers than process-level (Figure 2).
+//
+// The process-level CPU of Figure 2 is decomposed across k=1000 subroutines
+// (Expression 2: Var(X_subroutine) = Var(X_process)/k). The same +0.005%
+// aggregate regression concentrated in one subroutine of ~0.05% gCPU is a
+// ~10% relative change there, detectable with m in the hundreds-to-tens-of-
+// thousands range instead of tens of millions.
+#include <cstdio>
+#include <span>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/fleet/scenario.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/hypothesis.h"
+
+namespace fbdetect {
+namespace {
+
+constexpr int kSubroutines = 1000;  // k in §2, conservatively.
+
+void RunOne(double num_servers) {
+  // Per-server subroutine-level series: the subroutine's share of process
+  // CPU is mu/k with variance sigma^2/k (Expression 2). The regression
+  // concentrates entirely in this subroutine.
+  FleetAverageOptions options;
+  options.groups[0].num_servers = num_servers / 2.0;
+  options.groups[0].mean = 0.40 / kSubroutines;
+  options.groups[0].variance = 0.01 / kSubroutines;
+  options.groups[0].regression = 0.00003;
+  options.groups[1].num_servers = num_servers / 2.0;
+  options.groups[1].mean = 0.60 / kSubroutines;
+  options.groups[1].variance = 0.02 / kSubroutines;
+  options.groups[1].regression = 0.00007;
+  options.num_ticks = 200;
+  options.change_tick = 100;
+
+  Rng rng(42);
+  const std::vector<double> series = SimulateFleetAverage(options, rng);
+  const std::span<const double> all(series);
+  const auto before = all.subspan(0, options.change_tick);
+  const auto after = all.subspan(options.change_tick);
+  const TTestResult test = WelchTTest(before, after, 0.01);
+
+  std::printf("m=%-8.0f noise_sd=%.3e  mean_shift=%+.3e  t=%7.2f  detected=%s\n", num_servers,
+              SampleStdDev(before), Mean(after) - Mean(before), test.t_statistic,
+              test.significant ? "YES" : "no");
+  std::printf("  %s\n", Sparkline(series).c_str());
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  fbdetect::PrintHeader(
+      "Figure 3 — subroutine-level averages: 1000x fewer servers than Figure 2");
+  std::printf("(paper: same regression, k=1000 subroutines, m=500/5k/50k servers)\n\n");
+  for (double m : {500.0, 5000.0, 50000.0}) {
+    fbdetect::RunOne(m);
+  }
+  std::printf("\nConclusion: the regression detectable at m=50M process-level (Fig. 2)\n"
+              "is detectable at m~50k (or less) at the subroutine level.\n");
+  return 0;
+}

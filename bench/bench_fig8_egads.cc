@@ -1,0 +1,182 @@
+// Figure 8 reproduction: FBDetect vs Yahoo EGADS on the FP/FN trade-off.
+//
+// Test corpus (scaled from the paper's 107 positive + ~35k negative series):
+//   * positive series — step regressions with log-uniform magnitudes;
+//   * negative series — pure noise, transient spikes/dips that self-recover,
+//     and seasonal series (the production confounders of Fig. 1(c)).
+// FBDetect classifies via its short-term stack (change point -> went-away ->
+// seasonality -> threshold) and yields a single (FPR, FNR) point. Each EGADS
+// algorithm is swept over its sensitivity knob, tracing a curve. Per the
+// paper, EGADS combines FBDetect's analysis+extended windows into its
+// analysis window.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/change_point_stage.h"
+#include "src/core/seasonality_stage.h"
+#include "src/core/threshold_filter.h"
+#include "src/core/went_away.h"
+#include "src/core/workload_config.h"
+#include "src/egads/egads.h"
+#include "src/tsdb/timeseries.h"
+#include "src/tsdb/window.h"
+
+namespace fbdetect {
+namespace {
+
+constexpr Duration kTick = Minutes(10);
+constexpr int kPositives = 100;
+constexpr int kNegatives = 3000;
+
+DetectionConfig BenchConfig() {
+  DetectionConfig config;
+  config.threshold = 0.0005;
+  config.windows.historical = Days(2);
+  config.windows.analysis = Hours(4);
+  config.windows.extended = Hours(2);
+  return config;
+}
+
+struct Case {
+  TimeSeries series;
+  bool is_regression = false;
+};
+
+std::vector<Case> MakeCorpus(uint64_t seed) {
+  std::vector<Case> corpus;
+  Rng rng(seed);
+  const DetectionConfig config = BenchConfig();
+  const Duration total = config.windows.Total();
+  const double baseline = 0.050;
+  const double noise = 0.0015;
+
+  auto build = [&](auto level_fn) {
+    TimeSeries series;
+    for (TimePoint t = 0; t < total; t += kTick) {
+      series.Append(t, rng.Normal(level_fn(t), noise));
+    }
+    return series;
+  };
+
+  // Positives: steps of log-uniform magnitude inside the analysis window.
+  for (int i = 0; i < kPositives; ++i) {
+    const double magnitude =
+        std::exp(rng.Uniform(std::log(0.002), std::log(0.02)));
+    const TimePoint step_at =
+        total - config.windows.extended -
+        static_cast<TimePoint>(rng.NextUint64(static_cast<uint64_t>(Hours(3)))) - Hours(1);
+    Case c;
+    c.is_regression = true;
+    c.series = build([&](TimePoint t) { return baseline + (t >= step_at ? magnitude : 0.0); });
+    corpus.push_back(std::move(c));
+  }
+  // Negatives: 1/3 pure noise, 1/3 transients, 1/3 seasonal.
+  for (int i = 0; i < kNegatives; ++i) {
+    Case c;
+    c.is_regression = false;
+    const int flavor = i % 3;
+    if (flavor == 0) {
+      c.series = build([&](TimePoint) { return baseline; });
+    } else if (flavor == 1) {
+      // Transient spike or dip in the analysis window, recovering before the
+      // end of the extended window.
+      const double magnitude = rng.Uniform(0.005, 0.03) * (rng.NextBool(0.5) ? 1.0 : -1.0);
+      const TimePoint start = total - Hours(6) +
+                              static_cast<TimePoint>(rng.NextUint64(Hours(2)));
+      const TimePoint end = start + Hours(1) +
+                            static_cast<TimePoint>(rng.NextUint64(Hours(1)));
+      c.series = build([&](TimePoint t) {
+        return baseline + ((t >= start && t < end) ? magnitude : 0.0);
+      });
+    } else {
+      const double amplitude = rng.Uniform(0.002, 0.01);
+      const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+      c.series = build([&](TimePoint t) {
+        return baseline + amplitude * std::sin(2.0 * M_PI * static_cast<double>(t % kDay) /
+                                                   static_cast<double>(kDay) +
+                                               phase);
+      });
+    }
+    corpus.push_back(std::move(c));
+  }
+  return corpus;
+}
+
+bool FbdetectClassify(const TimeSeries& series, const DetectionConfig& config) {
+  const WindowExtract windows =
+      ExtractWindows(series, series.end_time() + kTick, config.windows);
+  const MetricId metric{"svc", MetricKind::kGcpu, "sub", ""};
+  const auto candidate = ChangePointStage(config).Detect(metric, windows);
+  if (!candidate) {
+    return false;
+  }
+  if (!WentAwayDetector(config).Evaluate(*candidate, static_cast<size_t>(kDay / kTick)).keep) {
+    return false;
+  }
+  if (SeasonalityStage(config).Evaluate(*candidate).seasonal_filtered) {
+    return false;
+  }
+  return PassesThreshold(*candidate, config);
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  using namespace fbdetect;
+  PrintHeader("Figure 8 — FBDetect vs EGADS: false-positive / false-negative trade-off");
+  const DetectionConfig config = BenchConfig();
+  const std::vector<Case> corpus = MakeCorpus(88);
+
+  // FBDetect point.
+  int false_positives = 0;
+  int false_negatives = 0;
+  int positives = 0;
+  int negatives = 0;
+  for (const Case& c : corpus) {
+    const bool flagged = FbdetectClassify(c.series, config);
+    if (c.is_regression) {
+      ++positives;
+      false_negatives += flagged ? 0 : 1;
+    } else {
+      ++negatives;
+      false_positives += flagged ? 1 : 0;
+    }
+  }
+  std::printf("Corpus: %d positives, %d negatives (noise/transient/seasonal)\n\n", positives,
+              negatives);
+  std::printf("FBDetect: FPR=%.5f FNR=%.3f   (paper: FPR=0.00088, FNR~0)\n\n",
+              static_cast<double>(false_positives) / negatives,
+              static_cast<double>(false_negatives) / positives);
+
+  // EGADS curves: per the paper, EGADS sees historical as history and
+  // analysis+extended combined as its analysis window.
+  for (const auto& detector : MakeEgadsDetectors()) {
+    std::printf("EGADS %s:\n", detector->name().c_str());
+    std::printf("  %-12s %-10s %-10s\n", "sensitivity", "FPR", "FNR");
+    for (double sensitivity : {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
+      int fp = 0;
+      int fn = 0;
+      for (const Case& c : corpus) {
+        const WindowExtract windows =
+            ExtractWindows(c.series, c.series.end_time() + kTick, config.windows);
+        const bool flagged = detector->IsAnomalous(
+            windows.historical, windows.analysis_plus_extended, sensitivity);
+        if (c.is_regression) {
+          fn += flagged ? 0 : 1;
+        } else {
+          fp += flagged ? 1 : 0;
+        }
+      }
+      std::printf("  %-12.2f %-10.5f %-10.3f\n", sensitivity,
+                  static_cast<double>(fp) / negatives, static_cast<double>(fn) / positives);
+    }
+  }
+  std::printf("\nPaper shape to compare: no EGADS sensitivity achieves low FPR and low FNR\n"
+              "simultaneously (transients force the trade-off); FBDetect sits near the\n"
+              "origin thanks to the went-away detector.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// §6.3 reproduction: root-cause analysis accuracy.
+//
+// A month-long scenario plants step regressions, each with a culprit commit,
+// plus hundreds of benign background commits. For every pipeline report
+// matched to an injected regression we check whether the culprit appears in
+// the top-3 suggested causes — the paper's metric (71 of 75 suggestions
+// correct; suggestions made only above a confidence bar).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/pipeline.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/scenario.h"
+
+namespace fbdetect {
+namespace {
+
+void Run(uint64_t seed) {
+  FleetSimulator fleet;
+  ScenarioOptions options;
+  options.service_name = "svc";
+  options.num_subroutines = 160;
+  options.duration = Days(18);
+  options.samples_per_bucket = 4000000;
+  options.num_step_regressions = 20;
+  options.num_gradual_regressions = 0;
+  options.num_cost_shifts = 4;
+  options.num_transients = 25;
+  options.num_background_commits = 300;
+  options.min_regression_magnitude = 0.08;
+  options.max_regression_magnitude = 0.80;
+  options.seed = seed;
+  const Scenario scenario = GenerateScenario(fleet, options);
+  fleet.Run(scenario.begin, scenario.end);
+
+  PipelineOptions pipeline_options;
+  pipeline_options.detection.threshold = 0.0001;
+  pipeline_options.detection.windows.historical = Days(4);
+  pipeline_options.detection.windows.analysis = Hours(4);
+  pipeline_options.detection.windows.extended = Hours(2);
+  pipeline_options.detection.rerun_interval = Hours(4);
+
+  CallGraphCodeInfo code_info(&scenario.service->graph());
+  Pipeline pipeline(&fleet.db(), &fleet.change_log(), &code_info, pipeline_options);
+  const std::vector<Regression> reports =
+      pipeline.RunPeriod("svc", scenario.begin + Days(4), scenario.end);
+
+  size_t matched_reports = 0;
+  size_t with_suggestion = 0;
+  size_t culprit_top1 = 0;
+  size_t culprit_top3 = 0;
+  for (const Regression& report : reports) {
+    const InjectedEvent* matched = nullptr;
+    for (const InjectedEvent& event : fleet.ground_truth()) {
+      if (event.IsTrueRegression() && event.subroutine == report.metric.entity &&
+          std::llabs(static_cast<long long>(report.change_time - event.start)) <=
+              static_cast<long long>(Days(1))) {
+        matched = &event;
+        break;
+      }
+    }
+    if (matched == nullptr) {
+      continue;
+    }
+    ++matched_reports;
+    if (report.root_causes.empty()) {
+      continue;
+    }
+    ++with_suggestion;
+    for (size_t rank = 0; rank < report.root_causes.size(); ++rank) {
+      if (report.root_causes[rank].commit_id == matched->commit_id) {
+        culprit_top3 += 1;
+        culprit_top1 += rank == 0 ? 1 : 0;
+        break;
+      }
+    }
+  }
+
+  std::printf("commits in change log:            %zu (%d culprits, rest benign)\n",
+              fleet.change_log().size(), 20 + 4);
+  std::printf("reports matched to injected TRs:  %zu\n", matched_reports);
+  std::printf("reports with suggested causes:    %zu\n", with_suggestion);
+  std::printf("culprit in top-3 suggestions:     %zu (%.0f%% of suggestions)\n", culprit_top3,
+              with_suggestion == 0 ? 0.0 : 100.0 * culprit_top3 / with_suggestion);
+  std::printf("culprit ranked #1:                %zu\n", culprit_top1);
+  std::printf("\nPaper shape to compare: when FBDetect suggests causes, the culprit is in\n"
+              "the top three for the large majority of cases (71/75 = 95%% in the paper).\n");
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  fbdetect::PrintHeader("§6.3 — root-cause analysis top-3 accuracy with planted culprits");
+  fbdetect::Run(7);
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Table 3 reproduction: effectiveness of each technique in filtering
+// spurious change points, for three workload styles over one simulated
+// month:
+//   * FrontFaaS-like  — short-term + long-term, all stages;
+//   * PythonFaaS-like — short-term only (the paper: skips long-term);
+//   * AdServing-like  — cost-shift analysis disabled (as in the paper).
+// Prints, per workload and path, the surviving count after each stage and
+// the cumulative reduction ratio "1/x" relative to raw change points —
+// the same shape as the paper's Table 3 (absolute values differ: the
+// synthetic fleet is far smaller and cleaner than production).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/pipeline.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/scenario.h"
+
+namespace fbdetect {
+namespace {
+
+struct WorkloadRun {
+  std::string name;
+  FunnelStats short_funnel;
+  FunnelStats long_funnel;
+  bool has_long = true;
+  bool has_cost_shift = true;
+  size_t reported = 0;
+  size_t true_positive = 0;
+  size_t injected_regressions = 0;
+};
+
+WorkloadRun RunWorkload(const std::string& name, const std::string& language,
+                        bool enable_long_term, bool enable_cost_shift, uint64_t seed) {
+  FleetSimulator fleet;
+  ScenarioOptions options;
+  options.service_name = name;
+  options.language = language;
+  options.num_subroutines = 150;
+  options.duration = Days(18);
+  options.tick = Minutes(10);
+  options.samples_per_bucket = 2000000;
+  options.num_step_regressions = 10;
+  options.num_gradual_regressions = 3;
+  options.num_cost_shifts = 6;
+  options.num_transients = 35;
+  options.num_seasonal_shifts = 2;
+  options.num_background_commits = 250;
+  options.seed = seed;
+  const Scenario scenario = GenerateScenario(fleet, options);
+  fleet.Run(scenario.begin, scenario.end);
+
+  PipelineOptions pipeline_options;
+  pipeline_options.detection.threshold = 0.0003;
+  pipeline_options.detection.windows.historical = Days(4);
+  pipeline_options.detection.windows.analysis = Hours(4);
+  pipeline_options.detection.windows.extended = Hours(2);
+  pipeline_options.detection.rerun_interval = Hours(4);
+  pipeline_options.detection.enable_long_term = enable_long_term;
+  pipeline_options.enable_cost_shift = enable_cost_shift;
+
+  CallGraphCodeInfo code_info(&scenario.service->graph());
+  Pipeline pipeline(&fleet.db(), &fleet.change_log(), &code_info, pipeline_options);
+  const std::vector<Regression> reports =
+      pipeline.RunPeriod(name, scenario.begin + Days(4), scenario.end);
+
+  WorkloadRun run;
+  run.name = name;
+  run.short_funnel = pipeline.short_term_funnel();
+  run.long_funnel = pipeline.long_term_funnel();
+  run.has_long = enable_long_term;
+  run.has_cost_shift = enable_cost_shift;
+  run.reported = reports.size();
+
+  // Recall: an injected regression counts as caught when ANY member of any
+  // regression group matches it — by subroutine and nearby change time, or
+  // by carrying its culprit commit among the candidate root causes (the
+  // group's representative may be an upstream caller rather than the exact
+  // injected subroutine).
+  for (const InjectedEvent& event : fleet.ground_truth()) {
+    if (!event.IsTrueRegression()) {
+      continue;
+    }
+    ++run.injected_regressions;
+    bool caught = false;
+    for (const RegressionGroup& group : pipeline.groups()) {
+      for (const Regression& member : group.members) {
+        const bool time_match =
+            std::llabs(static_cast<long long>(member.change_time - event.start)) <=
+            static_cast<long long>(Days(1));
+        const bool entity_match = member.metric.entity == event.subroutine;
+        const bool commit_match =
+            event.commit_id >= 0 &&
+            std::find(member.candidate_root_causes.begin(),
+                      member.candidate_root_causes.end(),
+                      event.commit_id) != member.candidate_root_causes.end();
+        if (time_match && (entity_match || commit_match)) {
+          caught = true;
+          break;
+        }
+      }
+      if (caught) {
+        break;
+      }
+    }
+    run.true_positive += caught ? 1 : 0;
+  }
+  return run;
+}
+
+std::string Ratio(uint64_t base, uint64_t value) {
+  if (value == 0) {
+    return base == 0 ? "-" : "1/inf";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "1/%.1f",
+                static_cast<double>(base) / static_cast<double>(value));
+  return std::string(buffer);
+}
+
+std::string Cell(uint64_t base, uint64_t value) {
+  return std::to_string(value) + " (" + Ratio(base, value) + ")";
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  using namespace fbdetect;
+  PrintHeader("Table 3 — per-stage filtering of spurious change points (18 simulated days)");
+
+  std::vector<WorkloadRun> runs;
+  runs.push_back(RunWorkload("frontfaas_like", "php", /*long=*/true, /*cost_shift=*/true, 11));
+  runs.push_back(
+      RunWorkload("pythonfaas_like", "python", /*long=*/false, /*cost_shift=*/true, 22));
+  runs.push_back(RunWorkload("adserving_like", "cpp", /*long=*/true, /*cost_shift=*/false, 33));
+
+  const std::vector<int> widths = {30, 24, 24, 24};
+  PrintRow({"Stage", "FrontFaaS-like (short)", "PythonFaaS-like (short)",
+            "AdServing-like (short)"},
+           widths);
+  auto row = [&](const char* label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const WorkloadRun& run : runs) {
+      cells.push_back(Cell(run.short_funnel.change_points, getter(run.short_funnel)));
+    }
+    PrintRow(cells, widths);
+  };
+  row("# change points detected",
+      [](const FunnelStats& f) { return f.change_points; });
+  row("after went-away detection",
+      [](const FunnelStats& f) { return f.after_went_away; });
+  row("after seasonality detection",
+      [](const FunnelStats& f) { return f.after_seasonality; });
+  row("after threshold filtering",
+      [](const FunnelStats& f) { return f.after_threshold; });
+  row("after SameRegressionMerger",
+      [](const FunnelStats& f) { return f.after_same_merger; });
+  row("after SOMDedup", [](const FunnelStats& f) { return f.after_som_dedup; });
+  row("after cost-shift analysis",
+      [](const FunnelStats& f) { return f.after_cost_shift; });
+  row("after PairwiseDedup", [](const FunnelStats& f) { return f.after_pairwise; });
+
+  std::printf("\nLong-term path (same stages sans went-away/seasonality):\n");
+  PrintRow({"Stage", "FrontFaaS-like (long)", "-", "AdServing-like (long)"}, widths);
+  auto long_row = [&](const char* label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const WorkloadRun& run : runs) {
+      cells.push_back(run.has_long ? Cell(run.long_funnel.change_points, getter(run.long_funnel))
+                                   : std::string("skipped"));
+    }
+    PrintRow(cells, widths);
+  };
+  long_row("# change points detected",
+           [](const FunnelStats& f) { return f.change_points; });
+  long_row("after threshold filtering",
+           [](const FunnelStats& f) { return f.after_threshold; });
+  long_row("after SameRegressionMerger",
+           [](const FunnelStats& f) { return f.after_same_merger; });
+  long_row("after SOMDedup", [](const FunnelStats& f) { return f.after_som_dedup; });
+  long_row("after cost-shift analysis",
+           [](const FunnelStats& f) { return f.after_cost_shift; });
+  long_row("after PairwiseDedup", [](const FunnelStats& f) { return f.after_pairwise; });
+
+  std::printf("\nGround-truth scoring:\n");
+  for (const WorkloadRun& run : runs) {
+    std::printf("  %-18s reported=%zu, matched-injected=%zu of %zu injected regressions\n",
+                run.name.c_str(), run.reported, run.true_positive,
+                run.injected_regressions);
+  }
+  std::printf("\nPaper shape to compare: went-away is the biggest single filter; the\n"
+              "total reduction from raw change points to reports spans 2-4 orders of\n"
+              "magnitude, with short-term change points far noisier than long-term.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Table 4 reproduction: magnitude distribution of detected regressions.
+//
+// A one-month scenario injects many step/gradual regressions with
+// log-uniform magnitudes. Every pipeline report is classified against the
+// ground truth as a true regression (TR: matches an injected regression) or
+// a false positive (FP: everything else). We then print Smallest / P10 /
+// P50 / P90 / P99 / Largest of the reported absolute gCPU deltas for All /
+// TR / FP rows, the exact shape of the paper's Table 4.
+#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/pipeline.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/scenario.h"
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+namespace {
+
+struct Classified {
+  std::vector<double> all;
+  std::vector<double> true_regressions;
+  std::vector<double> false_positives;
+};
+
+Classified Run(uint64_t seed) {
+  FleetSimulator fleet;
+  ScenarioOptions options;
+  options.service_name = "svc";
+  options.num_subroutines = 180;
+  options.duration = Days(21);
+  options.samples_per_bucket = 4000000;
+  options.num_step_regressions = 28;
+  options.num_gradual_regressions = 6;
+  options.num_cost_shifts = 8;
+  options.num_transients = 30;
+  options.num_seasonal_shifts = 1;
+  options.num_background_commits = 200;
+  options.min_regression_magnitude = 0.02;
+  options.max_regression_magnitude = 1.00;
+  options.seed = seed;
+  const Scenario scenario = GenerateScenario(fleet, options);
+  fleet.Run(scenario.begin, scenario.end);
+
+  PipelineOptions pipeline_options;
+  pipeline_options.detection.threshold = 0.00005;  // 0.005%, FrontFaaS (small).
+  pipeline_options.detection.windows.historical = Days(4);
+  pipeline_options.detection.windows.analysis = Hours(4);
+  pipeline_options.detection.windows.extended = Hours(2);
+  pipeline_options.detection.rerun_interval = Hours(4);
+
+  CallGraphCodeInfo code_info(&scenario.service->graph());
+  Pipeline pipeline(&fleet.db(), &fleet.change_log(), &code_info, pipeline_options);
+  const std::vector<Regression> reports =
+      pipeline.RunPeriod("svc", scenario.begin + Days(4), scenario.end);
+
+  Classified classified;
+  for (const Regression& report : reports) {
+    // Table 4 tabulates gCPU regression magnitudes; skip other metric kinds.
+    if (report.metric.kind != MetricKind::kGcpu) {
+      continue;
+    }
+    const double magnitude = report.delta;  // Absolute gCPU delta.
+    classified.all.push_back(magnitude);
+    bool matched = false;
+    for (const InjectedEvent& event : fleet.ground_truth()) {
+      if (!event.IsTrueRegression() ||
+          std::llabs(static_cast<long long>(report.change_time - event.start)) >
+              static_cast<long long>(Days(1))) {
+        continue;
+      }
+      const bool entity_match = event.subroutine == report.metric.entity;
+      const bool commit_match =
+          event.commit_id >= 0 &&
+          std::find(report.candidate_root_causes.begin(), report.candidate_root_causes.end(),
+                    event.commit_id) != report.candidate_root_causes.end();
+      if (entity_match || commit_match) {
+        matched = true;
+        break;
+      }
+    }
+    (matched ? classified.true_regressions : classified.false_positives).push_back(magnitude);
+  }
+  return classified;
+}
+
+void PrintRowFor(const char* label, const std::vector<double>& magnitudes) {
+  if (magnitudes.empty()) {
+    std::printf("%-5s (no reports)\n", label);
+    return;
+  }
+  std::printf("%-5s %-10s %-10s %-10s %-10s %-10s %-10s  n=%zu\n", label,
+              FormatPercent(Min(magnitudes)).c_str(),
+              FormatPercent(Percentile(magnitudes, 10.0)).c_str(),
+              FormatPercent(Percentile(magnitudes, 50.0)).c_str(),
+              FormatPercent(Percentile(magnitudes, 90.0)).c_str(),
+              FormatPercent(Percentile(magnitudes, 99.0)).c_str(),
+              FormatPercent(Max(magnitudes)).c_str(), magnitudes.size());
+}
+
+}  // namespace
+}  // namespace fbdetect
+
+int main() {
+  using namespace fbdetect;
+  PrintHeader("Table 4 — magnitude distribution of detected regressions (abs gCPU)");
+  const Classified classified = Run(2024);
+  std::printf("%-5s %-10s %-10s %-10s %-10s %-10s %-10s\n", "", "Smallest", "P10", "P50",
+              "P90", "P99", "Largest");
+  PrintRowFor("All", classified.all);
+  PrintRowFor("TR", classified.true_regressions);
+  PrintRowFor("FP", classified.false_positives);
+  std::printf("\nPaper shape to compare: TR and All distributions nearly coincide; the\n"
+              "largest reported magnitudes tend to be FPs (cost shifts); the smallest\n"
+              "detections approach the configured 0.005%% threshold.\n");
+  return 0;
+}

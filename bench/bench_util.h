@@ -1,0 +1,75 @@
+// Shared helpers for the reproduction harnesses: aligned table printing and
+// simple sparkline rendering so each bench prints rows comparable to the
+// paper's tables/figures.
+#ifndef FBDETECT_BENCH_BENCH_UTIL_H_
+#define FBDETECT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+
+// Prints a row of columns padded to the given widths.
+inline void PrintRow(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string FormatDouble(double value, const char* format = "%.4f") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return std::string(buffer);
+}
+
+inline std::string FormatPercent(double value, int decimals = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, value * 100.0);
+  return std::string(buffer);
+}
+
+// Renders a series as a one-line unicode sparkline (8 levels), so the shapes
+// of Figure-style results are visible in terminal output.
+inline std::string Sparkline(std::span<const double> values, size_t max_width = 100) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) {
+    return "";
+  }
+  const double lo = Min(values);
+  const double hi = Max(values);
+  const size_t stride = values.size() > max_width ? values.size() / max_width : 1;
+  std::string line;
+  for (size_t i = 0; i < values.size(); i += stride) {
+    // Average the stride bucket for stability.
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t j = i; j < values.size() && j < i + stride; ++j) {
+      sum += values[j];
+      ++count;
+    }
+    const double v = sum / static_cast<double>(count);
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * 7.999);
+    }
+    line += kLevels[level];
+  }
+  return line;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,37 @@
+// Invariant-checking macros in the style of Fuchsia/absl CHECK.
+//
+// FBD_CHECK(cond) aborts with a diagnostic when `cond` is false, in every
+// build mode. FBD_DCHECK(cond) is compiled out of release builds and is meant
+// for hot paths. Both evaluate their condition exactly once.
+#ifndef FBDETECT_SRC_COMMON_CHECK_H_
+#define FBDETECT_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fbdetect {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FBD_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fbdetect
+
+#define FBD_CHECK(cond)                                 \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      ::fbdetect::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define FBD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define FBD_DCHECK(cond) FBD_CHECK(cond)
+#endif
+
+#endif  // FBDETECT_SRC_COMMON_CHECK_H_

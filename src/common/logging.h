@@ -1,0 +1,55 @@
+// Minimal leveled logger used across the library.
+//
+// Logging is off by default below kWarning so that benchmarks and tests stay
+// quiet; callers (examples, CLI harnesses) can lower the threshold.
+#ifndef FBDETECT_SRC_COMMON_LOGGING_H_
+#define FBDETECT_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fbdetect {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Returns the current global threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+
+// Sets the global threshold. Thread-safe (relaxed atomic).
+void SetLogLevel(LogLevel level);
+
+// Writes one formatted line to stderr. Prefer the FBD_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Internal helper: builds the message via an ostringstream then emits it on
+// destruction, so call sites can stream arbitrary values.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fbdetect
+
+#define FBD_LOG(level) ::fbdetect::LogStream(::fbdetect::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // FBDETECT_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,31 @@
+// The simulation time model.
+//
+// All time-series data in the repository is indexed by TimePoint — seconds
+// since an arbitrary epoch. The fleet simulator advances in fixed ticks and
+// every detector config (Table 1) expresses windows and re-run intervals as
+// Duration values. Keeping these as plain int64 seconds (rather than
+// std::chrono) makes arithmetic in the detection algorithms direct and keeps
+// serialized output human-readable.
+#ifndef FBDETECT_SRC_COMMON_SIM_TIME_H_
+#define FBDETECT_SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace fbdetect {
+
+using TimePoint = int64_t;  // Seconds since simulation epoch.
+using Duration = int64_t;   // Seconds.
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+inline constexpr Duration kWeek = 7 * kDay;
+
+constexpr Duration Minutes(int64_t n) { return n * kMinute; }
+constexpr Duration Hours(int64_t n) { return n * kHour; }
+constexpr Duration Days(int64_t n) { return n * kDay; }
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_COMMON_SIM_TIME_H_

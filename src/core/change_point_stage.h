@@ -1,0 +1,37 @@
+// Stage 1 of the short-term path (Fig. 6): change-point detection.
+//
+// For one metric's windows, runs the iterative CUSUM+EM detector over the
+// recent data (a one-analysis-window tail of the historical window for
+// context, plus the analysis and extended windows), validates the candidate
+// with the likelihood-ratio test, and — when the change point falls inside
+// the analysis window — emits a Regression candidate with all window data
+// attached in regression-positive orientation.
+#ifndef FBDETECT_SRC_CORE_CHANGE_POINT_STAGE_H_
+#define FBDETECT_SRC_CORE_CHANGE_POINT_STAGE_H_
+
+#include <optional>
+
+#include "src/common/sim_time.h"
+#include "src/core/regression.h"
+#include "src/core/workload_config.h"
+#include "src/tsdb/metric_id.h"
+#include "src/tsdb/window.h"
+
+namespace fbdetect {
+
+class ChangePointStage {
+ public:
+  explicit ChangePointStage(const DetectionConfig& config) : config_(config) {}
+
+  // Returns a candidate regression, or nullopt when no significant change
+  // point lies in the analysis window. `windows` must come from
+  // ExtractWindows with the same config's WindowSpec.
+  std::optional<Regression> Detect(const MetricId& metric, const WindowExtract& windows) const;
+
+ private:
+  const DetectionConfig& config_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_CHANGE_POINT_STAGE_H_

@@ -1,0 +1,196 @@
+#include "src/core/clustering_alternatives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace fbdetect {
+namespace {
+
+double Distance2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+}  // namespace
+
+std::vector<int> KMeansCluster(const std::vector<std::vector<double>>& items, int k,
+                               int max_iterations, uint64_t seed) {
+  const size_t n = items.size();
+  std::vector<int> assignment(n, 0);
+  if (n == 0 || k <= 1) {
+    return assignment;
+  }
+  k = std::min<int>(k, static_cast<int>(n));
+  const size_t dims = items[0].size();
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(items[rng.NextUint64(n)]);
+  std::vector<double> min_d2(n, 0.0);
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& centroid : centroids) {
+        best = std::min(best, Distance2(items[i], centroid));
+      }
+      min_d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      centroids.push_back(items[rng.NextUint64(n)]);
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= min_d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(items[chosen]);
+  }
+
+  // Lloyd iterations.
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d2 = Distance2(items[i], centroids[0]);
+      for (int c = 1; c < k; ++c) {
+        const double d2 = Distance2(items[i], centroids[static_cast<size_t>(c)]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+    std::vector<std::vector<double>> sums(static_cast<size_t>(k),
+                                          std::vector<double>(dims, 0.0));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(assignment[i]);
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) {
+        sums[c][d] += items[i][d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] > 0) {
+        for (size_t d = 0; d < dims; ++d) {
+          centroids[static_cast<size_t>(c)][d] =
+              sums[static_cast<size_t>(c)][d] / counts[static_cast<size_t>(c)];
+        }
+      }
+    }
+  }
+  return assignment;
+}
+
+std::vector<int> HierarchicalCluster(const std::vector<std::vector<double>>& items,
+                                     double distance_threshold) {
+  const size_t n = items.size();
+  // Single linkage == connected components of the "distance < threshold"
+  // graph; union-find keeps it O(n^2 alpha).
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) {
+    parent[i] = static_cast<int>(i);
+  }
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  const double threshold2 = distance_threshold * distance_threshold;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (Distance2(items[i], items[j]) < threshold2) {
+        parent[static_cast<size_t>(find(static_cast<int>(i)))] =
+            find(static_cast<int>(j));
+      }
+    }
+  }
+  // Compact component ids.
+  std::unordered_map<int, int> remap;
+  std::vector<int> assignment(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int root = find(static_cast<int>(i));
+    const auto [it, inserted] = remap.emplace(root, static_cast<int>(remap.size()));
+    assignment[i] = it->second;
+  }
+  return assignment;
+}
+
+double SilhouetteScore(const std::vector<std::vector<double>>& items,
+                       const std::vector<int>& assignment) {
+  const size_t n = items.size();
+  if (n < 2 || CountClusters(assignment) < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Mean distance to own cluster (a) and to the nearest other cluster (b).
+    std::unordered_map<int, double> sum_by_cluster;
+    std::unordered_map<int, int> count_by_cluster;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      sum_by_cluster[assignment[j]] += std::sqrt(Distance2(items[i], items[j]));
+      ++count_by_cluster[assignment[j]];
+    }
+    const int own = assignment[i];
+    const int own_count = count_by_cluster.count(own) != 0 ? count_by_cluster[own] : 0;
+    if (own_count == 0) {
+      continue;  // Singleton: contributes 0.
+    }
+    const double a = sum_by_cluster[own] / own_count;
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [cluster, sum] : sum_by_cluster) {
+      if (cluster != own) {
+        b = std::min(b, sum / count_by_cluster[cluster]);
+      }
+    }
+    if (!std::isfinite(b)) {
+      continue;
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total += (b - a) / denom;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+int CountClusters(const std::vector<int>& assignment) {
+  std::unordered_map<int, bool> seen;
+  for (int cluster : assignment) {
+    seen[cluster] = true;
+  }
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,40 @@
+// The clustering alternatives the paper evaluated against SOM for
+// SOMDedup and rejected for hyperparameter fragility (§5.5.1 "Discussion of
+// alternatives"):
+//  * K-means — needs the number of clusters K up front; iterating over K is
+//    expensive and no single K fits diverse workloads;
+//  * agglomerative hierarchical clustering — needs a cut level (distance
+//    threshold); automated selection via the Silhouette score often fails to
+//    converge to a good value.
+// Both are implemented here, together with the Silhouette score, so the
+// ablation bench can reproduce the comparison.
+#ifndef FBDETECT_SRC_CORE_CLUSTERING_ALTERNATIVES_H_
+#define FBDETECT_SRC_CORE_CLUSTERING_ALTERNATIVES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fbdetect {
+
+// K-means with k-means++ seeding. Returns per-item cluster ids in [0, k).
+std::vector<int> KMeansCluster(const std::vector<std::vector<double>>& items, int k,
+                               int max_iterations, uint64_t seed);
+
+// Single-linkage agglomerative clustering cut at `distance_threshold`:
+// items closer than the threshold (transitively) share a cluster. Returns
+// per-item cluster ids (compacted, 0-based).
+std::vector<int> HierarchicalCluster(const std::vector<std::vector<double>>& items,
+                                     double distance_threshold);
+
+// Mean Silhouette coefficient of an assignment; in [-1, 1], higher is
+// better. Items in singleton clusters contribute 0. Returns 0 when there are
+// fewer than 2 clusters.
+double SilhouetteScore(const std::vector<std::vector<double>>& items,
+                       const std::vector<int>& assignment);
+
+// Number of distinct clusters in an assignment.
+int CountClusters(const std::vector<int>& assignment);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_CLUSTERING_ALTERNATIVES_H_

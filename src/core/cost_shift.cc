@@ -1,0 +1,250 @@
+#include "src/core/cost_shift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+namespace {
+
+// Sums the member series around the regression's change point, returning the
+// domain's mean cost before/after and whether every member existed before the
+// change. Sampling is aligned on the regression's analysis timestamps plus an
+// equally long pre-change slice.
+struct DomainWindow {
+  bool any_data = false;
+  bool existed_before = false;
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+};
+
+DomainWindow MeasureDomain(const TimeSeriesDatabase& db, const CostDomain& domain,
+                           const Regression& regression, size_t min_points) {
+  DomainWindow window;
+  const TimePoint change = regression.change_time;
+  // Compare an equally long window on each side of the change point.
+  TimePoint post_end = regression.detected_at;
+  const Duration post_span = post_end - change;
+  if (post_span <= 0) {
+    return window;
+  }
+  const TimePoint pre_begin = change - post_span;
+
+  double before_sum = 0.0;
+  double after_sum = 0.0;
+  size_t before_points = 0;
+  size_t after_points = 0;
+  bool all_existed_before = true;
+  bool any_series = false;
+  for (const MetricId& member : domain.members) {
+    const TimeSeries* series = db.Find(member);
+    if (series == nullptr) {
+      continue;
+    }
+    any_series = true;
+    const std::vector<double> before = series->ValuesBetween(pre_begin, change);
+    const std::vector<double> after = series->ValuesBetween(change, post_end);
+    if (before.empty()) {
+      all_existed_before = false;
+    }
+    before_sum += Sum(before);
+    before_points = std::max(before_points, before.size());
+    after_sum += Sum(after);
+    after_points = std::max(after_points, after.size());
+  }
+  if (!any_series || before_points < min_points || after_points < min_points) {
+    return window;
+  }
+  window.any_data = true;
+  window.existed_before = all_existed_before;
+  window.mean_before = before_sum / static_cast<double>(before_points);
+  window.mean_after = after_sum / static_cast<double>(after_points);
+  return window;
+}
+
+}  // namespace
+
+CostShiftDetector::CostShiftDetector(const TimeSeriesDatabase* db, CostShiftConfig config)
+    : db_(db), config_(config) {
+  FBD_CHECK(db_ != nullptr);
+}
+
+void CostShiftDetector::AddDomainDetector(std::unique_ptr<CostDomainDetector> detector) {
+  detectors_.push_back(std::move(detector));
+}
+
+void CostShiftDetector::AddDefaultDetectors(const CodeInfoProvider* code_info,
+                                            const ChangeLog* change_log) {
+  if (code_info != nullptr) {
+    AddDomainDetector(std::make_unique<CallerDomainDetector>(code_info));
+    AddDomainDetector(std::make_unique<ClassDomainDetector>(code_info));
+  }
+  AddDomainDetector(std::make_unique<MetadataPrefixDomainDetector>(db_));
+  AddDomainDetector(std::make_unique<EndpointPrefixDomainDetector>(db_));
+  if (change_log != nullptr) {
+    AddDomainDetector(std::make_unique<CommitDomainDetector>(change_log, Days(1)));
+  }
+}
+
+CostShiftVerdict CostShiftDetector::Evaluate(const Regression& regression) const {
+  CostShiftVerdict verdict;
+  const double regression_delta = std::fabs(regression.delta);
+  if (regression_delta <= 0.0) {
+    return verdict;
+  }
+  for (const auto& detector : detectors_) {
+    for (const CostDomain& domain : detector->DomainsFor(regression)) {
+      const DomainWindow window =
+          MeasureDomain(*db_, domain, regression, config_.min_window_points);
+      if (!window.any_data) {
+        continue;
+      }
+      // Check 1: a domain that did not exist before the regression (e.g. a
+      // new subroutine) cannot host a shift.
+      if (!window.existed_before) {
+        continue;
+      }
+      // Check 2: a domain far larger than the regression is excluded — its
+      // own variation would mask the shift signal.
+      if (window.mean_before > config_.large_domain_ratio * regression_delta) {
+        continue;
+      }
+      // Check 3: domain total barely moved while the member jumped -> shift.
+      const double domain_delta = std::fabs(window.mean_after - window.mean_before);
+      if (domain_delta < config_.negligible_ratio * regression_delta) {
+        verdict.is_cost_shift = true;
+        verdict.domain = detector->name() + ":" + domain.name;
+        return verdict;
+      }
+    }
+  }
+  return verdict;
+}
+
+std::vector<CostDomain> CallerDomainDetector::DomainsFor(const Regression& regression) const {
+  std::vector<CostDomain> domains;
+  if (regression.metric.kind != MetricKind::kGcpu) {
+    return domains;
+  }
+  // The domain is the UNION of the regressed subroutine's direct callers:
+  // every stack sample containing the subroutine also contains exactly one
+  // of them, so the summed caller gCPU transitively includes all of the
+  // subroutine's cost. A single caller must not be its own domain — a caller
+  // that rarely reaches the subroutine stays flat during a real regression
+  // and would wrongly vote "cost shift".
+  const std::vector<std::string> callers = code_info_->CallersOf(regression.metric.entity);
+  if (callers.empty()) {
+    return domains;
+  }
+  CostDomain domain;
+  domain.name = "callers_of/" + regression.metric.entity;
+  for (const std::string& caller : callers) {
+    MetricId member = regression.metric;
+    member.entity = caller;
+    domain.members.push_back(std::move(member));
+  }
+  domains.push_back(std::move(domain));
+  return domains;
+}
+
+std::vector<CostDomain> ClassDomainDetector::DomainsFor(const Regression& regression) const {
+  std::vector<CostDomain> domains;
+  if (regression.metric.kind != MetricKind::kGcpu) {
+    return domains;
+  }
+  const std::string class_name = code_info_->ClassOf(regression.metric.entity);
+  if (class_name.empty()) {
+    return domains;
+  }
+  CostDomain domain;
+  domain.name = "class/" + class_name;
+  for (const std::string& member_name : code_info_->ClassMembers(class_name)) {
+    MetricId member = regression.metric;
+    member.entity = member_name;
+    domain.members.push_back(std::move(member));
+  }
+  if (domain.members.size() >= 2) {
+    domains.push_back(std::move(domain));
+  }
+  return domains;
+}
+
+std::vector<CostDomain> MetadataPrefixDomainDetector::DomainsFor(
+    const Regression& regression) const {
+  std::vector<CostDomain> domains;
+  if (regression.metric.metadata.empty()) {
+    return domains;
+  }
+  // Prefix = metadata up to the last '/' (or the whole string).
+  const std::string& metadata = regression.metric.metadata;
+  const size_t slash = metadata.rfind('/');
+  const std::string prefix = slash == std::string::npos ? metadata : metadata.substr(0, slash);
+  CostDomain domain;
+  domain.name = "metadata/" + prefix;
+  for (const MetricId& id :
+       db_->ListMetricsOfKind(regression.metric.service, regression.metric.kind)) {
+    if (StartsWith(id.metadata, prefix)) {
+      domain.members.push_back(id);
+    }
+  }
+  if (domain.members.size() >= 2) {
+    domains.push_back(std::move(domain));
+  }
+  return domains;
+}
+
+std::vector<CostDomain> EndpointPrefixDomainDetector::DomainsFor(
+    const Regression& regression) const {
+  std::vector<CostDomain> domains;
+  if (regression.metric.kind != MetricKind::kEndpointCost || regression.metric.entity.empty()) {
+    return domains;
+  }
+  const std::string& endpoint = regression.metric.entity;
+  const size_t slash = endpoint.rfind('/');
+  const std::string prefix = slash == std::string::npos ? endpoint : endpoint.substr(0, slash);
+  CostDomain domain;
+  domain.name = "endpoint/" + prefix;
+  for (const MetricId& id :
+       db_->ListMetricsOfKind(regression.metric.service, regression.metric.kind)) {
+    if (StartsWith(id.entity, prefix)) {
+      domain.members.push_back(id);
+    }
+  }
+  if (domain.members.size() >= 2) {
+    domains.push_back(std::move(domain));
+  }
+  return domains;
+}
+
+std::vector<CostDomain> CommitDomainDetector::DomainsFor(const Regression& regression) const {
+  std::vector<CostDomain> domains;
+  if (regression.metric.kind != MetricKind::kGcpu) {
+    return domains;
+  }
+  const std::vector<const Commit*> commits = change_log_->CommitsBetween(
+      regression.metric.service, regression.change_time - lookback_, regression.change_time);
+  for (const Commit* commit : commits) {
+    // Only commits that touch the regressed subroutine (plus others) define a
+    // plausible shift domain.
+    const auto& touched = commit->touched_subroutines;
+    if (touched.size() < 2 ||
+        std::find(touched.begin(), touched.end(), regression.metric.entity) == touched.end()) {
+      continue;
+    }
+    CostDomain domain;
+    domain.name = "commit/" + std::to_string(commit->id);
+    for (const std::string& subroutine : touched) {
+      MetricId member = regression.metric;
+      member.entity = subroutine;
+      domain.members.push_back(std::move(member));
+    }
+    domains.push_back(std::move(domain));
+  }
+  return domains;
+}
+
+}  // namespace fbdetect

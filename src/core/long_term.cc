@@ -1,0 +1,114 @@
+#include "src/core/long_term.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/stats/correlation.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/linreg.h"
+#include "src/tsa/dp_changepoint.h"
+#include "src/tsa/stl.h"
+
+namespace fbdetect {
+
+std::optional<Regression> LongTermDetector::Detect(const MetricId& metric,
+                                                   const WindowExtract& windows) const {
+  const size_t analysis_size = windows.analysis.size();
+  if (analysis_size < 16 || windows.historical.size() < 16) {
+    return std::nullopt;
+  }
+  if (HasNonFinite(windows.historical) || HasNonFinite(windows.analysis) ||
+      HasNonFinite(windows.extended)) {
+    return std::nullopt;  // Corrupt exporter data: skip this run.
+  }
+  const double sign = LowerIsRegression(metric.kind) ? -1.0 : 1.0;
+
+  // Full oriented series: historical + analysis + extended.
+  std::vector<double> full;
+  full.reserve(windows.historical.size() + analysis_size + windows.extended.size());
+  for (double v : windows.historical) {
+    full.push_back(sign * v);
+  }
+  for (double v : windows.analysis) {
+    full.push_back(sign * v);
+  }
+  for (double v : windows.extended) {
+    full.push_back(sign * v);
+  }
+
+  // Step 1: seasonality decomposition. When seasonality is present, work on
+  // the trend alone; otherwise smooth with STL's trend extraction anyway
+  // (period fallback) to suppress noise.
+  const SeasonalityEstimate season =
+      DetectSeasonality(full, 4, full.size() / 3, config_.seasonality_min_correlation);
+  const size_t period = season.present ? season.period : std::max<size_t>(4, full.size() / 20);
+  const Decomposition stl = StlDecompose(full, period);
+  const std::vector<double>& trend = stl.valid ? stl.trend : full;
+
+  // Step 2: regression detection on the trend.
+  const size_t hist_size = windows.historical.size();
+  const size_t edge = std::max<size_t>(4, analysis_size / 8);
+  const std::span<const double> trend_span(trend);
+  const std::span<const double> analysis_trend = trend_span.subspan(hist_size, analysis_size);
+  const std::span<const double> extended_trend =
+      trend_span.subspan(hist_size + analysis_size);
+
+  const double analysis_start_mean = Mean(analysis_trend.subspan(0, edge));
+  const double historical_mean = Mean(trend_span.subspan(0, hist_size));
+  const double baseline = std::max(analysis_start_mean, historical_mean);
+
+  const double analysis_end_mean = Mean(analysis_trend.subspan(analysis_trend.size() - edge));
+  double current = analysis_end_mean;
+  if (!extended_trend.empty()) {
+    current = std::min(analysis_end_mean, Mean(extended_trend));
+  }
+
+  const double delta = current - baseline;
+  const double threshold = config_.threshold_mode == ThresholdMode::kAbsolute
+                               ? config_.threshold
+                               : config_.threshold * std::fabs(baseline);
+  if (delta < threshold) {
+    return std::nullopt;
+  }
+
+  // Step 3: change-point location within the analysis window's trend.
+  std::vector<double> normalized(analysis_trend.begin(), analysis_trend.end());
+  const double lo = Min(normalized);
+  const double hi = Max(normalized);
+  if (hi > lo) {
+    for (double& v : normalized) {
+      v = (v - lo) / (hi - lo);
+    }
+  }
+  size_t change_index = 0;
+  const LinearFit fit = FitLine(normalized);
+  if (!(fit.valid && fit.rmse < config_.long_term_rmse_threshold)) {
+    // Not a clean ramp: DP search (normal loss) for the split.
+    change_index = BestSingleSplit(analysis_trend, /*min_segment=*/edge);
+  }
+
+  Regression regression;
+  regression.metric = metric;
+  regression.long_term = true;
+  regression.detected_at = windows.as_of;
+  regression.change_index = change_index;
+  regression.change_time = change_index < windows.analysis_timestamps.size()
+                               ? windows.analysis_timestamps[change_index]
+                               : windows.analysis_begin;
+  regression.extended_size = windows.extended.size();
+  regression.baseline_mean = baseline;
+  regression.regressed_mean = current;
+  regression.delta = delta;
+  regression.relative_delta = baseline != 0.0 ? delta / std::fabs(baseline) : 0.0;
+  regression.p_value = 0.0;  // Threshold-based decision; no test here.
+  regression.historical.assign(trend_span.begin(),
+                               trend_span.begin() + static_cast<long>(hist_size));
+  regression.analysis.assign(trend_span.begin() + static_cast<long>(hist_size),
+                             trend_span.end());
+  regression.analysis_timestamps = windows.analysis_timestamps;
+  return regression;
+}
+
+}  // namespace fbdetect

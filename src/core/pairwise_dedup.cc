@@ -1,0 +1,85 @@
+#include "src/core/pairwise_dedup.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/stats/correlation.h"
+#include "src/stats/text.h"
+
+namespace fbdetect {
+namespace {
+
+// Pearson correlation over the timestamp-aligned overlap of two regressions'
+// analysis windows. Regressions observed in disjoint windows share no
+// co-movement evidence, so fewer than 8 aligned points yields 0 — merging
+// them must then be justified by the identity features instead.
+double AlignedPearson(const Regression& a, const Regression& b) {
+  if (a.analysis.empty() || b.analysis.empty()) {
+    return 0.0;
+  }
+  std::unordered_map<TimePoint, double> b_by_time;
+  const size_t bn = std::min(b.analysis.size(), b.analysis_timestamps.size());
+  for (size_t i = 0; i < bn; ++i) {
+    b_by_time.emplace(b.analysis_timestamps[i], b.analysis[i]);
+  }
+  std::vector<double> xs;
+  std::vector<double> ys;
+  const size_t an = std::min(a.analysis.size(), a.analysis_timestamps.size());
+  for (size_t i = 0; i < an; ++i) {
+    const auto it = b_by_time.find(a.analysis_timestamps[i]);
+    if (it != b_by_time.end()) {
+      xs.push_back(a.analysis[i]);
+      ys.push_back(it->second);
+    }
+  }
+  if (xs.size() < 8) {
+    return 0.0;
+  }
+  return PearsonCorrelation(xs, ys);
+}
+
+}  // namespace
+
+PairwiseScores PairwiseDedup::Score(const Regression& candidate,
+                                    const RegressionGroup& group) const {
+  PairwiseScores scores;
+  for (const Regression& member : group.members) {
+    scores.pearson = std::max(scores.pearson, AlignedPearson(candidate, member));
+    scores.text = std::max(
+        scores.text,
+        TextCosineSimilarity(candidate.metric.ToString(), member.metric.ToString()));
+    if (overlap_ != nullptr && candidate.metric.kind == MetricKind::kGcpu &&
+        member.metric.kind == MetricKind::kGcpu) {
+      scores.stack_overlap =
+          std::max(scores.stack_overlap, overlap_(candidate.metric, member.metric));
+    }
+  }
+  return scores;
+}
+
+std::vector<int> PairwiseDedup::Ingest(std::vector<Regression> regressions) {
+  std::vector<int> new_groups;
+  for (Regression& regression : regressions) {
+    int best_group = -1;
+    double best_aggregate = 0.0;
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      const PairwiseScores scores = Score(regression, groups_[g]);
+      if (rule_.ShouldMerge(scores) && scores.Aggregate() > best_aggregate) {
+        best_aggregate = scores.Aggregate();
+        best_group = static_cast<int>(g);
+      }
+    }
+    if (best_group >= 0) {
+      groups_[static_cast<size_t>(best_group)].members.push_back(std::move(regression));
+      continue;
+    }
+    RegressionGroup group;
+    group.group_id = static_cast<int>(groups_.size());
+    group.members.push_back(std::move(regression));
+    groups_.push_back(std::move(group));
+    new_groups.push_back(groups_.back().group_id);
+  }
+  return new_groups;
+}
+
+}  // namespace fbdetect

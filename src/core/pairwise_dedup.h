@@ -1,0 +1,81 @@
+// PairwiseDedup (§5.5.2): the quality-optimized second deduplication pass.
+//
+// Takes representatives surviving SOMDedup and cost-shift filtering, and
+// merges them into persistent groups spanning analysis windows and metric
+// types. For each (new regression, existing group) pair it computes feature
+// similarity scores:
+//  * Pearson time-series correlation — max over group members, on the
+//    timestamp-aligned overlap of the analysis windows;
+//  * text cosine similarity of metric IDs — max over members;
+//  * stack-trace overlap — fraction of shared samples between two
+//    subroutines' gCPU calculations (via a pluggable provider, since it
+//    needs profile data).
+// A user-configurable rule decides the merge; the default follows the
+// paper's example shape: strong correlation plus either textual or
+// stack-trace affinity. Among eligible groups the one with the highest
+// aggregate score wins.
+#ifndef FBDETECT_SRC_CORE_PAIRWISE_DEDUP_H_
+#define FBDETECT_SRC_CORE_PAIRWISE_DEDUP_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/regression.h"
+
+namespace fbdetect {
+
+// Returns the sample overlap in [0, 1] of two subroutines' stack samples;
+// used for the stack-trace-overlap feature. May be empty (feature = 0).
+using StackOverlapFn =
+    std::function<double(const MetricId& a, const MetricId& b)>;
+
+struct PairwiseScores {
+  double pearson = 0.0;
+  double text = 0.0;
+  double stack_overlap = 0.0;
+
+  double Aggregate() const { return pearson + text + stack_overlap; }
+};
+
+struct PairwiseRule {
+  double min_pearson = 0.70;
+  double min_text = 0.40;
+  double min_stack_overlap = 0.30;
+
+  // Default rule: correlated in time AND related in identity (by name or by
+  // shared stack samples).
+  bool ShouldMerge(const PairwiseScores& scores) const {
+    return scores.pearson >= min_pearson &&
+           (scores.text >= min_text || scores.stack_overlap >= min_stack_overlap);
+  }
+};
+
+struct RegressionGroup {
+  int group_id = -1;
+  std::vector<Regression> members;  // members[0] is the representative.
+};
+
+class PairwiseDedup {
+ public:
+  explicit PairwiseDedup(PairwiseRule rule = {}, StackOverlapFn overlap = nullptr)
+      : rule_(rule), overlap_(std::move(overlap)) {}
+
+  // Merges each new regression into the best matching existing group or
+  // opens a new group. Returns the indices of groups that are NEW (their
+  // representative should proceed to root-cause analysis).
+  std::vector<int> Ingest(std::vector<Regression> regressions);
+
+  const std::vector<RegressionGroup>& groups() const { return groups_; }
+
+  // Scores one candidate pair (exposed for tests).
+  PairwiseScores Score(const Regression& candidate, const RegressionGroup& group) const;
+
+ private:
+  PairwiseRule rule_;
+  StackOverlapFn overlap_;
+  std::vector<RegressionGroup> groups_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_PAIRWISE_DEDUP_H_

@@ -1,0 +1,247 @@
+#include "src/core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/tsdb/window.h"
+
+namespace fbdetect {
+
+void FunnelStats::Accumulate(const FunnelStats& other) {
+  change_points += other.change_points;
+  after_went_away += other.after_went_away;
+  after_seasonality += other.after_seasonality;
+  after_threshold += other.after_threshold;
+  after_same_merger += other.after_same_merger;
+  after_som_dedup += other.after_som_dedup;
+  after_cost_shift += other.after_cost_shift;
+  after_pairwise += other.after_pairwise;
+}
+
+namespace {
+
+Duration MergerTolerance(const PipelineOptions& options) {
+  if (options.same_regression_tolerance > 0) {
+    return options.same_regression_tolerance;
+  }
+  return options.detection.windows.analysis;
+}
+
+// Points per day at the metric's native resolution, for the went-away
+// detector's previous-day percentile.
+size_t PointsPerDay(const std::vector<TimePoint>& timestamps) {
+  if (timestamps.size() < 2) {
+    return 0;
+  }
+  const Duration dt = timestamps[1] - timestamps[0];
+  if (dt <= 0) {
+    return 0;
+  }
+  return static_cast<size_t>(kDay / dt);
+}
+
+}  // namespace
+
+Pipeline::Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
+                   const CodeInfoProvider* code_info, PipelineOptions options)
+    : db_(db),
+      change_log_(change_log),
+      options_(std::move(options)),
+      change_point_stage_(options_.detection),
+      went_away_(options_.detection),
+      seasonality_(options_.detection),
+      long_term_(options_.detection),
+      merger_(MergerTolerance(options_)),
+      som_dedup_(options_.som_dedup),
+      cost_shift_(db, options_.cost_shift),
+      pairwise_(options_.pairwise_rule) {
+  FBD_CHECK(db_ != nullptr);
+  cost_shift_.AddDefaultDetectors(code_info, change_log_);
+  if (change_log_ != nullptr) {
+    RootCauseConfig rc = options_.root_cause;
+    rc.lookback = options_.detection.root_cause_lookback;
+    root_cause_ = std::make_unique<RootCauseAnalyzer>(change_log_, code_info, rc);
+  }
+}
+
+void Pipeline::set_stack_overlap(StackOverlapFn overlap) {
+  pairwise_ = PairwiseDedup(options_.pairwise_rule, std::move(overlap));
+}
+
+void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
+                          std::vector<Regression>& survivors, FunnelStats& short_funnel,
+                          FunnelStats& long_funnel) const {
+  const TimeSeries* series = db_->Find(id);
+  if (series == nullptr) {
+    return;
+  }
+  const WindowExtract windows = ExtractWindows(*series, as_of, options_.detection.windows);
+
+  // ---- Short-term path ----
+  if (std::optional<Regression> candidate = change_point_stage_.Detect(id, windows)) {
+    ++short_funnel.change_points;
+    const size_t points_per_day = PointsPerDay(candidate->analysis_timestamps);
+    const WentAwayVerdict went_away = went_away_.Evaluate(*candidate, points_per_day);
+    if (went_away.keep) {
+      ++short_funnel.after_went_away;
+      const SeasonalityVerdict seasonal = seasonality_.Evaluate(*candidate);
+      if (!seasonal.seasonal_filtered) {
+        ++short_funnel.after_seasonality;
+        if (PassesThreshold(*candidate, options_.detection)) {
+          ++short_funnel.after_threshold;
+          if (root_cause_ != nullptr) {
+            candidate->candidate_root_causes = root_cause_->QuickCandidates(*candidate);
+          }
+          survivors.push_back(std::move(*candidate));
+        }
+      }
+    }
+  }
+
+  // ---- Long-term path ----
+  if (options_.detection.enable_long_term) {
+    if (std::optional<Regression> candidate = long_term_.Detect(id, windows)) {
+      ++long_funnel.change_points;
+      // The long-term detector applies the threshold internally; recheck for
+      // the funnel row (Table 3 shows ~1/1.03 here).
+      if (PassesThreshold(*candidate, options_.detection)) {
+        ++long_funnel.after_threshold;
+        if (root_cause_ != nullptr) {
+          candidate->candidate_root_causes = root_cause_->QuickCandidates(*candidate);
+        }
+        survivors.push_back(std::move(*candidate));
+      }
+    }
+  }
+}
+
+std::vector<Regression> Pipeline::ScanAllMetrics(const std::string& service, TimePoint as_of) {
+  const std::vector<MetricId> ids = db_->ListMetrics(service);
+  const int threads = std::max(1, options_.scan_threads);
+  if (threads == 1 || ids.size() < 2) {
+    std::vector<Regression> survivors;
+    for (const MetricId& id : ids) {
+      ScanMetric(id, as_of, survivors, short_funnel_, long_funnel_);
+    }
+    return survivors;
+  }
+  // Static partition by stride; each worker keeps private survivors and
+  // funnel counters, merged afterwards in metric order for determinism.
+  const size_t num_workers = std::min<size_t>(static_cast<size_t>(threads), ids.size());
+  std::vector<std::vector<Regression>> worker_survivors(num_workers);
+  std::vector<FunnelStats> worker_short(num_workers);
+  std::vector<FunnelStats> worker_long(num_workers);
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.emplace_back([this, &ids, as_of, w, num_workers, &worker_survivors, &worker_short,
+                          &worker_long]() {
+      for (size_t i = w; i < ids.size(); i += num_workers) {
+        ScanMetric(ids[i], as_of, worker_survivors[w], worker_short[w], worker_long[w]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  // Deterministic merge: interleave back into original id order. Each
+  // worker's survivors are already ordered by its stride positions; a simple
+  // ordered merge by (metric, long_term) restores a canonical order.
+  std::vector<Regression> survivors;
+  for (size_t w = 0; w < num_workers; ++w) {
+    short_funnel_.Accumulate(worker_short[w]);
+    long_funnel_.Accumulate(worker_long[w]);
+    survivors.insert(survivors.end(), std::make_move_iterator(worker_survivors[w].begin()),
+                     std::make_move_iterator(worker_survivors[w].end()));
+  }
+  std::sort(survivors.begin(), survivors.end(), [](const Regression& a, const Regression& b) {
+    const std::string ka = a.metric.ToString();
+    const std::string kb = b.metric.ToString();
+    if (ka != kb) {
+      return ka < kb;
+    }
+    return a.long_term < b.long_term;
+  });
+  return survivors;
+}
+
+std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as_of) {
+  std::vector<Regression> survivors = ScanAllMetrics(service, as_of);
+
+  auto count_paths = [](const std::vector<Regression>& regressions, uint64_t& short_count,
+                        uint64_t& long_count) {
+    for (const Regression& regression : regressions) {
+      if (regression.long_term) {
+        ++long_count;
+      } else {
+        ++short_count;
+      }
+    }
+  };
+
+  // Stage: SameRegressionMerger.
+  std::vector<Regression> fresh = merger_.Filter(std::move(survivors));
+  count_paths(fresh, short_funnel_.after_same_merger, long_funnel_.after_same_merger);
+
+  // Stage: SOMDedup — clusters metrics of the SAME type within this run's
+  // analysis window (§5.5.1); cross-type merging is PairwiseDedup's job.
+  std::vector<Regression> representatives;
+  {
+    std::map<MetricKind, std::vector<Regression>> by_kind;
+    for (Regression& regression : fresh) {
+      by_kind[regression.metric.kind].push_back(std::move(regression));
+    }
+    for (auto& [kind, cohort] : by_kind) {
+      std::vector<Regression> cohort_reps = som_dedup_.Deduplicate(std::move(cohort));
+      representatives.insert(representatives.end(),
+                             std::make_move_iterator(cohort_reps.begin()),
+                             std::make_move_iterator(cohort_reps.end()));
+    }
+  }
+  count_paths(representatives, short_funnel_.after_som_dedup, long_funnel_.after_som_dedup);
+
+  // Stage: cost-shift filtering.
+  std::vector<Regression> shift_free;
+  if (options_.enable_cost_shift) {
+    for (Regression& regression : representatives) {
+      if (!cost_shift_.Evaluate(regression).is_cost_shift) {
+        shift_free.push_back(std::move(regression));
+      }
+    }
+  } else {
+    shift_free = std::move(representatives);
+  }
+  count_paths(shift_free, short_funnel_.after_cost_shift, long_funnel_.after_cost_shift);
+
+  // Stage: PairwiseDedup.
+  const std::vector<int> new_groups = pairwise_.Ingest(std::move(shift_free));
+
+  // Stage: root-cause analysis on the new groups' representatives.
+  std::vector<Regression> reported;
+  for (int group_id : new_groups) {
+    Regression representative = pairwise_.groups()[static_cast<size_t>(group_id)].members[0];
+    if (root_cause_ != nullptr) {
+      root_cause_->Analyze(representative);
+    }
+    reported.push_back(std::move(representative));
+  }
+  count_paths(reported, short_funnel_.after_pairwise, long_funnel_.after_pairwise);
+  return reported;
+}
+
+std::vector<Regression> Pipeline::RunPeriod(const std::string& service, TimePoint begin,
+                                            TimePoint end) {
+  std::vector<Regression> all_reports;
+  const Duration interval = options_.detection.rerun_interval;
+  FBD_CHECK(interval > 0);
+  for (TimePoint as_of = begin + interval; as_of <= end; as_of += interval) {
+    std::vector<Regression> reports = RunAt(service, as_of);
+    all_reports.insert(all_reports.end(), std::make_move_iterator(reports.begin()),
+                       std::make_move_iterator(reports.end()));
+  }
+  return all_reports;
+}
+
+}  // namespace fbdetect

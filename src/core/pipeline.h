@@ -1,0 +1,125 @@
+// The end-to-end FBDetect pipeline (Fig. 6).
+//
+// Per re-run (every DetectionConfig::rerun_interval), for every time series
+// of a service:
+//   short-term path: change-point detector -> went-away detector ->
+//     seasonality detector -> threshold filter;
+//   long-term path: STL-first long-term detector -> threshold filter.
+// Survivors from both paths then flow through SameRegressionMerger ->
+// SOMDedup -> cost-shift detector -> PairwiseDedup -> root-cause analysis.
+// Faster filters run first to starve the expensive later stages (§5.1).
+//
+// FunnelStats mirror Table 3: the count of surviving anomalies after each
+// stage, kept separately for the short-term and long-term paths.
+#ifndef FBDETECT_SRC_CORE_PIPELINE_H_
+#define FBDETECT_SRC_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/change_point_stage.h"
+#include "src/core/code_info.h"
+#include "src/core/cost_shift.h"
+#include "src/core/long_term.h"
+#include "src/core/pairwise_dedup.h"
+#include "src/core/regression.h"
+#include "src/core/root_cause.h"
+#include "src/core/same_regression_merger.h"
+#include "src/core/seasonality_stage.h"
+#include "src/core/som_dedup.h"
+#include "src/core/threshold_filter.h"
+#include "src/core/went_away.h"
+#include "src/core/workload_config.h"
+#include "src/fleet/change_log.h"
+#include "src/tsdb/database.h"
+
+namespace fbdetect {
+
+struct FunnelStats {
+  uint64_t change_points = 0;
+  uint64_t after_went_away = 0;
+  uint64_t after_seasonality = 0;
+  uint64_t after_threshold = 0;
+  uint64_t after_same_merger = 0;
+  uint64_t after_som_dedup = 0;
+  uint64_t after_cost_shift = 0;
+  uint64_t after_pairwise = 0;
+
+  void Accumulate(const FunnelStats& other);
+};
+
+struct PipelineOptions {
+  DetectionConfig detection;
+  bool enable_cost_shift = true;   // AdServing disables it (Table 3).
+  CostShiftConfig cost_shift;
+  SomDedupConfig som_dedup;
+  PairwiseRule pairwise_rule;
+  RootCauseConfig root_cause;
+  // Change-point-time tolerance for SameRegressionMerger; 0 = one analysis
+  // window.
+  Duration same_regression_tolerance = 0;
+  // Per-series detection (stages 1-3 + threshold) is embarrassingly
+  // parallel; production FBDetect fans it out across a serverless platform
+  // (§5.1). >1 scans series on that many threads; results are merged in
+  // deterministic metric order, so outputs are identical for any value.
+  int scan_threads = 1;
+};
+
+class Pipeline {
+ public:
+  // `change_log` and `code_info` may be null (root-cause analysis and the
+  // structural cost domains degrade gracefully). Non-null pointers must
+  // outlive the pipeline.
+  Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
+           const CodeInfoProvider* code_info, PipelineOptions options);
+
+  // Supplies the stack-trace-overlap feature to PairwiseDedup. Must be called
+  // before the first run to take effect.
+  void set_stack_overlap(StackOverlapFn overlap);
+
+  // One re-run at `as_of`: scans every series of `service` and returns the
+  // representatives of NEWLY opened regression groups, root causes attached.
+  std::vector<Regression> RunAt(const std::string& service, TimePoint as_of);
+
+  // Periodic re-runs over [begin + interval, end]; returns all newly reported
+  // regressions across runs.
+  std::vector<Regression> RunPeriod(const std::string& service, TimePoint begin, TimePoint end);
+
+  const FunnelStats& short_term_funnel() const { return short_funnel_; }
+  const FunnelStats& long_term_funnel() const { return long_funnel_; }
+  const std::vector<RegressionGroup>& groups() const { return pairwise_.groups(); }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  // Runs detection stages 1-3 + threshold for one metric; appends survivors
+  // and counts into the provided funnel accumulators. Thread-safe: only
+  // reads shared state.
+  void ScanMetric(const MetricId& id, TimePoint as_of, std::vector<Regression>& survivors,
+                  FunnelStats& short_funnel, FunnelStats& long_funnel) const;
+
+  // Scans all metrics of a service, optionally on several threads; returns
+  // survivors in deterministic metric order.
+  std::vector<Regression> ScanAllMetrics(const std::string& service, TimePoint as_of);
+
+  const TimeSeriesDatabase* db_;
+  const ChangeLog* change_log_;
+  PipelineOptions options_;
+
+  ChangePointStage change_point_stage_;
+  WentAwayDetector went_away_;
+  SeasonalityStage seasonality_;
+  LongTermDetector long_term_;
+  SameRegressionMerger merger_;
+  SomDedup som_dedup_;
+  CostShiftDetector cost_shift_;
+  PairwiseDedup pairwise_;
+  std::unique_ptr<RootCauseAnalyzer> root_cause_;  // Null without a change log.
+
+  FunnelStats short_funnel_;
+  FunnelStats long_funnel_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_PIPELINE_H_

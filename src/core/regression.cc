@@ -1,0 +1,25 @@
+#include "src/core/regression.h"
+
+#include <cstdio>
+
+namespace fbdetect {
+
+std::string Regression::Summary() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "%s %s@t=%lld delta=%+.6f (%+.2f%%) p=%.4g",
+                metric.ToString().c_str(), long_term ? "[long]" : "[short]",
+                static_cast<long long>(change_time), delta, relative_delta * 100.0, p_value);
+  return std::string(buffer);
+}
+
+bool LowerIsRegression(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kThroughput:
+    case MetricKind::kMaxThroughput:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,73 @@
+// The Regression record that flows through the Fig. 6 pipeline. Each stage
+// consumes and produces vectors of these; later stages attach deduplication
+// and root-cause results.
+#ifndef FBDETECT_SRC_CORE_REGRESSION_H_
+#define FBDETECT_SRC_CORE_REGRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/tsdb/metric_id.h"
+
+namespace fbdetect {
+
+// A ranked root-cause candidate (commit id + relevance breakdown).
+struct RankedCause {
+  int64_t commit_id = -1;
+  double score = 0.0;
+  double structural_score = 0.0;  // gCPU / call-graph attribution factor.
+  double text_score = 0.0;        // Regression-context vs change-context.
+  double timing_score = 0.0;      // Proximity of commit to the change point.
+};
+
+struct Regression {
+  MetricId metric;
+  bool long_term = false;
+
+  TimePoint detected_at = 0;   // The re-run's as-of time.
+  TimePoint change_time = 0;   // Timestamp of the change point.
+  size_t change_index = 0;     // Index within the scanned window.
+
+  double baseline_mean = 0.0;   // Mean before the change point.
+  double regressed_mean = 0.0;  // Mean after the change point.
+  double delta = 0.0;           // regressed_mean - baseline_mean, regression-
+                                // positive orientation (increase = worse).
+  double relative_delta = 0.0;  // delta / |baseline_mean| (0 if baseline 0).
+  double p_value = 1.0;
+
+  // Window data carried for the dedup and root-cause stages. `analysis`
+  // includes the extended window when one is configured; values are in
+  // regression-positive orientation.
+  std::vector<double> historical;
+  std::vector<double> analysis;
+  std::vector<TimePoint> analysis_timestamps;
+  size_t extended_size = 0;  // Trailing points of `analysis` that belong to
+                             // the extended window.
+
+  // Candidate root-cause commit ids discovered cheaply at detection time
+  // (commits touching the regressed subroutine shortly before the change);
+  // used as a SOMDedup clustering feature (§5.5.1).
+  std::vector<int64_t> candidate_root_causes;
+
+  // Filled by SOMDedup.
+  double importance = 0.0;
+  int som_cluster = -1;
+  size_t merged_count = 1;  // How many raw regressions this one represents.
+
+  // Filled by root-cause analysis: top candidates, best first. Empty when
+  // confidence was too low to suggest anything (§6.3 behaviour).
+  std::vector<RankedCause> root_causes;
+
+  // Short display line for reports.
+  std::string Summary() const;
+};
+
+// Whether a decrease (rather than an increase) of this metric kind is the
+// regression direction. Throughput-like metrics regress downward.
+bool LowerIsRegression(MetricKind kind);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_REGRESSION_H_

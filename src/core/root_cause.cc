@@ -1,0 +1,144 @@
+#include "src/core/root_cause.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/stats/text.h"
+
+namespace fbdetect {
+
+AttributionResult GcpuAttribution(const std::vector<AttributedSample>& samples,
+                                  const std::string& regressed,
+                                  const std::vector<std::string>& touched) {
+  AttributionResult result;
+  auto contains = [](const std::vector<std::string>& stack, const std::string& name) {
+    return std::find(stack.begin(), stack.end(), name) != stack.end();
+  };
+  for (const AttributedSample& sample : samples) {
+    if (!contains(sample.stack, regressed)) {
+      continue;
+    }
+    const double delta = sample.gcpu_after - sample.gcpu_before;
+    result.regression_magnitude += delta;
+    bool involves_touched = false;
+    for (const std::string& name : touched) {
+      if (contains(sample.stack, name)) {
+        involves_touched = true;
+        break;
+      }
+    }
+    if (involves_touched) {
+      result.attributed_magnitude += delta;
+    }
+  }
+  if (result.regression_magnitude != 0.0) {
+    result.fraction = result.attributed_magnitude / result.regression_magnitude;
+  }
+  return result;
+}
+
+RootCauseAnalyzer::RootCauseAnalyzer(const ChangeLog* change_log,
+                                     const CodeInfoProvider* code_info, RootCauseConfig config)
+    : change_log_(change_log), code_info_(code_info), config_(config) {
+  FBD_CHECK(change_log_ != nullptr);
+}
+
+std::vector<int64_t> RootCauseAnalyzer::QuickCandidates(const Regression& regression) const {
+  std::vector<int64_t> candidates;
+  const std::vector<const Commit*> commits =
+      change_log_->CommitsBetween(regression.metric.service,
+                                  regression.change_time - config_.lookback,
+                                  regression.change_time);
+  for (const Commit* commit : commits) {
+    for (const std::string& touched : commit->touched_subroutines) {
+      if (touched == regression.metric.entity) {
+        candidates.push_back(commit->id);
+        break;
+      }
+    }
+  }
+  return candidates;
+}
+
+double RootCauseAnalyzer::StructuralScore(const Regression& regression,
+                                          const Commit& commit) const {
+  // For a regression in subroutine A, code changes that modify A itself or
+  // subroutines transitively invoked by A are the prime suspects (§5.6 /
+  // §1's "code and stack-trace analysis").
+  const std::string& regressed = regression.metric.entity;
+  if (regressed.empty()) {
+    return 0.0;
+  }
+  double best = 0.0;
+  for (const std::string& touched : commit.touched_subroutines) {
+    double score = 0.0;
+    if (touched == regressed) {
+      score = 1.0;
+    } else if (code_info_ != nullptr) {
+      if (code_info_->IsDescendant(regressed, touched)) {
+        score = 0.8;  // Downstream of the regressed subroutine.
+      } else if (code_info_->IsDescendant(touched, regressed)) {
+        score = 0.4;  // Upstream caller; its change can still matter.
+      } else if (!code_info_->ClassOf(regressed).empty() &&
+                 code_info_->ClassOf(touched) == code_info_->ClassOf(regressed)) {
+        score = 0.3;
+      }
+    }
+    best = std::max(best, score);
+  }
+  return best;
+}
+
+double RootCauseAnalyzer::TextScore(const Regression& regression, const Commit& commit) const {
+  // Regression context: metric id (service, kind, subroutine). Change
+  // context: title + description + touched subroutines.
+  std::string regression_text = regression.metric.ToString();
+  std::string change_text = commit.title + " " + commit.description;
+  for (const std::string& touched : commit.touched_subroutines) {
+    change_text += " " + touched;
+  }
+  return TextCosineSimilarity(regression_text, change_text);
+}
+
+double RootCauseAnalyzer::TimingScore(const Regression& regression, const Commit& commit) const {
+  const double age = static_cast<double>(regression.change_time - commit.time);
+  if (age < 0.0) {
+    return 0.0;
+  }
+  const double tau = static_cast<double>(config_.lookback) / 3.0;
+  return std::exp(-age / std::max(1.0, tau));
+}
+
+void RootCauseAnalyzer::Analyze(Regression& regression) const {
+  regression.root_causes.clear();
+  const std::vector<const Commit*> commits =
+      change_log_->CommitsBetween(regression.metric.service,
+                                  regression.change_time - config_.lookback,
+                                  regression.change_time);
+  std::vector<RankedCause> ranked;
+  for (const Commit* commit : commits) {
+    RankedCause cause;
+    cause.commit_id = commit->id;
+    cause.structural_score = StructuralScore(regression, *commit);
+    cause.text_score = TextScore(regression, *commit);
+    cause.timing_score = TimingScore(regression, *commit);
+    cause.score = config_.w_structural * cause.structural_score +
+                  config_.w_text * cause.text_score + config_.w_timing * cause.timing_score;
+    ranked.push_back(cause);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const RankedCause& a, const RankedCause& b) {
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.commit_id > b.commit_id;  // Newer commit wins ties.
+  });
+  // Only suggest when the top candidate clears the confidence bar (§6.3).
+  if (ranked.empty() || ranked[0].score < config_.min_confidence) {
+    return;
+  }
+  const size_t count = std::min(config_.max_suggestions, ranked.size());
+  regression.root_causes.assign(ranked.begin(), ranked.begin() + static_cast<long>(count));
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,94 @@
+// Root-cause analysis (§5.6): given a regression, generate candidate
+// code/config changes deployed right before the change point, rank them by
+// weighted relevance factors, and suggest the top candidates only when
+// confidence is high enough (otherwise suggest nothing — §6.3 shows that is
+// often the right behaviour).
+//
+// Relevance factors:
+//  * subroutine gCPU attribution — the fraction of the regression magnitude
+//    attributable to stack-trace samples involving subroutines the change
+//    touched (Table 2's L/R computation; exact form over labelled samples in
+//    GcpuAttribution, structural approximation over the call graph in the
+//    analyzer);
+//  * text similarity — cosine similarity between the regression context
+//    (metric id, subroutine) and the change context (title, description,
+//    touched files/subroutines);
+//  * timing proximity — changes landing just before the regression score
+//    higher;
+//  * time-series correlation — Pearson correlation between the regression
+//    series and any "setup" metric series associated with a change.
+#ifndef FBDETECT_SRC_CORE_ROOT_CAUSE_H_
+#define FBDETECT_SRC_CORE_ROOT_CAUSE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/code_info.h"
+#include "src/core/regression.h"
+#include "src/fleet/change_log.h"
+
+namespace fbdetect {
+
+// ---- Exact Table 2 attribution over labelled stack samples ----
+
+// One distinct stack shape with its gCPU contribution before and after the
+// regression. Stack entries are subroutine names, caller first.
+struct AttributedSample {
+  std::vector<std::string> stack;
+  double gcpu_before = 0.0;  // 0 when the shape did not exist before.
+  double gcpu_after = 0.0;
+};
+
+struct AttributionResult {
+  double regression_magnitude = 0.0;  // R: total gCPU delta of the regressed
+                                      // subroutine across all its samples.
+  double attributed_magnitude = 0.0;  // L: delta over samples involving any
+                                      // touched subroutine.
+  double fraction = 0.0;              // L / R (0 when R is 0).
+};
+
+// Computes the Table 2 L/R fraction: among samples containing `regressed`,
+// how much of the gCPU increase flows through stacks that also involve one
+// of `touched`.
+AttributionResult GcpuAttribution(const std::vector<AttributedSample>& samples,
+                                  const std::string& regressed,
+                                  const std::vector<std::string>& touched);
+
+// ---- Pipeline analyzer ----
+
+struct RootCauseConfig {
+  Duration lookback = Days(1);       // Candidate window before the change.
+  double w_structural = 0.5;
+  double w_text = 0.3;
+  double w_timing = 0.2;
+  double min_confidence = 0.35;      // Suggest nothing below this top score.
+  size_t max_suggestions = 3;        // The paper reports top-3 accuracy.
+};
+
+class RootCauseAnalyzer {
+ public:
+  // `code_info` may be null (structural factor degrades to name matching).
+  RootCauseAnalyzer(const ChangeLog* change_log, const CodeInfoProvider* code_info,
+                    RootCauseConfig config);
+
+  // Candidate commit ids touching the regressed subroutine in the lookback
+  // window — the cheap list SOMDedup uses as a clustering feature.
+  std::vector<int64_t> QuickCandidates(const Regression& regression) const;
+
+  // Full ranking; fills regression.root_causes (empty when confidence is too
+  // low).
+  void Analyze(Regression& regression) const;
+
+ private:
+  double StructuralScore(const Regression& regression, const Commit& commit) const;
+  double TextScore(const Regression& regression, const Commit& commit) const;
+  double TimingScore(const Regression& regression, const Commit& commit) const;
+
+  const ChangeLog* change_log_;
+  const CodeInfoProvider* code_info_;
+  RootCauseConfig config_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_ROOT_CAUSE_H_

@@ -1,0 +1,29 @@
+#include "src/core/same_regression_merger.h"
+
+#include <cstdlib>
+
+namespace fbdetect {
+
+bool SameRegressionMerger::Admit(const Regression& regression) {
+  std::vector<TimePoint>& times = seen_[regression.metric.ToString()];
+  for (TimePoint t : times) {
+    if (std::llabs(static_cast<long long>(t - regression.change_time)) <=
+        static_cast<long long>(tolerance_)) {
+      return false;
+    }
+  }
+  times.push_back(regression.change_time);
+  return true;
+}
+
+std::vector<Regression> SameRegressionMerger::Filter(std::vector<Regression> regressions) {
+  std::vector<Regression> admitted;
+  for (Regression& regression : regressions) {
+    if (Admit(regression)) {
+      admitted.push_back(std::move(regression));
+    }
+  }
+  return admitted;
+}
+
+}  // namespace fbdetect

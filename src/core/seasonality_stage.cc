@@ -1,0 +1,77 @@
+#include "src/core/seasonality_stage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/stats/correlation.h"
+#include "src/stats/descriptive.h"
+#include "src/tsa/stl.h"
+
+namespace fbdetect {
+
+SeasonalityVerdict SeasonalityStage::Evaluate(const Regression& regression) const {
+  SeasonalityVerdict verdict;
+  const std::vector<double>& historical = regression.historical;
+  const std::vector<double>& analysis = regression.analysis;
+  if (historical.size() < 16 || analysis.empty()) {
+    return verdict;
+  }
+
+  // Seasonality is estimated over historical + analysis so the period seen in
+  // the baseline can be projected into the analysis window.
+  std::vector<double> combined(historical.begin(), historical.end());
+  combined.insert(combined.end(), analysis.begin(), analysis.end());
+
+  const SeasonalityEstimate season = DetectSeasonality(
+      combined, /*min_period=*/4, /*max_period=*/combined.size() / 3,
+      config_.seasonality_min_correlation);
+  if (!season.present) {
+    return verdict;  // No seasonality: the stage passes the regression on.
+  }
+  verdict.seasonality_present = true;
+  verdict.period = season.period;
+
+  const Decomposition stl = StlDecompose(combined, season.period);
+  if (!stl.valid) {
+    return verdict;
+  }
+  const std::vector<double> deseasonalized = stl.Deseasonalized();
+  const double residual_sd = SampleStdDev(stl.residual);
+  if (residual_sd <= 0.0) {
+    return verdict;
+  }
+
+  // Index of the change point within `combined`.
+  const size_t change = historical.size() + regression.change_index;
+  const size_t analysis_end = combined.size() - regression.extended_size;
+  if (change >= combined.size()) {
+    return verdict;
+  }
+  const std::span<const double> cleaned(deseasonalized);
+  const double median_before = Median(cleaned.subspan(0, change));
+
+  // z-score over the post-change part of the analysis window.
+  const size_t analysis_post = analysis_end > change ? analysis_end - change : 0;
+  if (analysis_post > 0) {
+    const double median_after = Median(cleaned.subspan(change, analysis_post));
+    verdict.analysis_zscore = (median_after - median_before) / residual_sd;
+  }
+  // z-score over the extended window (when present).
+  if (regression.extended_size > 0 && analysis_end < combined.size()) {
+    const double median_ext = Median(cleaned.subspan(analysis_end));
+    verdict.extended_zscore = (median_ext - median_before) / residual_sd;
+  } else {
+    verdict.extended_zscore = verdict.analysis_zscore;
+  }
+
+  // Filter as seasonal only when the deseasonalized shift is small in BOTH
+  // windows (§5.2.3 requires both z-scores below the threshold).
+  verdict.seasonal_filtered =
+      verdict.analysis_zscore < config_.seasonality_zscore_threshold &&
+      verdict.extended_zscore < config_.seasonality_zscore_threshold;
+  return verdict;
+}
+
+}  // namespace fbdetect

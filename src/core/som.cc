@@ -1,0 +1,105 @@
+#include "src/core/som.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace fbdetect {
+
+int SomGridSize(size_t num_items) {
+  if (num_items == 0) {
+    return 1;
+  }
+  return std::max(1, static_cast<int>(std::ceil(std::pow(static_cast<double>(num_items), 0.25))));
+}
+
+SelfOrganizingMap::SelfOrganizingMap(size_t dimensions, int grid, uint64_t seed)
+    : dimensions_(dimensions), grid_(std::max(1, grid)) {
+  FBD_CHECK(dimensions > 0);
+  Rng rng(seed);
+  cells_.resize(static_cast<size_t>(grid_) * static_cast<size_t>(grid_));
+  for (auto& cell : cells_) {
+    cell.resize(dimensions_);
+    for (double& w : cell) {
+      w = rng.Uniform(-0.1, 0.1);
+    }
+  }
+}
+
+double SelfOrganizingMap::Distance2(const std::vector<double>& weights,
+                                    const std::vector<double>& item) const {
+  double d2 = 0.0;
+  for (size_t i = 0; i < dimensions_; ++i) {
+    const double d = weights[i] - item[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+int SelfOrganizingMap::BestMatchingUnit(const std::vector<double>& item) const {
+  FBD_CHECK(item.size() == dimensions_);
+  int best = 0;
+  double best_d2 = Distance2(cells_[0], item);
+  for (size_t c = 1; c < cells_.size(); ++c) {
+    const double d2 = Distance2(cells_[c], item);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void SelfOrganizingMap::Train(const std::vector<std::vector<double>>& items,
+                              const SomTrainConfig& config) {
+  if (items.empty()) {
+    return;
+  }
+  Rng rng(config.seed);
+  // Initialize cells from random items so the map starts in-distribution.
+  for (auto& cell : cells_) {
+    cell = items[rng.NextUint64(items.size())];
+  }
+  const int epochs = std::max(1, config.epochs);
+  const double initial_radius = std::max(1.0, static_cast<double>(grid_) / 2.0);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const double progress = static_cast<double>(epoch) / static_cast<double>(epochs);
+    const double lr = config.initial_learning_rate +
+                      (config.final_learning_rate - config.initial_learning_rate) * progress;
+    const double radius = std::max(0.5, initial_radius * (1.0 - progress));
+    const double radius2 = radius * radius;
+    for (const std::vector<double>& item : items) {
+      const int bmu = BestMatchingUnit(item);
+      const int bmu_row = bmu / grid_;
+      const int bmu_col = bmu % grid_;
+      for (int row = 0; row < grid_; ++row) {
+        for (int col = 0; col < grid_; ++col) {
+          const double dr = static_cast<double>(row - bmu_row);
+          const double dc = static_cast<double>(col - bmu_col);
+          const double grid_d2 = dr * dr + dc * dc;
+          if (grid_d2 > radius2) {
+            continue;
+          }
+          const double influence = std::exp(-grid_d2 / (2.0 * radius2));
+          std::vector<double>& cell = cells_[static_cast<size_t>(row * grid_ + col)];
+          for (size_t i = 0; i < dimensions_; ++i) {
+            cell[i] += lr * influence * (item[i] - cell[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> SelfOrganizingMap::Assign(const std::vector<std::vector<double>>& items) const {
+  std::vector<int> assignment;
+  assignment.reserve(items.size());
+  for (const std::vector<double>& item : items) {
+    assignment.push_back(BestMatchingUnit(item));
+  }
+  return assignment;
+}
+
+}  // namespace fbdetect

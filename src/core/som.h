@@ -1,0 +1,54 @@
+// Self-Organizing Map (Kohonen, 1990) — the scalable clustering backbone of
+// SOMDedup (§5.5.1). O(n) per epoch: each item updates its best-matching unit
+// and that unit's grid neighborhood with a decaying learning rate and radius.
+//
+// The paper's key operational insight is hyperparameter robustness: a grid of
+// L x L with L = ceil(n^(1/4)) works across workloads; SomGridSize implements
+// that rule.
+#ifndef FBDETECT_SRC_CORE_SOM_H_
+#define FBDETECT_SRC_CORE_SOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fbdetect {
+
+// L = ceil(n^(1/4)); at least 1.
+int SomGridSize(size_t num_items);
+
+struct SomTrainConfig {
+  int epochs = 30;
+  double initial_learning_rate = 0.5;
+  double final_learning_rate = 0.02;
+  uint64_t seed = 7;
+};
+
+class SelfOrganizingMap {
+ public:
+  // grid x grid cells, each a weight vector of `dimensions`.
+  SelfOrganizingMap(size_t dimensions, int grid, uint64_t seed);
+
+  // Trains on the items (each of `dimensions` length).
+  void Train(const std::vector<std::vector<double>>& items, const SomTrainConfig& config);
+
+  // Index (row * grid + col) of the cell closest to `item`.
+  int BestMatchingUnit(const std::vector<double>& item) const;
+
+  // Assigns every item to its BMU.
+  std::vector<int> Assign(const std::vector<std::vector<double>>& items) const;
+
+  int grid() const { return grid_; }
+  size_t dimensions() const { return dimensions_; }
+
+ private:
+  double Distance2(const std::vector<double>& weights, const std::vector<double>& item) const;
+
+  size_t dimensions_;
+  int grid_;
+  std::vector<std::vector<double>> cells_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_SOM_H_

@@ -1,0 +1,164 @@
+#include "src/core/som_dedup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/fourier.h"
+#include "src/stats/text.h"
+
+namespace fbdetect {
+namespace {
+
+// Stable 64-bit hash for commit-id bitmap bucketing.
+uint64_t MixCommitId(int64_t id) {
+  uint64_t state = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(state);
+}
+
+std::vector<double> BuildFeatureVector(const Regression& regression,
+                                       const SomDedupConfig& config,
+                                       const TfIdfHasher& hasher) {
+  std::vector<double> features;
+  // Shape features.
+  const std::vector<double> fourier =
+      FourierMagnitudes(regression.analysis, config.fourier_coefficients);
+  features.insert(features.end(), fourier.begin(), fourier.end());
+  features.push_back(SampleVariance(regression.analysis));
+  features.push_back(regression.analysis.empty()
+                         ? 0.0
+                         : static_cast<double>(regression.change_index) /
+                               static_cast<double>(regression.analysis.size()));
+  features.push_back(regression.delta);
+  features.push_back(regression.relative_delta);
+  // Candidate-root-cause bitmap (hashed to a fixed width).
+  std::vector<double> bitmap(config.root_cause_bitmap_dims, 0.0);
+  for (int64_t commit : regression.candidate_root_causes) {
+    bitmap[MixCommitId(commit) % config.root_cause_bitmap_dims] = 1.0;
+  }
+  features.insert(features.end(), bitmap.begin(), bitmap.end());
+  // Metric-ID TF-IDF embedding.
+  const std::vector<double> metric_embedding = hasher.Embed(regression.metric.ToString());
+  features.insert(features.end(), metric_embedding.begin(), metric_embedding.end());
+  return features;
+}
+
+// Z-score normalization per dimension (constant dimensions collapse to 0).
+void NormalizeColumns(std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) {
+    return;
+  }
+  const size_t dims = rows[0].size();
+  for (size_t d = 0; d < dims; ++d) {
+    double mean = 0.0;
+    for (const auto& row : rows) {
+      mean += row[d];
+    }
+    mean /= static_cast<double>(rows.size());
+    double var = 0.0;
+    for (const auto& row : rows) {
+      const double diff = row[d] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(rows.size());
+    const double sd = std::sqrt(var);
+    for (auto& row : rows) {
+      row[d] = sd > 0.0 ? (row[d] - mean) / sd : 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+double SomDedup::ImportanceScore(const Regression& regression, double max_abs_delta,
+                                 double max_rel_delta) const {
+  const double relative =
+      max_rel_delta > 0.0 ? std::fabs(regression.relative_delta) / max_rel_delta : 0.0;
+  const double absolute = max_abs_delta > 0.0 ? std::fabs(regression.delta) / max_abs_delta : 0.0;
+  // PopularityScore: probability of the regressed subroutine appearing in a
+  // random stack-trace sample. For gCPU metrics the baseline mean IS that
+  // probability; for other metrics use a neutral 0.5.
+  const double popularity = regression.metric.kind == MetricKind::kGcpu
+                                ? std::clamp(regression.baseline_mean, 0.0, 1.0)
+                                : 0.5;
+  const double has_root_cause = regression.candidate_root_causes.empty() ? 0.0 : 1.0;
+  return config_.w_relative * relative + config_.w_absolute * absolute +
+         config_.w_popularity * (1.0 - popularity) + config_.w_root_cause * has_root_cause;
+}
+
+std::vector<Regression> SomDedup::Deduplicate(std::vector<Regression> regressions) const {
+  if (regressions.size() <= 1) {
+    for (Regression& regression : regressions) {
+      regression.som_cluster = 0;
+      regression.importance = ImportanceScore(regression, std::fabs(regression.delta),
+                                              std::fabs(regression.relative_delta));
+    }
+    return regressions;
+  }
+
+  // Fit the metric-ID TF-IDF model on this cohort.
+  std::vector<std::string> corpus;
+  corpus.reserve(regressions.size());
+  for (const Regression& regression : regressions) {
+    corpus.push_back(regression.metric.ToString());
+  }
+  TfIdfHasher hasher(config_.metric_id_dims);
+  hasher.Fit(corpus);
+
+  std::vector<std::vector<double>> features;
+  features.reserve(regressions.size());
+  for (const Regression& regression : regressions) {
+    features.push_back(BuildFeatureVector(regression, config_, hasher));
+  }
+  NormalizeColumns(features);
+
+  const int grid = SomGridSize(regressions.size());
+  SelfOrganizingMap som(features[0].size(), grid, config_.training.seed);
+  som.Train(features, config_.training);
+  const std::vector<int> assignment = som.Assign(features);
+
+  // Cohort normalization bounds for ImportanceScore.
+  double max_abs = 0.0;
+  double max_rel = 0.0;
+  for (const Regression& regression : regressions) {
+    max_abs = std::max(max_abs, std::fabs(regression.delta));
+    max_rel = std::max(max_rel, std::fabs(regression.relative_delta));
+  }
+
+  // Pick the max-importance member per cluster.
+  std::vector<int> best_index(static_cast<size_t>(grid) * static_cast<size_t>(grid), -1);
+  std::vector<size_t> cluster_sizes(best_index.size(), 0);
+  for (size_t i = 0; i < regressions.size(); ++i) {
+    regressions[i].som_cluster = assignment[i];
+    regressions[i].importance = ImportanceScore(regressions[i], max_abs, max_rel);
+    const size_t cell = static_cast<size_t>(assignment[i]);
+    ++cluster_sizes[cell];
+    if (best_index[cell] < 0) {
+      best_index[cell] = static_cast<int>(i);
+      continue;
+    }
+    const Regression& incumbent = regressions[static_cast<size_t>(best_index[cell])];
+    const Regression& challenger = regressions[i];
+    const bool better =
+        challenger.importance > incumbent.importance ||
+        (challenger.importance == incumbent.importance &&
+         challenger.metric.ToString() < incumbent.metric.ToString());
+    if (better) {
+      best_index[cell] = static_cast<int>(i);
+    }
+  }
+
+  std::vector<Regression> representatives;
+  for (size_t cell = 0; cell < best_index.size(); ++cell) {
+    if (best_index[cell] >= 0) {
+      Regression representative = std::move(regressions[static_cast<size_t>(best_index[cell])]);
+      representative.merged_count = cluster_sizes[cell];
+      representatives.push_back(std::move(representative));
+    }
+  }
+  return representatives;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,58 @@
+// SOMDedup (§5.5.1): fast first-pass deduplication of regressions detected in
+// the same analysis window over the same metric type.
+//
+// Each regression becomes a feature vector:
+//   * time-series shape — Fourier magnitudes, variance, normalized change
+//     index, absolute and relative magnitude;
+//   * candidate root causes — a hashed bitmap of the commits that touched the
+//     regressed subroutine right before the change;
+//   * metric ID — a TF-IDF embedding over 2/3-character-grams.
+// Vectors are z-score normalized per dimension, clustered on an L x L SOM
+// with L = ceil(n^(1/4)), and each cluster is reduced to the regression with
+// the highest ImportanceScore:
+//   0.2*RelativeCostChange + 0.6*AbsoluteCostChange +
+//   0.1*(1 - PopularityScore) + 0.1*PotentialRootCauseFound.
+#ifndef FBDETECT_SRC_CORE_SOM_DEDUP_H_
+#define FBDETECT_SRC_CORE_SOM_DEDUP_H_
+
+#include <vector>
+
+#include "src/core/regression.h"
+#include "src/core/som.h"
+
+namespace fbdetect {
+
+struct SomDedupConfig {
+  // ImportanceScore weights (paper defaults).
+  double w_relative = 0.2;
+  double w_absolute = 0.6;
+  double w_popularity = 0.1;
+  double w_root_cause = 0.1;
+
+  size_t fourier_coefficients = 4;
+  size_t root_cause_bitmap_dims = 8;
+  size_t metric_id_dims = 8;
+  SomTrainConfig training;
+};
+
+class SomDedup {
+ public:
+  explicit SomDedup(const SomDedupConfig& config = {}) : config_(config) {}
+
+  // Clusters `regressions` and returns one representative per cluster (the
+  // max-ImportanceScore member), with `som_cluster`, `importance`, and
+  // `merged_count` filled in. Input order does not affect the set of
+  // representatives chosen (ties break on metric ID).
+  std::vector<Regression> Deduplicate(std::vector<Regression> regressions) const;
+
+  // The ImportanceScore of one regression given cohort-normalization bounds.
+  double ImportanceScore(const Regression& regression, double max_abs_delta,
+                         double max_rel_delta) const;
+
+ private:
+  SomDedupConfig config_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_SOM_DEDUP_H_

@@ -1,0 +1,17 @@
+#include "src/core/threshold_filter.h"
+
+#include <cmath>
+
+namespace fbdetect {
+
+bool PassesThreshold(const Regression& regression, const DetectionConfig& config) {
+  switch (config.threshold_mode) {
+    case ThresholdMode::kAbsolute:
+      return regression.delta >= config.threshold;
+    case ThresholdMode::kRelative:
+      return regression.relative_delta >= config.threshold;
+  }
+  return false;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,18 @@
+// Threshold filter (Table 1 / Table 3's "after threshold filtering" row):
+// keeps a regression only when its magnitude exceeds the workload's detection
+// threshold — absolute delta for the first nine Table 1 rows, relative delta
+// for the CT rows.
+#ifndef FBDETECT_SRC_CORE_THRESHOLD_FILTER_H_
+#define FBDETECT_SRC_CORE_THRESHOLD_FILTER_H_
+
+#include "src/core/regression.h"
+#include "src/core/workload_config.h"
+
+namespace fbdetect {
+
+// True when the regression clears the configured threshold.
+bool PassesThreshold(const Regression& regression, const DetectionConfig& config);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_THRESHOLD_FILTER_H_

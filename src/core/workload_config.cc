@@ -1,0 +1,89 @@
+#include "src/core/workload_config.h"
+
+namespace fbdetect {
+namespace {
+
+DetectionConfig Base(std::string name, ThresholdMode mode, double threshold, Duration rerun,
+                     Duration historical, Duration analysis, Duration extended) {
+  DetectionConfig config;
+  config.name = std::move(name);
+  config.threshold_mode = mode;
+  config.threshold = threshold;
+  config.rerun_interval = rerun;
+  config.windows.historical = historical;
+  config.windows.analysis = analysis;
+  config.windows.extended = extended;
+  return config;
+}
+
+}  // namespace
+
+DetectionConfig FrontFaaSLargeConfig() {
+  return Base("FrontFaaS (large)", ThresholdMode::kAbsolute, 0.03, Minutes(30), Days(10),
+              Hours(3), 0);
+}
+
+DetectionConfig FrontFaaSSmallConfig() {
+  return Base("FrontFaaS (small)", ThresholdMode::kAbsolute, 0.00005, Hours(2), Days(10),
+              Hours(4), Hours(6));
+}
+
+DetectionConfig PythonFaaSLargeConfig() {
+  return Base("PythonFaaS (large)", ThresholdMode::kAbsolute, 0.005, Hours(1), Days(10),
+              Hours(6), 0);
+}
+
+DetectionConfig PythonFaaSSmallConfig() {
+  return Base("PythonFaaS (small)", ThresholdMode::kAbsolute, 0.0003, Hours(4), Days(10),
+              Hours(6), Hours(6));
+}
+
+DetectionConfig TaoFrontFaaSConfig() {
+  return Base("TAO (FrontFaaS)", ThresholdMode::kAbsolute, 0.0005, Hours(2), Days(10), Hours(4),
+              Days(1));
+}
+
+DetectionConfig TaoNonFrontFaaSConfig() {
+  return Base("TAO (non-FrontFaaS)", ThresholdMode::kAbsolute, 0.0005, Hours(1), Days(10),
+              Days(1), Hours(6));
+}
+
+DetectionConfig AdServingShortConfig() {
+  return Base("AdServing (short)", ThresholdMode::kAbsolute, 0.002, Hours(6), Days(10), Days(1),
+              Hours(12));
+}
+
+DetectionConfig AdServingLongConfig() {
+  DetectionConfig config = Base("AdServing (long)", ThresholdMode::kAbsolute, 0.001, Days(1),
+                                Days(16), Days(9), 0);
+  config.enable_long_term = true;
+  return config;
+}
+
+DetectionConfig InvoicerShortConfig() {
+  return Base("Invoicer (short)", ThresholdMode::kAbsolute, 0.005, Hours(12), Days(14), Days(1),
+              Days(1));
+}
+
+DetectionConfig CtSupplyShortConfig() {
+  return Base("CT-supply (short)", ThresholdMode::kRelative, 0.05, Hours(12), Days(7), Days(1),
+              Days(1));
+}
+
+DetectionConfig CtSupplyLongConfig() {
+  return Base("CT-supply (long)", ThresholdMode::kRelative, 0.05, Hours(12), Days(10), Days(7),
+              Days(1));
+}
+
+DetectionConfig CtDemandConfig() {
+  return Base("CT-demand", ThresholdMode::kRelative, 0.05, Hours(12), Days(7), Days(1), 0);
+}
+
+std::vector<DetectionConfig> AllTable1Configs() {
+  return {FrontFaaSLargeConfig(),  FrontFaaSSmallConfig(), PythonFaaSLargeConfig(),
+          PythonFaaSSmallConfig(), TaoFrontFaaSConfig(),   TaoNonFrontFaaSConfig(),
+          AdServingShortConfig(),  AdServingLongConfig(),  InvoicerShortConfig(),
+          CtSupplyShortConfig(),   CtSupplyLongConfig(),   CtDemandConfig()};
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,75 @@
+// Detection configuration per workload — Table 1 of the paper.
+//
+// Each workload row configures: the detection threshold (absolute gCPU delta
+// or relative change), the re-run interval, and the historical / analysis /
+// extended window durations. Presets for all twelve Table 1 rows are
+// provided; users compose their own DetectionConfig for new workloads.
+#ifndef FBDETECT_SRC_CORE_WORKLOAD_CONFIG_H_
+#define FBDETECT_SRC_CORE_WORKLOAD_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/tsdb/window.h"
+
+namespace fbdetect {
+
+enum class ThresholdMode {
+  kAbsolute,  // Reported delta must exceed the threshold in metric units.
+  kRelative,  // Reported delta / baseline must exceed the threshold.
+};
+
+struct DetectionConfig {
+  std::string name = "custom";
+  ThresholdMode threshold_mode = ThresholdMode::kAbsolute;
+  double threshold = 0.0005;     // E.g. 0.00005 = 0.005% absolute gCPU.
+  Duration rerun_interval = Hours(2);
+  WindowSpec windows;
+
+  // Change-point machinery knobs (defaults follow §5.2).
+  double significance_level = 0.01;   // Likelihood-ratio test level.
+  size_t min_segment = 4;             // Min points per change-point segment.
+  int max_em_iterations = 20;
+
+  // Went-away detector (§5.2.2).
+  int sax_buckets = 20;               // N.
+  double sax_min_bucket_fraction = 0.03;  // X%.
+  double trend_coefficient = 1.5;     // Regression coefficient for LastingTrend.
+  double gone_away_recovery_fraction = 0.5;  // Recovered below baseline+f*delta.
+  size_t gone_away_tail_points = 5;   // "Last few data points".
+  double new_pattern_invalid_fraction = 0.6;  // Most letters invalid => new.
+
+  // Seasonality detector (§5.2.3).
+  double seasonality_min_correlation = 0.30;
+  double seasonality_zscore_threshold = 2.0;
+
+  // Long-term detector (§5.3).
+  bool enable_long_term = true;
+  double long_term_rmse_threshold = 0.15;  // Normalized-trend linear-fit RMSE.
+
+  // How far back root-cause candidate generation looks (§5.6).
+  Duration root_cause_lookback = Days(1);
+};
+
+// The twelve Table 1 rows. Thresholds are the paper's values; window
+// durations are the paper's. Benches scale these to simulator resolution.
+DetectionConfig FrontFaaSLargeConfig();   // 3% abs, 30 min, 10d/3h/—.
+DetectionConfig FrontFaaSSmallConfig();   // 0.005% abs, 2h, 10d/4h/6h.
+DetectionConfig PythonFaaSLargeConfig();  // 0.5% abs, 1h, 10d/6h/—.
+DetectionConfig PythonFaaSSmallConfig();  // 0.03% abs, 4h, 10d/6h/6h.
+DetectionConfig TaoFrontFaaSConfig();     // 0.05% abs, 2h, 10d/4h/1d.
+DetectionConfig TaoNonFrontFaaSConfig();  // 0.05% abs, 1h, 10d/1d/6h.
+DetectionConfig AdServingShortConfig();   // 0.2% abs, 6h, 10d/1d/12h.
+DetectionConfig AdServingLongConfig();    // 0.1% abs, 1d, 16d/9d/—.
+DetectionConfig InvoicerShortConfig();    // 0.5% abs, 12h, 14d/1d/1d.
+DetectionConfig CtSupplyShortConfig();    // 5% rel, 12h, 7d/1d/1d.
+DetectionConfig CtSupplyLongConfig();     // 5% rel, 12h, 10d/7d/1d.
+DetectionConfig CtDemandConfig();         // 5% rel, 12h, 7d/1d/—.
+
+// All presets, in Table 1 order.
+std::vector<DetectionConfig> AllTable1Configs();
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_WORKLOAD_CONFIG_H_

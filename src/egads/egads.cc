@@ -1,0 +1,118 @@
+#include "src/egads/egads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+namespace {
+
+// Gaussian-kernel density of `x` under `data` with bandwidth `h`.
+double KernelDensity(std::span<const double> data, double x, double h) {
+  if (data.empty() || h <= 0.0) {
+    return 0.0;
+  }
+  const double norm = 1.0 / (static_cast<double>(data.size()) * h * std::sqrt(2.0 * M_PI));
+  double density = 0.0;
+  for (double v : data) {
+    const double u = (x - v) / h;
+    density += std::exp(-0.5 * u * u);
+  }
+  return density * norm;
+}
+
+// Silverman's rule-of-thumb bandwidth.
+double SilvermanBandwidth(std::span<const double> data) {
+  const double sd = SampleStdDev(data);
+  const double n = static_cast<double>(std::max<size_t>(data.size(), 1));
+  const double h = 1.06 * sd * std::pow(n, -0.2);
+  return h > 0.0 ? h : 1e-9;
+}
+
+// Fraction of analysis points classified anomalous by `point_is_anomalous`.
+template <typename Fn>
+double AnomalousFraction(std::span<const double> analysis, Fn point_is_anomalous) {
+  if (analysis.empty()) {
+    return 0.0;
+  }
+  size_t count = 0;
+  for (double v : analysis) {
+    if (point_is_anomalous(v)) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(analysis.size());
+}
+
+}  // namespace
+
+bool AdaptiveKernelDensityDetector::IsAnomalous(std::span<const double> historical,
+                                                std::span<const double> analysis,
+                                                double sensitivity) const {
+  if (historical.size() < 8 || analysis.empty()) {
+    return false;
+  }
+  const double h = SilvermanBandwidth(historical);
+  // Density threshold: the `q`-quantile of the historical points' own
+  // densities; higher sensitivity -> higher quantile -> more anomalies.
+  std::vector<double> self_density;
+  self_density.reserve(historical.size());
+  for (double v : historical) {
+    self_density.push_back(KernelDensity(historical, v, h));
+  }
+  const double quantile = 1.0 + 19.0 * sensitivity;  // P1 .. P20.
+  const double threshold = Percentile(self_density, quantile);
+  const double min_fraction = 0.5 - 0.35 * sensitivity;
+  return AnomalousFraction(analysis, [&](double v) {
+           return KernelDensity(historical, v, h) < threshold;
+         }) >= min_fraction;
+}
+
+bool ExtremeLowDensityDetector::IsAnomalous(std::span<const double> historical,
+                                            std::span<const double> analysis,
+                                            double sensitivity) const {
+  if (historical.size() < 8 || analysis.empty()) {
+    return false;
+  }
+  // Fixed narrow bandwidth: only points far outside the support score low.
+  const double h = SilvermanBandwidth(historical) * 0.35;
+  const double base = KernelDensity(historical, Median(historical), h);
+  if (base <= 0.0) {
+    return false;
+  }
+  // Density below `frac` of the central density counts as extreme-low.
+  const double frac = 0.001 + 0.25 * sensitivity;
+  const double min_fraction = 0.6 - 0.45 * sensitivity;
+  return AnomalousFraction(analysis, [&](double v) {
+           return KernelDensity(historical, v, h) < frac * base;
+         }) >= min_fraction;
+}
+
+bool KSigmaDetector::IsAnomalous(std::span<const double> historical,
+                                 std::span<const double> analysis, double sensitivity) const {
+  if (historical.size() < 8 || analysis.empty()) {
+    return false;
+  }
+  const double mean = Mean(historical);
+  const double sd = SampleStdDev(historical);
+  if (sd <= 0.0) {
+    return Mean(analysis) != mean;
+  }
+  // K from 6 (permissive) down to 1 (aggressive).
+  const double k = 6.0 - 5.0 * sensitivity;
+  const double min_fraction = 0.5 - 0.4 * sensitivity;
+  return AnomalousFraction(analysis, [&](double v) {
+           return std::fabs(v - mean) > k * sd;
+         }) >= min_fraction;
+}
+
+std::vector<std::unique_ptr<EgadsDetector>> MakeEgadsDetectors() {
+  std::vector<std::unique_ptr<EgadsDetector>> detectors;
+  detectors.push_back(std::make_unique<AdaptiveKernelDensityDetector>());
+  detectors.push_back(std::make_unique<ExtremeLowDensityDetector>());
+  detectors.push_back(std::make_unique<KSigmaDetector>());
+  return detectors;
+}
+
+}  // namespace fbdetect

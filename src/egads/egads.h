@@ -1,0 +1,61 @@
+// EGADS-style anomaly-detection baselines (Laptev et al., KDD '15) for the
+// Fig. 8 comparison. Three detectors matching the algorithms named in the
+// figure, each with a single `sensitivity` knob in [0, 1] (0 = most
+// permissive, 1 = most aggressive) that the bench sweeps to trace the
+// FP/FN trade-off curve:
+//   1. adaptive kernel density — scores a point by its Gaussian-kernel
+//      density under the historical distribution with a data-adaptive
+//      bandwidth (Silverman's rule); low density = anomaly;
+//   2. extreme low density — like (1) but with a fixed small bandwidth and a
+//      threshold on the raw density (flags only far-out points);
+//   3. K-Sigma — |x - mean| > K * stddev of the history.
+// A window is flagged as a regression when the fraction of anomalous points
+// in the analysis window exceeds a detector-specific minimum.
+#ifndef FBDETECT_SRC_EGADS_EGADS_H_
+#define FBDETECT_SRC_EGADS_EGADS_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fbdetect {
+
+class EgadsDetector {
+ public:
+  virtual ~EgadsDetector() = default;
+  virtual std::string name() const = 0;
+
+  // True when `analysis` looks anomalous (regressed) against `historical`.
+  // `sensitivity` in [0, 1].
+  virtual bool IsAnomalous(std::span<const double> historical,
+                           std::span<const double> analysis, double sensitivity) const = 0;
+};
+
+class AdaptiveKernelDensityDetector : public EgadsDetector {
+ public:
+  std::string name() const override { return "adaptive kernel density"; }
+  bool IsAnomalous(std::span<const double> historical, std::span<const double> analysis,
+                   double sensitivity) const override;
+};
+
+class ExtremeLowDensityDetector : public EgadsDetector {
+ public:
+  std::string name() const override { return "extreme low density"; }
+  bool IsAnomalous(std::span<const double> historical, std::span<const double> analysis,
+                   double sensitivity) const override;
+};
+
+class KSigmaDetector : public EgadsDetector {
+ public:
+  std::string name() const override { return "K-Sigma"; }
+  bool IsAnomalous(std::span<const double> historical, std::span<const double> analysis,
+                   double sensitivity) const override;
+};
+
+// All three, in Fig. 8 order.
+std::vector<std::unique_ptr<EgadsDetector>> MakeEgadsDetectors();
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_EGADS_EGADS_H_

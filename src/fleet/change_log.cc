@@ -1,0 +1,37 @@
+#include "src/fleet/change_log.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+int64_t ChangeLog::Add(Commit commit) {
+  commit.id = static_cast<int64_t>(commits_.size());
+  FBD_CHECK(commits_.empty() || commit.time >= commits_.back().time);
+  commits_.push_back(std::move(commit));
+  return commits_.back().id;
+}
+
+const Commit* ChangeLog::Find(int64_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= commits_.size()) {
+    return nullptr;
+  }
+  return &commits_[static_cast<size_t>(id)];
+}
+
+std::vector<const Commit*> ChangeLog::CommitsBetween(const std::string& service, TimePoint begin,
+                                                     TimePoint end) const {
+  std::vector<const Commit*> matches;
+  const auto first = std::lower_bound(
+      commits_.begin(), commits_.end(), begin,
+      [](const Commit& commit, TimePoint t) { return commit.time < t; });
+  for (auto it = first; it != commits_.end() && it->time < end; ++it) {
+    if (service.empty() || it->service == service) {
+      matches.push_back(&*it);
+    }
+  }
+  return matches;
+}
+
+}  // namespace fbdetect

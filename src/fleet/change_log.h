@@ -1,0 +1,55 @@
+// Synthetic code/configuration change log.
+//
+// Stands in for Meta's commit and config-change feeds (DESIGN.md §4). Each
+// commit records the subroutines it touches and a textual description; the
+// root-cause analyzer consumes exactly these fields. Scenario generators
+// create a steady stream of benign commits plus one "culprit" commit per
+// injected regression.
+#ifndef FBDETECT_SRC_FLEET_CHANGE_LOG_H_
+#define FBDETECT_SRC_FLEET_CHANGE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace fbdetect {
+
+enum class ChangeType : int {
+  kCode = 0,
+  kConfiguration,
+};
+
+struct Commit {
+  int64_t id = -1;
+  ChangeType type = ChangeType::kCode;
+  std::string service;
+  TimePoint time = 0;
+  std::string title;
+  std::string description;
+  std::vector<std::string> touched_subroutines;
+};
+
+class ChangeLog {
+ public:
+  // Adds a commit and returns its assigned id.
+  int64_t Add(Commit commit);
+
+  // nullptr when absent.
+  const Commit* Find(int64_t id) const;
+
+  // Commits with begin <= time < end, for one service ("" = all), ascending.
+  std::vector<const Commit*> CommitsBetween(const std::string& service, TimePoint begin,
+                                            TimePoint end) const;
+
+  size_t size() const { return commits_.size(); }
+  const std::vector<Commit>& commits() const { return commits_; }
+
+ private:
+  std::vector<Commit> commits_;  // Kept sorted by time (appends enforce it).
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_FLEET_CHANGE_LOG_H_

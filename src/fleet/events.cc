@@ -1,0 +1,39 @@
+#include "src/fleet/events.h"
+
+namespace fbdetect {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStepRegression:
+      return "step_regression";
+    case EventKind::kGradualRegression:
+      return "gradual_regression";
+    case EventKind::kCostShift:
+      return "cost_shift";
+    case EventKind::kTransientIssue:
+      return "transient_issue";
+    case EventKind::kSeasonalShift:
+      return "seasonal_shift";
+  }
+  return "unknown";
+}
+
+const char* TransientKindName(TransientKind kind) {
+  switch (kind) {
+    case TransientKind::kServerFailure:
+      return "server_failure";
+    case TransientKind::kMaintenance:
+      return "maintenance";
+    case TransientKind::kLoadSpike:
+      return "load_spike";
+    case TransientKind::kRollingUpdate:
+      return "rolling_update";
+    case TransientKind::kCanaryTest:
+      return "canary_test";
+    case TransientKind::kTrafficShift:
+      return "traffic_shift";
+  }
+  return "unknown";
+}
+
+}  // namespace fbdetect

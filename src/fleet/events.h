@@ -1,0 +1,66 @@
+// Ground-truth events injected into the simulated fleet.
+//
+// Each event models one of the phenomena the paper's detectors must handle:
+//  * step / gradual regressions — true positives the pipeline must report;
+//  * cost shifts — §5.4's false-positive source (refactoring moves self cost
+//    between subroutines of the same class without changing the total);
+//  * transient issues — §5.2.2's false-positive source (server failures,
+//    maintenance, load spikes, rolling updates, canary tests, traffic
+//    shifts), which self-recover after `duration`;
+//  * seasonal shifts — changes in the diurnal mix that the seasonality
+//    detector must not report.
+// Events carry the id of the code/config commit that caused them (when one
+// exists) so root-cause analysis can be scored against ground truth.
+#ifndef FBDETECT_SRC_FLEET_EVENTS_H_
+#define FBDETECT_SRC_FLEET_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/sim_time.h"
+
+namespace fbdetect {
+
+enum class EventKind : int {
+  kStepRegression = 0,
+  kGradualRegression,
+  kCostShift,
+  kTransientIssue,
+  kSeasonalShift,
+};
+
+enum class TransientKind : int {
+  kServerFailure = 0,
+  kMaintenance,
+  kLoadSpike,
+  kRollingUpdate,
+  kCanaryTest,
+  kTrafficShift,
+};
+
+const char* EventKindName(EventKind kind);
+const char* TransientKindName(TransientKind kind);
+
+struct InjectedEvent {
+  int64_t event_id = -1;
+  EventKind kind = EventKind::kStepRegression;
+  TransientKind transient_kind = TransientKind::kLoadSpike;  // For transients.
+  std::string service;
+  std::string subroutine;         // Affected subroutine ("" = service level).
+  std::string shift_source;       // Cost shift: subroutine the cost moves FROM.
+  TimePoint start = 0;
+  Duration duration = 0;          // 0 = permanent (regressions).
+  Duration ramp = 0;              // Gradual regressions: time to full effect.
+  double magnitude = 0.0;         // Relative self-cost (or load) multiplier - 1,
+                                  // e.g. 0.05 = +5%.
+  int64_t commit_id = -1;         // Culprit change; -1 when none exists.
+
+  // True regressions are the events the pipeline is expected to report.
+  bool IsTrueRegression() const {
+    return kind == EventKind::kStepRegression || kind == EventKind::kGradualRegression;
+  }
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_FLEET_EVENTS_H_

@@ -1,0 +1,48 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+ServiceSimulator* FleetSimulator::AddService(const ServiceConfig& config) {
+  FBD_CHECK(FindService(config.name) == nullptr);
+  services_.push_back(std::make_unique<ServiceSimulator>(config));
+  return services_.back().get();
+}
+
+ServiceSimulator* FleetSimulator::FindService(const std::string& name) {
+  for (const auto& service : services_) {
+    if (service->config().name == name) {
+      return service.get();
+    }
+  }
+  return nullptr;
+}
+
+int64_t FleetSimulator::InjectEvent(InjectedEvent event, Commit* commit) {
+  ServiceSimulator* service = FindService(event.service);
+  FBD_CHECK(service != nullptr);
+  event.event_id = next_event_id_++;
+  if (commit != nullptr) {
+    commit->service = event.service;
+    event.commit_id = change_log_.Add(*commit);
+  }
+  service->ScheduleEvent(event);
+  ground_truth_.push_back(event);
+  return event.event_id;
+}
+
+void FleetSimulator::Run(TimePoint begin, TimePoint end) {
+  FBD_CHECK(end >= begin);
+  // Services may use different tick widths; fire each on its own schedule.
+  for (const auto& service : services_) {
+    const Duration tick = service->config().tick;
+    for (TimePoint t = begin + tick; t <= end; t += tick) {
+      service->Tick(t, db_);
+    }
+  }
+}
+
+}  // namespace fbdetect

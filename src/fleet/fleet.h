@@ -1,0 +1,56 @@
+// The fleet simulator: a set of services, a shared clock, a shared
+// TimeSeriesDatabase, a ChangeLog, and the ground-truth event registry.
+// Substitutes for Meta's production fleet (DESIGN.md §4).
+#ifndef FBDETECT_SRC_FLEET_FLEET_H_
+#define FBDETECT_SRC_FLEET_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/fleet/change_log.h"
+#include "src/fleet/events.h"
+#include "src/fleet/service.h"
+#include "src/tsdb/database.h"
+
+namespace fbdetect {
+
+class FleetSimulator {
+ public:
+  FleetSimulator() = default;
+  FleetSimulator(const FleetSimulator&) = delete;
+  FleetSimulator& operator=(const FleetSimulator&) = delete;
+
+  // Adds a service; returns a stable pointer owned by the fleet.
+  ServiceSimulator* AddService(const ServiceConfig& config);
+
+  ServiceSimulator* FindService(const std::string& name);
+
+  // Schedules an event on its service and registers it as ground truth.
+  // When `commit` is non-null, the commit is added to the change log and the
+  // event is linked to it. Returns the event id.
+  int64_t InjectEvent(InjectedEvent event, Commit* commit = nullptr);
+
+  // Runs all services from `begin` (exclusive of begin itself: the first tick
+  // fires at begin + tick) through `end` inclusive, writing into db().
+  void Run(TimePoint begin, TimePoint end);
+
+  TimeSeriesDatabase& db() { return db_; }
+  const TimeSeriesDatabase& db() const { return db_; }
+  ChangeLog& change_log() { return change_log_; }
+  const ChangeLog& change_log() const { return change_log_; }
+  const std::vector<InjectedEvent>& ground_truth() const { return ground_truth_; }
+  const std::vector<std::unique_ptr<ServiceSimulator>>& services() const { return services_; }
+
+ private:
+  std::vector<std::unique_ptr<ServiceSimulator>> services_;
+  TimeSeriesDatabase db_;
+  ChangeLog change_log_;
+  std::vector<InjectedEvent> ground_truth_;
+  int64_t next_event_id_ = 0;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_FLEET_FLEET_H_

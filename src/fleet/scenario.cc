@@ -1,0 +1,281 @@
+#include "src/fleet/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+std::vector<double> SimulateFleetAverage(const FleetAverageOptions& options, Rng& rng) {
+  FBD_CHECK(!options.groups.empty());
+  double total_servers = 0.0;
+  for (const auto& group : options.groups) {
+    FBD_CHECK(group.num_servers > 0.0);
+    total_servers += group.num_servers;
+  }
+  std::vector<double> series(options.num_ticks, 0.0);
+  for (size_t t = 0; t < options.num_ticks; ++t) {
+    const bool post = t >= options.change_tick;
+    double weighted = 0.0;
+    for (const auto& group : options.groups) {
+      const double mean = group.mean + (post ? group.regression : 0.0);
+      const double sd = std::sqrt(group.variance / group.num_servers);
+      const double draw =
+          std::clamp(rng.Normal(mean, sd), options.clip_lo, options.clip_hi);
+      weighted += draw * (group.num_servers / total_servers);
+    }
+    series[t] = weighted;
+  }
+  return series;
+}
+
+std::vector<double> SimulateSingleServerSeries(size_t num_ticks, double regression, Rng& rng) {
+  std::vector<double> series(num_ticks, 0.0);
+  const double sd = std::sqrt(0.01);
+  for (size_t t = 0; t < num_ticks; ++t) {
+    const double mean = 0.5 + (t >= num_ticks / 2 ? regression : 0.0);
+    series[t] = rng.ClippedNormal(mean, sd, 0.0, 1.0);
+  }
+  return series;
+}
+
+namespace {
+
+// Picks a subroutine that has non-negligible cost so injected effects are
+// observable. Prefers mid-weight LEAF nodes: for a leaf, self cost equals
+// subtree cost, so a relative self-cost change translates 1:1 into a
+// relative gCPU change (interior nodes dilute the effect through their
+// children). Heavy nodes make regressions trivial, feather-weight nodes make
+// them invisible.
+std::string PickTargetSubroutine(const ServiceSimulator& service, Rng& rng) {
+  const CallGraph& graph = service.graph();
+  const std::vector<double> reach = graph.ReachProbabilities();
+  std::vector<NodeId> candidates;
+  for (size_t i = 0; i < reach.size(); ++i) {
+    if (reach[i] > 0.0005 && reach[i] < 0.15 &&
+        graph.edges(static_cast<NodeId>(i)).empty()) {
+      candidates.push_back(static_cast<NodeId>(i));
+    }
+  }
+  if (candidates.empty()) {
+    for (size_t i = 0; i < reach.size(); ++i) {
+      if (reach[i] > 0.0005 && reach[i] < 0.15) {
+        candidates.push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  if (candidates.empty()) {
+    for (size_t i = 0; i < reach.size(); ++i) {
+      if (reach[i] > 0.0) {
+        candidates.push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  FBD_CHECK(!candidates.empty());
+  return graph.node(candidates[rng.NextUint64(candidates.size())]).name;
+}
+
+// Picks a sibling (same class) of `name` for cost shifts; falls back to any
+// other subroutine.
+std::string PickShiftSibling(const ServiceSimulator& service, const std::string& name, Rng& rng) {
+  const CallGraph& graph = service.graph();
+  const NodeId id = graph.FindByName(name);
+  FBD_CHECK(id != kInvalidNode);
+  std::vector<NodeId> siblings = graph.NodesInClass(graph.node(id).class_name);
+  std::erase(siblings, id);
+  if (siblings.empty()) {
+    for (size_t i = 0; i < graph.node_count(); ++i) {
+      if (static_cast<NodeId>(i) != id) {
+        siblings.push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  FBD_CHECK(!siblings.empty());
+  return graph.node(siblings[rng.NextUint64(siblings.size())]).name;
+}
+
+Commit MakeCulpritCommit(const std::string& subroutine, TimePoint time, EventKind kind,
+                         Rng& rng) {
+  Commit commit;
+  commit.type = rng.NextBool(0.8) ? ChangeType::kCode : ChangeType::kConfiguration;
+  commit.time = time;
+  commit.touched_subroutines = {subroutine};
+  switch (kind) {
+    case EventKind::kStepRegression:
+    case EventKind::kGradualRegression:
+      commit.title = "Update logic in " + subroutine;
+      commit.description = "Adds validation and extra processing to " + subroutine +
+                           "; loosening constraints for " + subroutine + ".";
+      break;
+    case EventKind::kCostShift:
+      commit.title = "Refactor " + subroutine;
+      commit.description = "Moves helper code into " + subroutine + " without behavior change.";
+      break;
+    default:
+      commit.title = "Touch " + subroutine;
+      commit.description = "Routine maintenance of " + subroutine + ".";
+      break;
+  }
+  return commit;
+}
+
+}  // namespace
+
+Scenario GenerateScenario(FleetSimulator& fleet, const ScenarioOptions& options) {
+  Rng rng(options.seed);
+
+  ServiceConfig config;
+  config.name = options.service_name;
+  config.language = options.language;
+  config.num_servers = options.num_servers;
+  config.call_graph.num_subroutines = options.num_subroutines;
+  config.sampling.samples_per_bucket = options.samples_per_bucket;
+  config.sampling.bucket_width = options.tick;
+  config.tick = options.tick;
+  if (options.gcpu_only) {
+    config.emit_process_cpu = false;
+    config.emit_endpoint_metrics = false;
+  }
+  config.seed = rng.NextUint64();
+
+  Scenario scenario;
+  scenario.service = fleet.AddService(config);
+  scenario.begin = 0;
+  scenario.end = options.duration;
+
+  // Events are placed after one full historical window's worth of warmup so
+  // detectors always have a baseline; leave the final 10% clear so extended
+  // windows can observe persistence.
+  const TimePoint event_lo = options.duration * 2 / 5;
+  const TimePoint event_hi = options.duration * 9 / 10;
+  FBD_CHECK(event_hi > event_lo);
+  auto random_time = [&]() {
+    return event_lo + static_cast<TimePoint>(
+                          rng.NextUint64(static_cast<uint64_t>(event_hi - event_lo)));
+  };
+  auto log_uniform = [&](double lo, double hi) {
+    return std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+  };
+
+  struct Pending {
+    InjectedEvent event;
+    bool has_commit = false;
+    Commit commit;
+  };
+  std::vector<Pending> pending;
+
+  for (int i = 0; i < options.num_step_regressions; ++i) {
+    Pending p;
+    p.event.kind = EventKind::kStepRegression;
+    p.event.service = options.service_name;
+    p.event.subroutine = PickTargetSubroutine(*scenario.service, rng);
+    p.event.start = random_time();
+    p.event.magnitude = log_uniform(options.min_regression_magnitude,
+                                    options.max_regression_magnitude);
+    p.has_commit = true;
+    p.commit = MakeCulpritCommit(p.event.subroutine, p.event.start - Minutes(5),
+                                 p.event.kind, rng);
+    pending.push_back(std::move(p));
+  }
+  for (int i = 0; i < options.num_gradual_regressions; ++i) {
+    Pending p;
+    p.event.kind = EventKind::kGradualRegression;
+    p.event.service = options.service_name;
+    p.event.subroutine = PickTargetSubroutine(*scenario.service, rng);
+    p.event.start = random_time();
+    p.event.ramp = Days(3);
+    p.event.magnitude = log_uniform(options.min_regression_magnitude,
+                                    options.max_regression_magnitude);
+    p.has_commit = true;
+    p.commit = MakeCulpritCommit(p.event.subroutine, p.event.start - Minutes(5),
+                                 p.event.kind, rng);
+    pending.push_back(std::move(p));
+  }
+  for (int i = 0; i < options.num_cost_shifts; ++i) {
+    Pending p;
+    p.event.kind = EventKind::kCostShift;
+    p.event.service = options.service_name;
+    p.event.subroutine = PickTargetSubroutine(*scenario.service, rng);
+    p.event.shift_source = PickShiftSibling(*scenario.service, p.event.subroutine, rng);
+    p.event.start = random_time();
+    p.event.magnitude = rng.Uniform(0.3, 0.9);  // Fraction of source cost moved.
+    p.has_commit = true;
+    p.commit = MakeCulpritCommit(p.event.subroutine, p.event.start - Minutes(5),
+                                 p.event.kind, rng);
+    pending.push_back(std::move(p));
+  }
+  for (int i = 0; i < options.num_transients; ++i) {
+    Pending p;
+    p.event.kind = EventKind::kTransientIssue;
+    p.event.transient_kind = static_cast<TransientKind>(rng.NextUint64(6));
+    p.event.service = options.service_name;
+    if (p.event.transient_kind == TransientKind::kCanaryTest ||
+        p.event.transient_kind == TransientKind::kTrafficShift) {
+      p.event.subroutine = PickTargetSubroutine(*scenario.service, rng);
+    }
+    p.event.start = random_time();
+    p.event.duration =
+        options.min_transient_duration +
+        static_cast<Duration>(rng.NextUint64(static_cast<uint64_t>(
+            options.max_transient_duration - options.min_transient_duration)));
+    p.event.magnitude = log_uniform(options.min_transient_magnitude,
+                                    options.max_transient_magnitude);
+    pending.push_back(std::move(p));
+  }
+  for (int i = 0; i < options.num_seasonal_shifts; ++i) {
+    Pending p;
+    p.event.kind = EventKind::kSeasonalShift;
+    p.event.service = options.service_name;
+    p.event.start = random_time();
+    p.event.magnitude = rng.Uniform(0.1, 0.4);
+    pending.push_back(std::move(p));
+  }
+
+  // Background commits: benign changes touching random subroutines.
+  std::vector<Commit> background;
+  for (int i = 0; i < options.num_background_commits; ++i) {
+    Commit commit;
+    commit.type = rng.NextBool(0.85) ? ChangeType::kCode : ChangeType::kConfiguration;
+    commit.service = options.service_name;
+    commit.time = static_cast<TimePoint>(
+        rng.NextUint64(static_cast<uint64_t>(options.duration)));
+    const std::string subroutine = PickTargetSubroutine(*scenario.service, rng);
+    commit.title = "Improve documentation of " + subroutine;
+    commit.description = "No functional change in " + subroutine + ".";
+    commit.touched_subroutines = {subroutine};
+    background.push_back(std::move(commit));
+  }
+
+  // The change log requires time-ordered appends: interleave culprit and
+  // background commits by time, then inject events (event injection does not
+  // care about ordering).
+  std::sort(pending.begin(), pending.end(), [](const Pending& a, const Pending& b) {
+    return a.commit.time < b.commit.time;
+  });
+  std::sort(background.begin(), background.end(),
+            [](const Commit& a, const Commit& b) { return a.time < b.time; });
+  size_t bi = 0;
+  for (Pending& p : pending) {
+    if (p.has_commit) {
+      while (bi < background.size() && background[bi].time <= p.commit.time) {
+        fleet.change_log().Add(std::move(background[bi]));
+        ++bi;
+      }
+      fleet.InjectEvent(p.event, &p.commit);
+    }
+  }
+  while (bi < background.size()) {
+    fleet.change_log().Add(std::move(background[bi]));
+    ++bi;
+  }
+  for (Pending& p : pending) {
+    if (!p.has_commit) {
+      fleet.InjectEvent(p.event);
+    }
+  }
+
+  return scenario;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,97 @@
+// Scenario generators: labelled synthetic workloads for the evaluation
+// benches, plus the §2 feasibility-simulation helpers behind Figures 1–3.
+#ifndef FBDETECT_SRC_FLEET_SCENARIO_H_
+#define FBDETECT_SRC_FLEET_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/sim_time.h"
+#include "src/fleet/fleet.h"
+
+namespace fbdetect {
+
+// ---------------------------------------------------------------------------
+// §2 feasibility simulations (Figures 1(a), 2, 3).
+// ---------------------------------------------------------------------------
+
+struct FleetAverageOptions {
+  // Each group of servers draws per-tick CPU from a clipped normal.
+  struct Group {
+    double num_servers = 250000;
+    double mean = 0.40;          // Pre-regression mean.
+    double variance = 0.01;
+    double regression = 0.00003;  // Added to the mean after the change point.
+  };
+  std::vector<Group> groups = {
+      {0.5, 0.40, 0.01, 0.00003},  // num_servers filled by caller.
+      {0.5, 0.60, 0.02, 0.00007},
+  };
+  size_t num_ticks = 200;
+  size_t change_tick = 100;  // First post-regression tick.
+  double clip_lo = 0.0;
+  double clip_hi = 1.0;
+};
+
+// Average of m per-server series: tick value ~ weighted mean over groups of
+// Normal(mu_g, sigma_g^2 / m_g) (the Law-of-Large-Numbers closed form; the
+// paper's Figure 2/3 construction). Returns num_ticks values.
+std::vector<double> SimulateFleetAverage(const FleetAverageOptions& options, Rng& rng);
+
+// Single-server series from Figure 1(a): mean 50%, variance 0.01, +0.005%
+// regression halfway, clipped to [0, 1].
+std::vector<double> SimulateSingleServerSeries(size_t num_ticks, double regression, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Labelled month-long scenarios for the pipeline benches (Tables 3/4, Fig 8).
+// ---------------------------------------------------------------------------
+
+struct ScenarioOptions {
+  std::string service_name = "frontfaas_sim";
+  std::string language = "php";
+  int num_servers = 10000;
+  int num_subroutines = 400;
+  Duration duration = Days(30);
+  Duration tick = Minutes(10);
+  uint64_t samples_per_bucket = 2000000;
+
+  int num_step_regressions = 12;
+  int num_gradual_regressions = 4;
+  int num_cost_shifts = 8;
+  int num_transients = 60;
+  int num_seasonal_shifts = 2;
+  int num_background_commits = 300;  // Benign commits (no perf effect).
+
+  // Regression magnitudes are log-uniform in [min, max] (relative change of
+  // the target subroutine's self cost).
+  double min_regression_magnitude = 0.05;
+  double max_regression_magnitude = 0.60;
+
+  double min_transient_magnitude = 0.05;
+  double max_transient_magnitude = 0.50;
+  Duration min_transient_duration = Minutes(20);
+  Duration max_transient_duration = Hours(6);
+
+  // When set, the service emits ONLY per-subroutine gCPU series — the clean
+  // setup for FP/FN accounting, where a single absolute threshold applies to
+  // every monitored series.
+  bool gcpu_only = false;
+
+  uint64_t seed = 42;
+};
+
+struct Scenario {
+  ServiceSimulator* service = nullptr;  // Owned by the fleet.
+  TimePoint begin = 0;
+  TimePoint end = 0;
+};
+
+// Builds a service inside `fleet`, schedules the configured mix of events
+// with culprit + background commits, and returns the handle. Call
+// fleet.Run(scenario.begin, scenario.end) to materialize the data.
+Scenario GenerateScenario(FleetSimulator& fleet, const ScenarioOptions& options);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_FLEET_SCENARIO_H_

@@ -1,0 +1,100 @@
+#include "src/profiling/profile_store.h"
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+ProfileStore::ProfileStore(Duration bucket_width) : bucket_width_(bucket_width) {
+  FBD_CHECK(bucket_width_ > 0);
+}
+
+void ProfileStore::Ingest(const std::string& service, TimePoint timestamp,
+                          const CallGraph* graph, const ProfileAggregate& aggregate) {
+  FBD_CHECK(graph != nullptr);
+  const TimePoint bucket_start = timestamp / bucket_width_ * bucket_width_;
+  Bucket& bucket = buckets_[service][bucket_start];
+  FBD_CHECK(bucket.graph == nullptr || bucket.graph == graph);
+  bucket.graph = graph;
+  bucket.aggregate.Merge(aggregate);
+}
+
+template <typename Fn>
+void ProfileStore::ForEachBucket(const std::string& service, TimePoint begin, TimePoint end,
+                                 Fn&& fn) const {
+  const auto service_it = buckets_.find(service);
+  if (service_it == buckets_.end()) {
+    return;
+  }
+  // First bucket whose range [start, start + width) intersects [begin, end).
+  const TimePoint first_start = (begin - bucket_width_ + 1) / bucket_width_ * bucket_width_;
+  for (auto it = service_it->second.lower_bound(first_start);
+       it != service_it->second.end() && it->first < end; ++it) {
+    fn(it->second);
+  }
+}
+
+double ProfileStore::Overlap(const std::string& service, const std::string& subroutine_a,
+                             const std::string& subroutine_b, TimePoint begin,
+                             TimePoint end) const {
+  // Weighted average of per-bucket Jaccard overlaps, weighted by each
+  // bucket's sample count (merging raw sample sets across buckets would
+  // require re-indexing; per-bucket averaging is equivalent for the feature's
+  // purpose and keeps queries cheap).
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  ForEachBucket(service, begin, end, [&](const Bucket& bucket) {
+    const NodeId a = bucket.graph->FindByName(subroutine_a);
+    const NodeId b = bucket.graph->FindByName(subroutine_b);
+    if (a == kInvalidNode || b == kInvalidNode) {
+      return;
+    }
+    const double weight = static_cast<double>(bucket.aggregate.total_samples());
+    if (weight <= 0.0) {
+      return;
+    }
+    weighted += weight * bucket.aggregate.SampleOverlap(a, b);
+    total_weight += weight;
+  });
+  return total_weight > 0.0 ? weighted / total_weight : 0.0;
+}
+
+double ProfileStore::Gcpu(const std::string& service, const std::string& subroutine,
+                          TimePoint begin, TimePoint end) const {
+  uint64_t containing = 0;
+  uint64_t total = 0;
+  ForEachBucket(service, begin, end, [&](const Bucket& bucket) {
+    const NodeId id = bucket.graph->FindByName(subroutine);
+    if (id == kInvalidNode) {
+      return;
+    }
+    containing += bucket.aggregate.CountOf(id);
+    total += bucket.aggregate.total_samples();
+  });
+  return total > 0 ? static_cast<double>(containing) / static_cast<double>(total) : 0.0;
+}
+
+void ProfileStore::Expire(TimePoint cutoff) {
+  for (auto service_it = buckets_.begin(); service_it != buckets_.end();) {
+    auto& per_service = service_it->second;
+    // Remove buckets that END at or before the cutoff.
+    for (auto it = per_service.begin();
+         it != per_service.end() && it->first + bucket_width_ <= cutoff;) {
+      it = per_service.erase(it);
+    }
+    if (per_service.empty()) {
+      service_it = buckets_.erase(service_it);
+    } else {
+      ++service_it;
+    }
+  }
+}
+
+size_t ProfileStore::bucket_count() const {
+  size_t count = 0;
+  for (const auto& [service, per_service] : buckets_) {
+    count += per_service.size();
+  }
+  return count;
+}
+
+}  // namespace fbdetect

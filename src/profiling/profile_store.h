@@ -1,0 +1,64 @@
+// Retention store for stack-trace profiles.
+//
+// Production FBDetect keeps recent aggregated profiles per service so that
+// PairwiseDedup can compute the stack-trace-overlap feature (§5.5.2: the
+// fraction of shared samples used for calculating two subroutines' gCPU).
+// The store aggregates ProfileAggregates into fixed-width time buckets,
+// expires old buckets, and answers overlap queries by subroutine name over a
+// time range.
+#ifndef FBDETECT_SRC_PROFILING_PROFILE_STORE_H_
+#define FBDETECT_SRC_PROFILING_PROFILE_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/sim_time.h"
+#include "src/profiling/call_graph.h"
+#include "src/profiling/profile.h"
+
+namespace fbdetect {
+
+class ProfileStore {
+ public:
+  explicit ProfileStore(Duration bucket_width);
+
+  // Merges samples into the bucket containing `timestamp`. The aggregate's
+  // node ids must come from `graph` (names are resolved at query time).
+  void Ingest(const std::string& service, TimePoint timestamp, const CallGraph* graph,
+              const ProfileAggregate& aggregate);
+
+  // Jaccard overlap of the two subroutines' sample sets across all buckets
+  // intersecting [begin, end); 0 when either name is unknown.
+  double Overlap(const std::string& service, const std::string& subroutine_a,
+                 const std::string& subroutine_b, TimePoint begin, TimePoint end) const;
+
+  // gCPU of a subroutine over [begin, end) from the stored samples.
+  double Gcpu(const std::string& service, const std::string& subroutine, TimePoint begin,
+              TimePoint end) const;
+
+  // Drops buckets entirely before `cutoff`.
+  void Expire(TimePoint cutoff);
+
+  size_t bucket_count() const;
+  Duration bucket_width() const { return bucket_width_; }
+
+ private:
+  struct Bucket {
+    const CallGraph* graph = nullptr;  // Not owned; must outlive the store.
+    ProfileAggregate aggregate;
+  };
+
+  // Buckets overlapping [begin, end) for one service.
+  template <typename Fn>
+  void ForEachBucket(const std::string& service, TimePoint begin, TimePoint end,
+                     Fn&& fn) const;
+
+  Duration bucket_width_;
+  // service -> bucket start -> aggregate.
+  std::unordered_map<std::string, std::map<TimePoint, Bucket>> buckets_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_PROFILING_PROFILE_STORE_H_

@@ -1,0 +1,104 @@
+#include "src/profiling/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+uint64_t SampleBinomial(uint64_t n, double p, Rng& rng) {
+  if (n == 0 || p <= 0.0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return n;
+  }
+  const double np = static_cast<double>(n) * p;
+  const double variance = np * (1.0 - p);
+  if (variance > 100.0) {
+    const double draw = rng.Normal(np, std::sqrt(variance));
+    const double clamped = std::clamp(draw, 0.0, static_cast<double>(n));
+    return static_cast<uint64_t>(std::llround(clamped));
+  }
+  if (np < 30.0 && p < 0.05) {
+    // Poisson approximation for rare events.
+    const int draw = rng.Poisson(np);
+    return std::min<uint64_t>(static_cast<uint64_t>(draw), n);
+  }
+  // Exact Bernoulli summation for the small-n middle ground.
+  uint64_t count = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < p) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+SamplingProfiler::SamplingProfiler(std::string service, SamplingConfig config)
+    : service_(std::move(service)), config_(config) {
+  FBD_CHECK(config_.samples_per_bucket > 0);
+  FBD_CHECK(config_.bucket_width > 0);
+}
+
+ProfileAggregate SamplingProfiler::ExactBucket(const CallGraph& graph, uint64_t num_samples,
+                                               Rng& rng) const {
+  ProfileAggregate aggregate;
+  for (uint64_t i = 0; i < num_samples; ++i) {
+    aggregate.AddSample(graph.SampleStack(rng));
+  }
+  return aggregate;
+}
+
+std::vector<uint64_t> SamplingProfiler::AnalyticBucket(const CallGraph& graph, Rng& rng) const {
+  const std::vector<double> reach = graph.ReachProbabilities();
+  std::vector<uint64_t> counts(reach.size(), 0);
+  for (size_t i = 0; i < reach.size(); ++i) {
+    counts[i] = SampleBinomial(config_.samples_per_bucket, reach[i], rng);
+  }
+  return counts;
+}
+
+void SamplingProfiler::WriteGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
+                                       TimeSeriesDatabase& db) const {
+  const std::vector<uint64_t> counts = AnalyticBucket(graph, rng);
+  const double denom = static_cast<double>(config_.samples_per_bucket);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double gcpu = static_cast<double>(counts[i]) / denom;
+    MetricId id;
+    id.service = service_;
+    id.kind = MetricKind::kGcpu;
+    id.entity = graph.node(static_cast<NodeId>(i)).name;
+    if (gcpu < config_.min_gcpu_to_record && !db.Contains(id)) {
+      continue;
+    }
+    db.Write(id, bucket_start, gcpu);
+  }
+}
+
+void SamplingProfiler::WriteMetadataGcpuBucket(const CallGraph& graph, TimePoint bucket_start,
+                                               Rng& rng, TimeSeriesDatabase& db) const {
+  const std::vector<double> reach = graph.ReachProbabilities();
+  std::unordered_map<std::string, double> reach_by_metadata;
+  for (size_t i = 0; i < graph.node_count(); ++i) {
+    const Subroutine& node = graph.node(static_cast<NodeId>(i));
+    if (!node.metadata.empty()) {
+      reach_by_metadata[node.metadata] += reach[i];
+    }
+  }
+  const double denom = static_cast<double>(config_.samples_per_bucket);
+  for (const auto& [metadata, total_reach] : reach_by_metadata) {
+    const double p = std::min(1.0, total_reach);
+    const uint64_t count = SampleBinomial(config_.samples_per_bucket, p, rng);
+    MetricId id;
+    id.service = service_;
+    id.kind = MetricKind::kGcpu;
+    id.metadata = metadata;
+    db.Write(id, bucket_start, static_cast<double>(count) / denom);
+  }
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,83 @@
+// Fleet-wide sampling profiler (§4).
+//
+// Production FBDetect uses eBPF (C/C++), Xenon (PHP), or PyPerf (Python) to
+// capture stack traces at a configured rate — from one sample per server per
+// minute (FrontFaaS) to one per server per second (Invoicer) — and converts
+// them to per-subroutine gCPU time series.
+//
+// Two collection paths are provided:
+//  * ExactBucket(): draws real stack walks one by one. Faithful, used by
+//    tests, examples, and the overhead benchmark.
+//  * AnalyticBucket(): draws per-subroutine containment counts directly from
+//    Binomial(n, p_u) where p_u is the closed-form reach probability. This is
+//    statistically identical for per-subroutine gCPU (each subroutine's
+//    count is exactly Binomial(n, p_u) under the walk model) and lets the
+//    fleet simulator synthesize millions of samples per tick in O(k) time.
+//    Cross-subroutine correlations are not preserved — acceptable because the
+//    detectors consume per-series data.
+#ifndef FBDETECT_SRC_PROFILING_PROFILER_H_
+#define FBDETECT_SRC_PROFILING_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/sim_time.h"
+#include "src/profiling/call_graph.h"
+#include "src/profiling/profile.h"
+#include "src/tsdb/database.h"
+
+namespace fbdetect {
+
+struct SamplingConfig {
+  uint64_t samples_per_bucket = 100000;  // Fleet-wide samples per time bucket.
+  Duration bucket_width = Minutes(10);   // Time-series resolution.
+  double min_gcpu_to_record = 0.00001;   // Drop sub-trivial subroutines (§2:
+                                         // "non-trivial" is gCPU >= 0.001%).
+};
+
+class SamplingProfiler {
+ public:
+  SamplingProfiler(std::string service, SamplingConfig config);
+
+  // Collects one bucket by materializing individual stack walks.
+  ProfileAggregate ExactBucket(const CallGraph& graph, uint64_t num_samples, Rng& rng) const;
+
+  // Per-node containment counts ~ Binomial(samples_per_bucket, reach_u),
+  // using a normal approximation when n*p is large.
+  std::vector<uint64_t> AnalyticBucket(const CallGraph& graph, Rng& rng) const;
+
+  // Runs AnalyticBucket and writes gCPU points (count / samples_per_bucket)
+  // for every recorded subroutine into `db` at time `bucket_start`.
+  // Subroutines below min_gcpu_to_record are skipped unless already present
+  // in the database (so a collapsing subroutine still gets points).
+  void WriteGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
+                       TimeSeriesDatabase& db) const;
+
+  // Metadata-annotated gCPU (§3): subroutines can annotate their stack
+  // frames via SetFrameMetadata; FBDetect then monitors one gCPU series per
+  // distinct annotation value. The containment probability of an annotation
+  // is approximated as min(1, Σ reach over its subroutines) — exact when at
+  // most one annotated subroutine appears per sample, which holds when
+  // annotations mark disjoint leaf features. Series are written as
+  // MetricId{service, kGcpu, entity="", metadata=value}.
+  void WriteMetadataGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
+                               TimeSeriesDatabase& db) const;
+
+  const std::string& service() const { return service_; }
+  const SamplingConfig& config() const { return config_; }
+
+ private:
+  std::string service_;
+  SamplingConfig config_;
+};
+
+// Draws from Binomial(n, p) with a normal approximation when n*p*(1-p) > 100
+// and exact Bernoulli summation (via Poisson split) otherwise. Exposed for
+// tests.
+uint64_t SampleBinomial(uint64_t n, double p, Rng& rng);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_PROFILING_PROFILER_H_

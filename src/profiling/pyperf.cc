@@ -1,0 +1,97 @@
+#include "src/profiling/pyperf.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+std::vector<MergedFrame> MergeStacks(const InterpreterSnapshot& snapshot, bool* torn) {
+  // Pair the i-th kPyEvalFrame (from the root) with the i-th VCS entry
+  // (outermost first). When counts mismatch, align from the leaf: the deepest
+  // frames are the most recently pushed and the most likely to be coherent.
+  size_t eval_count = 0;
+  for (const NativeFrame& frame : snapshot.native_stack) {
+    if (frame.kind == NativeFrameKind::kPyEvalFrame) {
+      ++eval_count;
+    }
+  }
+  const size_t vcs_count = snapshot.virtual_call_stack.size();
+  const bool is_torn = eval_count != vcs_count;
+  if (torn != nullptr) {
+    *torn = is_torn;
+  }
+  // Offset so the LAST eval frame maps to the LAST VCS entry.
+  const long shift = static_cast<long>(vcs_count) - static_cast<long>(eval_count);
+
+  std::vector<MergedFrame> merged;
+  merged.reserve(snapshot.native_stack.size());
+  long eval_index = 0;
+  for (const NativeFrame& frame : snapshot.native_stack) {
+    switch (frame.kind) {
+      case NativeFrameKind::kSystem:
+      case NativeFrameKind::kNativeLibrary:
+        merged.push_back({false, frame.symbol});
+        break;
+      case NativeFrameKind::kInterpreterCall:
+        // CPython plumbing between Python frames carries no user-visible
+        // cost attribution; elide it (Fig. 5's merged stack keeps only
+        // system, Python, and native-library frames).
+        break;
+      case NativeFrameKind::kPyEvalFrame: {
+        const long vcs_index = eval_index + shift;
+        if (vcs_index >= 0 && static_cast<size_t>(vcs_index) < vcs_count) {
+          merged.push_back(
+              {true, snapshot.virtual_call_stack[static_cast<size_t>(vcs_index)].function});
+        } else {
+          merged.push_back({true, "<unknown-python-frame>"});
+        }
+        ++eval_index;
+        break;
+      }
+    }
+  }
+  return merged;
+}
+
+SimulatedInterpreterProcess::SimulatedInterpreterProcess(const Options& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  FBD_CHECK(options_.max_python_depth >= 1);
+  FBD_CHECK(options_.num_python_functions >= 1);
+  FBD_CHECK(options_.num_native_libraries >= 1);
+  for (int i = 0; i < options_.num_python_functions; ++i) {
+    python_functions_.push_back("py_fun_" + std::to_string(i));
+  }
+  for (int i = 0; i < options_.num_native_libraries; ++i) {
+    native_libraries_.push_back("c_lib_" + std::to_string(i));
+  }
+}
+
+InterpreterSnapshot SimulatedInterpreterProcess::Sample() {
+  InterpreterSnapshot snapshot;
+  snapshot.native_stack.push_back({NativeFrameKind::kSystem, "_start"});
+  snapshot.native_stack.push_back({NativeFrameKind::kSystem, "__libc_start_main"});
+  snapshot.native_stack.push_back({NativeFrameKind::kInterpreterCall, "Py_RunMain"});
+  snapshot.native_stack.push_back({NativeFrameKind::kInterpreterCall, "PyEval_EvalCode"});
+
+  const int depth =
+      1 + static_cast<int>(rng_.NextUint64(static_cast<uint64_t>(options_.max_python_depth)));
+  for (int level = 0; level < depth; ++level) {
+    const std::string& function =
+        python_functions_[rng_.NextUint64(python_functions_.size())];
+    snapshot.virtual_call_stack.push_back({function, function + ".py", 10 + level});
+    snapshot.native_stack.push_back({NativeFrameKind::kPyEvalFrame, "_PyEval_EvalFrameDefault"});
+    if (level + 1 < depth) {
+      // CPython plumbing that dispatches the next call.
+      snapshot.native_stack.push_back({NativeFrameKind::kInterpreterCall, "_PyObject_Call"});
+    }
+  }
+  if (rng_.NextBool(options_.native_leaf_probability)) {
+    const std::string& library = native_libraries_[rng_.NextUint64(native_libraries_.size())];
+    snapshot.native_stack.push_back({NativeFrameKind::kInterpreterCall, "cfunction_vectorcall"});
+    snapshot.native_stack.push_back({NativeFrameKind::kNativeLibrary, library + "::process"});
+  }
+  return snapshot;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,92 @@
+// PyPerf — end-to-end stack reconstruction for interpreted programs (§4,
+// Fig. 5).
+//
+// Sampling the native stack of a CPython process yields interpreter frames:
+// CPython-internal calls, one _PyEval_EvalFrameDefault per active Python
+// frame, and native C/C++ library frames at the leaf. CPython separately
+// maintains a virtual call stack (VCS) — a linked list of Python frames whose
+// head sits at a fixed address. PyPerf's insight: each
+// _PyEval_EvalFrameDefault native frame corresponds 1:1 (in order) to one
+// VCS entry, so substituting VCS entries for the _PyEval frames and keeping
+// the native-library suffix produces a precise merged stack.
+//
+// This module models exactly that: a SimulatedInterpreterProcess exposes a
+// native stack and a VCS; MergeStacks() implements the reconstruction. The
+// simulated process stands in for a real CPython + eBPF probe (hardware/data
+// gate documented in DESIGN.md §4); the merge algorithm is the real one.
+#ifndef FBDETECT_SRC_PROFILING_PYPERF_H_
+#define FBDETECT_SRC_PROFILING_PYPERF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace fbdetect {
+
+enum class NativeFrameKind {
+  kSystem,           // _start, libc, pthread, ...
+  kInterpreterCall,  // CPython-internal C functions.
+  kPyEvalFrame,      // _PyEval_EvalFrameDefault — one per Python frame.
+  kNativeLibrary,    // C/C++ library invoked by Python code.
+};
+
+struct NativeFrame {
+  NativeFrameKind kind = NativeFrameKind::kSystem;
+  std::string symbol;
+};
+
+struct VirtualFrame {
+  std::string function;  // Python function name.
+  std::string file;      // Source file, for completeness of the model.
+  int line = 0;
+};
+
+// Snapshot of one process at sampling time.
+struct InterpreterSnapshot {
+  std::vector<NativeFrame> native_stack;  // Root (index 0) to leaf.
+  std::vector<VirtualFrame> virtual_call_stack;  // Outermost first.
+};
+
+struct MergedFrame {
+  bool is_python = false;
+  std::string symbol;
+};
+
+// Reconstructs the end-to-end stack: native frames pass through, each
+// kPyEvalFrame is replaced (in order) by the corresponding VCS entry, and
+// CPython-internal frames between Python frames are elided. Returns the
+// merged root-to-leaf stack. If the counts of kPyEvalFrame frames and VCS
+// entries disagree (a torn sample in production), the deeper frames are
+// matched first and the mismatch is reported via `torn`.
+std::vector<MergedFrame> MergeStacks(const InterpreterSnapshot& snapshot, bool* torn = nullptr);
+
+// A toy Python program model: a chain of Python functions where each leaf
+// either executes bytecode (on-CPU inside the interpreter) or calls into a
+// native library. Used by tests, the PyPerf example, and the overhead bench.
+class SimulatedInterpreterProcess {
+ public:
+  struct Options {
+    int max_python_depth = 6;
+    double native_leaf_probability = 0.4;  // P(leaf is a C library call).
+    int num_python_functions = 24;
+    int num_native_libraries = 6;
+  };
+
+  SimulatedInterpreterProcess(const Options& options, uint64_t seed);
+
+  // Produces the snapshot an eBPF probe would capture right now.
+  InterpreterSnapshot Sample();
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::vector<std::string> python_functions_;
+  std::vector<std::string> native_libraries_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_PROFILING_PYPERF_H_

@@ -1,0 +1,41 @@
+// Report rendering: production FBDetect files a ticket per regression group
+// for developers to investigate. This module renders Regression records as
+// human-readable ticket text (with the window's shape inlined as a
+// sparkline) and as JSON lines for machine consumption, and formats the
+// Table-3-style funnel summary.
+#ifndef FBDETECT_SRC_REPORT_REPORT_H_
+#define FBDETECT_SRC_REPORT_REPORT_H_
+
+#include <string>
+
+#include "src/core/pipeline.h"
+#include "src/core/regression.h"
+#include "src/fleet/change_log.h"
+
+namespace fbdetect {
+
+struct ReportOptions {
+  bool include_sparkline = true;
+  size_t sparkline_width = 72;
+  size_t max_causes = 3;
+};
+
+// Multi-line human-readable ticket. `change_log` may be null (suspect
+// commits then render by id only).
+std::string RenderTicket(const Regression& regression, const ChangeLog* change_log,
+                         const ReportOptions& options = {});
+
+// One-line JSON object with the report's machine-readable fields.
+std::string ToJsonLine(const Regression& regression);
+
+// The Table-3-shaped funnel summary for both paths.
+std::string RenderFunnel(const FunnelStats& short_term, const FunnelStats& long_term,
+                         bool long_term_enabled);
+
+// Escapes a string for embedding in JSON (quotes, backslashes, control
+// characters). Exposed for tests.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_REPORT_REPORT_H_

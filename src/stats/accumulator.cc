@@ -1,0 +1,54 @@
+#include "src/stats/accumulator.h"
+
+#include <algorithm>
+
+namespace fbdetect {
+
+void WelfordAccumulator::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void WelfordAccumulator::Merge(const WelfordAccumulator& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+  mean_ += delta * nb / static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double WelfordAccumulator::sample_variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double WelfordAccumulator::population_variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,98 @@
+#include "src/stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mean_x = Mean(x.subspan(0, n));
+  const double mean_y = Mean(y.subspan(0, n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Autocorrelation(std::span<const double> values, size_t lag) {
+  const size_t n = values.size();
+  if (lag == 0 || lag >= n) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double denom = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    denom += d * d;
+  }
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  double num = 0.0;
+  for (size_t i = 0; i + lag < n; ++i) {
+    num += (values[i] - mean) * (values[i + lag] - mean);
+  }
+  return num / denom;
+}
+
+std::vector<double> AutocorrelationFunction(std::span<const double> values, size_t max_lag) {
+  const size_t limit = values.empty() ? 0 : std::min(max_lag, values.size() - 1);
+  std::vector<double> acf;
+  acf.reserve(limit);
+  for (size_t lag = 1; lag <= limit; ++lag) {
+    acf.push_back(Autocorrelation(values, lag));
+  }
+  return acf;
+}
+
+SeasonalityEstimate DetectSeasonality(std::span<const double> values, size_t min_period,
+                                      size_t max_period, double min_correlation) {
+  SeasonalityEstimate estimate;
+  const size_t n = values.size();
+  if (n < 8 || min_period < 2) {
+    return estimate;
+  }
+  const size_t cap = std::min(max_period, n / 2);
+  if (cap < min_period) {
+    return estimate;
+  }
+  const std::vector<double> acf = AutocorrelationFunction(values, cap);
+  // White-noise band: |r| > 2/sqrt(n) is significant at ~95%.
+  const double noise_band = 2.0 / std::sqrt(static_cast<double>(n));
+  double best = 0.0;
+  size_t best_lag = 0;
+  for (size_t lag = min_period; lag <= cap; ++lag) {
+    const double r = acf[lag - 1];
+    // Require a local peak so harmonics of short-lag noise do not win.
+    const double prev = lag >= 2 ? acf[lag - 2] : r;
+    const double next = lag < cap ? acf[lag] : r;
+    if (r >= prev && r >= next && r > best) {
+      best = r;
+      best_lag = lag;
+    }
+  }
+  if (best_lag != 0 && best > std::max(min_correlation, noise_band)) {
+    estimate.present = true;
+    estimate.period = best_lag;
+    estimate.correlation = best;
+  }
+  return estimate;
+}
+
+}  // namespace fbdetect

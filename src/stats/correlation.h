@@ -1,0 +1,37 @@
+// Correlation measures: Pearson's r (PairwiseDedup and root-cause time-series
+// correlation, §5.5.2/§5.6) and the autocorrelation function used by the
+// seasonality detector (§5.2.3) to decide whether STL should run at all.
+#ifndef FBDETECT_SRC_STATS_CORRELATION_H_
+#define FBDETECT_SRC_STATS_CORRELATION_H_
+
+#include <span>
+#include <vector>
+
+namespace fbdetect {
+
+// Pearson correlation coefficient of two equal-length spans; 0.0 when either
+// side is constant or shorter than 2.
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+// Autocorrelation at a single lag (1 <= lag < n); 0.0 outside that range or
+// for constant series.
+double Autocorrelation(std::span<const double> values, size_t lag);
+
+// Autocorrelation for lags 1..max_lag (clamped to n-1).
+std::vector<double> AutocorrelationFunction(std::span<const double> values, size_t max_lag);
+
+struct SeasonalityEstimate {
+  bool present = false;
+  size_t period = 0;        // Lag of the strongest significant ACF peak.
+  double correlation = 0.0;  // ACF value at that lag.
+};
+
+// Scans the ACF for the strongest local peak whose correlation exceeds both
+// `min_correlation` and the ~2/sqrt(n) white-noise significance band.
+// `min_period` skips trivially short lags.
+SeasonalityEstimate DetectSeasonality(std::span<const double> values, size_t min_period,
+                                      size_t max_period, double min_correlation);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_STATS_CORRELATION_H_

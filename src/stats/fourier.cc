@@ -1,0 +1,58 @@
+#include "src/stats/fourier.h"
+
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+namespace {
+
+// Magnitude of one DFT coefficient of the mean-removed series.
+double CoefficientMagnitude(std::span<const double> values, double mean, size_t k) {
+  const size_t n = values.size();
+  double real = 0.0;
+  double imag = 0.0;
+  const double angular = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double angle = angular * static_cast<double>(i);
+    const double centered = values[i] - mean;
+    real += centered * std::cos(angle);
+    imag += centered * std::sin(angle);
+  }
+  return std::sqrt(real * real + imag * imag) / static_cast<double>(n);
+}
+
+}  // namespace
+
+std::vector<double> FourierMagnitudes(std::span<const double> values, size_t num_coefficients) {
+  std::vector<double> magnitudes(num_coefficients, 0.0);
+  const size_t n = values.size();
+  if (n < 2) {
+    return magnitudes;
+  }
+  const double mean = Mean(values);
+  for (size_t k = 1; k <= num_coefficients && k < n; ++k) {
+    magnitudes[k - 1] = CoefficientMagnitude(values, mean, k);
+  }
+  return magnitudes;
+}
+
+size_t DominantFrequency(std::span<const double> values) {
+  const size_t n = values.size();
+  if (n < 4) {
+    return 0;
+  }
+  const double mean = Mean(values);
+  size_t best_k = 0;
+  double best_mag = 0.0;
+  for (size_t k = 1; k <= n / 2; ++k) {
+    const double mag = CoefficientMagnitude(values, mean, k);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best_k = k;
+    }
+  }
+  return best_mag > 1e-12 ? best_k : 0;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,23 @@
+// Discrete Fourier features for SOMDedup (§5.5.1): the magnitudes of the
+// first few DFT coefficients summarize a series' shape cheaply and are part
+// of the clustering feature vector.
+#ifndef FBDETECT_SRC_STATS_FOURIER_H_
+#define FBDETECT_SRC_STATS_FOURIER_H_
+
+#include <span>
+#include <vector>
+
+namespace fbdetect {
+
+// Magnitudes of DFT coefficients 1..num_coefficients of the mean-removed
+// series, each normalized by n. O(n * num_coefficients) — the callers only
+// need a handful of coefficients, so no FFT machinery is warranted.
+std::vector<double> FourierMagnitudes(std::span<const double> values, size_t num_coefficients);
+
+// Index (1-based frequency bin) of the strongest coefficient among 1..n/2;
+// 0 for series shorter than 4 points or constant series.
+size_t DominantFrequency(std::span<const double> values);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_STATS_FOURIER_H_

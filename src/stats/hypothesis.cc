@@ -1,0 +1,89 @@
+#include "src/stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/distributions.h"
+
+namespace fbdetect {
+
+TTestResult WelchTTest(std::span<const double> group_a, std::span<const double> group_b,
+                       double alpha) {
+  TTestResult result;
+  if (group_a.size() < 2 || group_b.size() < 2) {
+    return result;
+  }
+  const double na = static_cast<double>(group_a.size());
+  const double nb = static_cast<double>(group_b.size());
+  const double mean_a = Mean(group_a);
+  const double mean_b = Mean(group_b);
+  const double var_a = SampleVariance(group_a);
+  const double var_b = SampleVariance(group_b);
+  const double se2 = var_a / na + var_b / nb;
+  if (se2 <= 0.0) {
+    // Degenerate (constant) groups: significant iff the means differ at all.
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.significant = mean_a != mean_b;
+    result.p_value = result.significant ? 0.0 : 1.0;
+    result.t_statistic = result.significant ? std::numeric_limits<double>::infinity() : 0.0;
+    return result;
+  }
+  result.t_statistic = (mean_a - mean_b) / std::sqrt(se2);
+  // Welch–Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = (var_a / na) * (var_a / na) / (na - 1.0) + (var_b / nb) * (var_b / nb) / (nb - 1.0);
+  result.degrees_of_freedom = den > 0.0 ? num / den : na + nb - 2.0;
+  result.p_value = StudentTSurvivalTwoSided(result.t_statistic, std::max(1.0, result.degrees_of_freedom));
+  result.significant = result.p_value < alpha;
+  return result;
+}
+
+LikelihoodRatioResult MeanShiftLikelihoodRatioTest(std::span<const double> values,
+                                                   size_t change_point, double alpha) {
+  LikelihoodRatioResult result;
+  const size_t n = values.size();
+  if (change_point < 2 || change_point + 2 > n) {
+    return result;
+  }
+  // Under a normal model with common variance, -2 log Lambda reduces to
+  // n * log(RSS0 / RSS1) where RSS0 is the residual sum of squares around the
+  // single mean and RSS1 around the two segment means.
+  const double grand_mean = Mean(values);
+  double rss0 = 0.0;
+  for (double v : values) {
+    const double d = v - grand_mean;
+    rss0 += d * d;
+  }
+  const auto before = values.subspan(0, change_point);
+  const auto after = values.subspan(change_point);
+  const double mean_before = Mean(before);
+  const double mean_after = Mean(after);
+  double rss1 = 0.0;
+  for (double v : before) {
+    const double d = v - mean_before;
+    rss1 += d * d;
+  }
+  for (double v : after) {
+    const double d = v - mean_after;
+    rss1 += d * d;
+  }
+  if (rss1 <= 0.0) {
+    // Perfect two-segment fit: a nonzero mean difference is unambiguous.
+    result.significant = mean_before != mean_after;
+    result.p_value = result.significant ? 0.0 : 1.0;
+    result.statistic = result.significant ? std::numeric_limits<double>::infinity() : 0.0;
+    return result;
+  }
+  result.statistic = static_cast<double>(n) * std::log(rss0 / rss1);
+  if (result.statistic < 0.0) {
+    result.statistic = 0.0;  // Guard against rounding noise; RSS0 >= RSS1 always.
+  }
+  result.p_value = ChiSquaredSurvival(result.statistic, 1.0);
+  result.significant = result.p_value < alpha;
+  return result;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,44 @@
+// Hypothesis tests used by the detectors.
+//
+// * Welch's two-sample t-test — the Appendix A.2 model behind the detection
+//   threshold law Δthreshold ∝ sqrt(σ²/n).
+// * Likelihood-ratio chi-squared test for a single mean shift — §5.2.1's
+//   validation step for change-point candidates (H0: one mean vs H1: two
+//   means around a change point), with significance level 0.01.
+#ifndef FBDETECT_SRC_STATS_HYPOTHESIS_H_
+#define FBDETECT_SRC_STATS_HYPOTHESIS_H_
+
+#include <span>
+
+namespace fbdetect {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  // Two-sided.
+  bool significant = false;
+};
+
+// Welch's t-test (unequal variances). `alpha` is the two-sided significance
+// level. Returns a non-significant result when either group has < 2 samples
+// or both variances are zero with equal means.
+TTestResult WelchTTest(std::span<const double> group_a, std::span<const double> group_b,
+                       double alpha);
+
+struct LikelihoodRatioResult {
+  double statistic = 0.0;  // -2 log(L0/L1), asymptotically chi-squared(1 .. 2).
+  double p_value = 1.0;
+  bool significant = false;
+};
+
+// Likelihood-ratio test of H0 "one normal mean over the whole series" against
+// H1 "one mean before `change_point` and another after", assuming a common
+// (profiled-out) variance. `change_point` indexes the first element of the
+// post-change segment. The statistic is referred to a chi-squared(1)
+// distribution per Wilks' theorem (§5.2.1 / [75]).
+LikelihoodRatioResult MeanShiftLikelihoodRatioTest(std::span<const double> values,
+                                                   size_t change_point, double alpha);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_STATS_HYPOTHESIS_H_

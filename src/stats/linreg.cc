@@ -1,0 +1,42 @@
+#include "src/stats/linreg.h"
+
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+
+LinearFit FitLine(std::span<const double> values) {
+  LinearFit fit;
+  const size_t n = values.size();
+  if (n < 2) {
+    return fit;
+  }
+  const double dn = static_cast<double>(n);
+  const double mean_x = (dn - 1.0) / 2.0;
+  const double mean_y = Mean(values);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    sxx += dx * dx;
+    sxy += dx * (values[i] - mean_y);
+  }
+  fit.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double predicted = fit.slope * static_cast<double>(i) + fit.intercept;
+    const double res = values[i] - predicted;
+    ss_res += res * res;
+    const double dev = values[i] - mean_y;
+    ss_tot += dev * dev;
+  }
+  fit.rmse = std::sqrt(ss_res / dn);
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  fit.valid = true;
+  return fit;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,24 @@
+// Ordinary least-squares line fit and RMSE, used by the long-term detector
+// (§5.3) to decide whether a regression is a gradual ramp (low RMSE against a
+// fitted line) or a step (high RMSE, handled by DP change-point search).
+#ifndef FBDETECT_SRC_STATS_LINREG_H_
+#define FBDETECT_SRC_STATS_LINREG_H_
+
+#include <span>
+
+namespace fbdetect {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double rmse = 0.0;       // Root mean squared error of the residuals.
+  double r_squared = 0.0;  // Fraction of variance explained.
+  bool valid = false;
+};
+
+// Fits y = slope * i + intercept over indices 0..n-1.
+LinearFit FitLine(std::span<const double> values);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_STATS_LINREG_H_

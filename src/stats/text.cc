@@ -1,0 +1,123 @@
+#include "src/stats/text.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace fbdetect {
+namespace {
+
+// FNV-1a over the gram bytes; stable across platforms and runs.
+uint64_t HashGram(std::string_view gram) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : gram) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::vector<std::string> GramsOf(std::string_view text) {
+  std::vector<std::string> grams = CharNgrams(text, 2);
+  std::vector<std::string> trigrams = CharNgrams(text, 3);
+  grams.insert(grams.end(), trigrams.begin(), trigrams.end());
+  return grams;
+}
+
+}  // namespace
+
+TermVector BuildTermVector(const std::vector<std::string>& tokens) {
+  TermVector vector;
+  for (const std::string& token : tokens) {
+    vector[token] += 1.0;
+  }
+  return vector;
+}
+
+double CosineSimilarity(const TermVector& a, const TermVector& b) {
+  if (a.empty() || b.empty()) {
+    return 0.0;
+  }
+  const TermVector& smaller = a.size() <= b.size() ? a : b;
+  const TermVector& larger = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, weight] : smaller) {
+    const auto it = larger.find(term);
+    if (it != larger.end()) {
+      dot += weight * it->second;
+    }
+  }
+  if (dot == 0.0) {
+    return 0.0;
+  }
+  double norm_a = 0.0;
+  for (const auto& [term, weight] : a) {
+    norm_a += weight * weight;
+  }
+  double norm_b = 0.0;
+  for (const auto& [term, weight] : b) {
+    norm_b += weight * weight;
+  }
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double TextCosineSimilarity(std::string_view a, std::string_view b) {
+  return CosineSimilarity(BuildTermVector(TokenizeIdentifier(a)),
+                          BuildTermVector(TokenizeIdentifier(b)));
+}
+
+TfIdfHasher::TfIdfHasher(size_t dimensions) : dimensions_(dimensions) {
+  FBD_CHECK(dimensions > 0);
+}
+
+void TfIdfHasher::Fit(const std::vector<std::string>& corpus) {
+  corpus_size_ = corpus.size();
+  document_frequency_.clear();
+  for (const std::string& document : corpus) {
+    std::unordered_set<std::string> seen;
+    for (std::string& gram : GramsOf(document)) {
+      seen.insert(std::move(gram));
+    }
+    for (const std::string& gram : seen) {
+      ++document_frequency_[gram];
+    }
+  }
+}
+
+std::vector<double> TfIdfHasher::Embed(std::string_view text) const {
+  std::vector<double> embedding(dimensions_, 0.0);
+  std::unordered_map<std::string, double> counts;
+  for (std::string& gram : GramsOf(text)) {
+    counts[std::move(gram)] += 1.0;
+  }
+  for (const auto& [gram, count] : counts) {
+    double weight = count;
+    if (corpus_size_ > 0) {
+      const auto it = document_frequency_.find(gram);
+      const double df = it != document_frequency_.end() ? static_cast<double>(it->second) : 0.0;
+      // Smoothed IDF so unseen grams still contribute.
+      weight *= std::log((1.0 + static_cast<double>(corpus_size_)) / (1.0 + df)) + 1.0;
+    }
+    embedding[Bucket(gram)] += weight;
+  }
+  // L2-normalize so SOM distances compare shapes, not string lengths.
+  double norm = 0.0;
+  for (double v : embedding) {
+    norm += v * v;
+  }
+  if (norm > 0.0) {
+    norm = std::sqrt(norm);
+    for (double& v : embedding) {
+      v /= norm;
+    }
+  }
+  return embedding;
+}
+
+size_t TfIdfHasher::Bucket(const std::string& gram) const {
+  return static_cast<size_t>(HashGram(gram) % dimensions_);
+}
+
+}  // namespace fbdetect

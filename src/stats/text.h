@@ -1,0 +1,57 @@
+// Text-feature machinery:
+// * Sparse term-frequency vectors with cosine similarity (§5.5.2's "text
+//   cosine similarity" feature and §5.6's regression/change text matching).
+// * A TF-IDF model over character n-grams of metric IDs, hashed to a dense
+//   integer signature, matching §5.5.1's "convert metric IDs into integers
+//   using TF-IDF with 2- and 3-gram lengths".
+#ifndef FBDETECT_SRC_STATS_TEXT_H_
+#define FBDETECT_SRC_STATS_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fbdetect {
+
+// Sparse bag-of-terms vector.
+using TermVector = std::unordered_map<std::string, double>;
+
+// Builds a term-frequency vector from word tokens (see TokenizeIdentifier).
+TermVector BuildTermVector(const std::vector<std::string>& tokens);
+
+// Cosine similarity of two sparse vectors; 0.0 when either is empty.
+double CosineSimilarity(const TermVector& a, const TermVector& b);
+
+// Convenience: tokenize both texts and return their cosine similarity.
+double TextCosineSimilarity(std::string_view a, std::string_view b);
+
+// TF-IDF embedding of strings into a fixed-dimension dense vector using
+// hashed character 2- and 3-grams. The model is fitted on a corpus (to learn
+// document frequencies) and then embeds any string; SOMDedup feeds these
+// dense vectors into the map.
+class TfIdfHasher {
+ public:
+  explicit TfIdfHasher(size_t dimensions);
+
+  // Learns document frequencies from the corpus.
+  void Fit(const std::vector<std::string>& corpus);
+
+  // Embeds one string. Uses IDF weights when fitted; otherwise plain TF.
+  std::vector<double> Embed(std::string_view text) const;
+
+  size_t dimensions() const { return dimensions_; }
+
+ private:
+  // Stable hash of a gram into [0, dimensions).
+  size_t Bucket(const std::string& gram) const;
+
+  size_t dimensions_;
+  size_t corpus_size_ = 0;
+  std::unordered_map<std::string, size_t> document_frequency_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_STATS_TEXT_H_

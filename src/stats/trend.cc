@@ -1,0 +1,99 @@
+#include "src/stats/trend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/stats/distributions.h"
+
+namespace fbdetect {
+
+MannKendallResult MannKendallTest(std::span<const double> values, double alpha) {
+  MannKendallResult result;
+  const size_t n = values.size();
+  if (n < 4) {
+    return result;
+  }
+  long long s = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (values[j] > values[i]) {
+        ++s;
+      } else if (values[j] < values[i]) {
+        --s;
+      }
+    }
+  }
+  result.s_statistic = s;
+
+  // Tie-corrected variance of S.
+  std::map<double, long long> tie_groups;
+  for (double v : values) {
+    ++tie_groups[v];
+  }
+  const double dn = static_cast<double>(n);
+  double variance = dn * (dn - 1.0) * (2.0 * dn + 5.0);
+  for (const auto& [value, count] : tie_groups) {
+    if (count > 1) {
+      const double t = static_cast<double>(count);
+      variance -= t * (t - 1.0) * (2.0 * t + 5.0);
+    }
+  }
+  variance /= 18.0;
+  if (variance <= 0.0) {
+    return result;  // All values tied: no trend.
+  }
+  const double sd = std::sqrt(variance);
+  // Continuity correction.
+  double z = 0.0;
+  if (s > 0) {
+    z = (static_cast<double>(s) - 1.0) / sd;
+  } else if (s < 0) {
+    z = (static_cast<double>(s) + 1.0) / sd;
+  }
+  result.z_score = z;
+  result.p_value = 2.0 * (1.0 - NormalCdf(std::fabs(z)));
+  result.significant = result.p_value < alpha;
+  if (result.significant) {
+    result.direction = s > 0 ? TrendDirection::kIncreasing : TrendDirection::kDecreasing;
+  }
+  return result;
+}
+
+TheilSenResult TheilSenEstimate(std::span<const double> values) {
+  TheilSenResult result;
+  const size_t n = values.size();
+  if (n < 2) {
+    return result;
+  }
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      slopes.push_back((values[j] - values[i]) / static_cast<double>(j - i));
+    }
+  }
+  const size_t mid = slopes.size() / 2;
+  std::nth_element(slopes.begin(), slopes.begin() + static_cast<long>(mid), slopes.end());
+  double slope = slopes[mid];
+  if (slopes.size() % 2 == 0) {
+    std::nth_element(slopes.begin(), slopes.begin() + static_cast<long>(mid) - 1,
+                     slopes.begin() + static_cast<long>(mid));
+    slope = (slope + slopes[mid - 1]) / 2.0;
+  }
+  result.slope = slope;
+
+  std::vector<double> intercepts;
+  intercepts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    intercepts.push_back(values[i] - slope * static_cast<double>(i));
+  }
+  std::nth_element(intercepts.begin(), intercepts.begin() + static_cast<long>(n / 2),
+                   intercepts.end());
+  result.intercept = intercepts[n / 2];
+  result.valid = true;
+  return result;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,44 @@
+// Trend statistics used by the went-away detector (§5.2.2):
+// * Mann–Kendall test for monotonic trends, with the normal approximation of
+//   the S statistic (tie-corrected variance).
+// * Theil–Sen slope estimator — the median of pairwise slopes — plus an
+//   intercept estimate, robust to outliers.
+#ifndef FBDETECT_SRC_STATS_TREND_H_
+#define FBDETECT_SRC_STATS_TREND_H_
+
+#include <span>
+
+namespace fbdetect {
+
+enum class TrendDirection {
+  kNone,
+  kIncreasing,
+  kDecreasing,
+};
+
+struct MannKendallResult {
+  long long s_statistic = 0;
+  double z_score = 0.0;
+  double p_value = 1.0;  // Two-sided.
+  TrendDirection direction = TrendDirection::kNone;
+  // True when the two-sided p-value is below the alpha passed to the test.
+  bool significant = false;
+};
+
+// Mann–Kendall trend test at significance level `alpha`. Needs >= 4 points;
+// shorter inputs return a non-significant result.
+MannKendallResult MannKendallTest(std::span<const double> values, double alpha);
+
+struct TheilSenResult {
+  double slope = 0.0;      // Per unit index.
+  double intercept = 0.0;  // Median of (y_i - slope * i).
+  bool valid = false;      // False for fewer than 2 points.
+};
+
+// Theil–Sen estimator over values indexed 0..n-1. O(n^2) pair enumeration;
+// inputs here are detection windows (hundreds to a few thousand points).
+TheilSenResult TheilSenEstimate(std::span<const double> values);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_STATS_TREND_H_

@@ -1,0 +1,54 @@
+#include "src/tracing/trace.h"
+
+#include <set>
+
+namespace fbdetect {
+
+double Trace::EndpointCost() const {
+  double total = 0.0;
+  for (const Span& span : spans) {
+    total += span.self_cost;
+  }
+  return total;
+}
+
+int Trace::ThreadCount() const {
+  std::set<int> threads;
+  for (const Span& span : spans) {
+    threads.insert(span.thread);
+  }
+  return static_cast<int>(threads.size());
+}
+
+std::vector<SpanId> Trace::ChildrenOf(SpanId span) const {
+  std::vector<SpanId> children;
+  for (const Span& candidate : spans) {
+    if (candidate.parent == span) {
+      children.push_back(candidate.id);
+    }
+  }
+  return children;
+}
+
+bool Trace::IsWellFormed() const {
+  if (spans.empty()) {
+    return false;
+  }
+  if (spans[0].parent != kNoSpan) {
+    return false;
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].id != static_cast<SpanId>(i)) {
+      return false;
+    }
+    if (i > 0) {
+      const SpanId parent = spans[i].parent;
+      if (parent < 0 || static_cast<size_t>(parent) >= i) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fbdetect

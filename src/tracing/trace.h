@@ -1,0 +1,53 @@
+// End-to-end tracing substrate (§3).
+//
+// An endpoint request on FrontFaaS may fan out across asynchronous,
+// concurrent work on multiple threads; endpoint-level regressions are
+// detected on the AGGREGATED cost of all subroutines a request touches, which
+// requires end-to-end tracing (the paper cites Canopy [30]). This module
+// models that substrate: a Trace is a tree of Spans, each span carrying the
+// subroutine it executed, the logical thread it ran on, and its self cost;
+// EndpointCost() aggregates self costs across all threads of the trace.
+#ifndef FBDETECT_SRC_TRACING_TRACE_H_
+#define FBDETECT_SRC_TRACING_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbdetect {
+
+using SpanId = int32_t;
+inline constexpr SpanId kNoSpan = -1;
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;   // kNoSpan for the root span.
+  int thread = 0;            // Logical thread/worker the span executed on.
+  std::string subroutine;
+  double self_cost = 0.0;    // CPU cost of the span's own code.
+  bool async_ = false;       // True when dispatched asynchronously.
+};
+
+struct Trace {
+  int64_t trace_id = -1;
+  std::string endpoint;
+  std::vector<Span> spans;   // spans[0] is the root; parents precede children.
+
+  // Total cost of the request: sum of all spans' self costs, regardless of
+  // which thread ran them (the end-to-end aggregation the paper describes).
+  double EndpointCost() const;
+
+  // Number of distinct logical threads involved.
+  int ThreadCount() const;
+
+  // Ids of the direct children of `span`.
+  std::vector<SpanId> ChildrenOf(SpanId span) const;
+
+  // True when parent links are well-formed (root first, parents precede
+  // children, indices in range).
+  bool IsWellFormed() const;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TRACING_TRACE_H_

@@ -1,0 +1,66 @@
+#include "src/tracing/trace_generator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+TraceGenerator::TraceGenerator(const CallGraph* graph, TraceGeneratorOptions options)
+    : graph_(graph), options_(options) {
+  FBD_CHECK(graph_ != nullptr);
+  FBD_CHECK(options_.max_spans > 0);
+}
+
+void TraceGenerator::Expand(Trace& trace, NodeId node, SpanId parent, int thread,
+                            int* next_thread, Rng& rng) const {
+  if (static_cast<int>(trace.spans.size()) >= options_.max_spans) {
+    return;
+  }
+  Span span;
+  span.id = static_cast<SpanId>(trace.spans.size());
+  span.parent = parent;
+  span.thread = thread;
+  span.subroutine = graph_->node(node).name;
+  const double base_cost = graph_->node(node).self_cost;
+  span.self_cost =
+      std::max(0.0, base_cost * (1.0 + options_.cost_noise * rng.NextGaussian()));
+  trace.spans.push_back(span);
+  const SpanId my_id = span.id;
+
+  for (const CallEdge& edge : graph_->edges(node)) {
+    // Weight > 1 means several calls per request on average; model the count
+    // as Poisson but cap at 3 to bound trace sizes.
+    int calls = edge.weight >= 1.0 ? std::min(3, 1 + rng.Poisson(edge.weight - 1.0))
+                                   : (rng.NextBool(edge.weight) ? 1 : 0);
+    for (int c = 0; c < calls; ++c) {
+      int child_thread = thread;
+      if (rng.NextBool(options_.async_probability)) {
+        child_thread = (*next_thread)++;
+      }
+      Expand(trace, edge.callee, my_id, child_thread, next_thread, rng);
+    }
+  }
+}
+
+Trace TraceGenerator::Generate(const std::string& endpoint, NodeId entry, Rng& rng) const {
+  FBD_CHECK(entry >= 0 && static_cast<size_t>(entry) < graph_->node_count());
+  Trace trace;
+  trace.trace_id = static_cast<int64_t>(rng.NextUint64());
+  trace.endpoint = endpoint;
+  int next_thread = 1;
+  Expand(trace, entry, kNoSpan, /*thread=*/0, &next_thread, rng);
+  return trace;
+}
+
+double TraceGenerator::MeanEndpointCost(const std::string& endpoint, NodeId entry,
+                                        int num_traces, Rng& rng) const {
+  FBD_CHECK(num_traces > 0);
+  double total = 0.0;
+  for (int i = 0; i < num_traces; ++i) {
+    total += Generate(endpoint, entry, rng).EndpointCost();
+  }
+  return total / static_cast<double>(num_traces);
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,50 @@
+// Generates end-to-end traces from a service's call graph.
+//
+// Each endpoint maps to an entry subroutine; a request expands the call
+// graph from there: every call edge is taken with probability min(1, weight),
+// and with `async_probability` the callee runs asynchronously on a fresh
+// logical thread (modelling FrontFaaS's concurrent request processing, §3).
+// Span self costs follow the graph's current self costs with multiplicative
+// noise, so injected regressions and cost shifts are visible in the
+// aggregated endpoint cost.
+#ifndef FBDETECT_SRC_TRACING_TRACE_GENERATOR_H_
+#define FBDETECT_SRC_TRACING_TRACE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/profiling/call_graph.h"
+#include "src/tracing/trace.h"
+
+namespace fbdetect {
+
+struct TraceGeneratorOptions {
+  double async_probability = 0.25;
+  double cost_noise = 0.10;     // Relative sd of per-span cost noise.
+  int max_spans = 512;          // Hard cap against fan-out explosions.
+};
+
+class TraceGenerator {
+ public:
+  // `graph` must outlive the generator.
+  TraceGenerator(const CallGraph* graph, TraceGeneratorOptions options);
+
+  // One request trace entering at `entry`.
+  Trace Generate(const std::string& endpoint, NodeId entry, Rng& rng) const;
+
+  // Mean endpoint cost over `num_traces` generated requests.
+  double MeanEndpointCost(const std::string& endpoint, NodeId entry, int num_traces,
+                          Rng& rng) const;
+
+ private:
+  void Expand(Trace& trace, NodeId node, SpanId parent, int thread, int* next_thread,
+              Rng& rng) const;
+
+  const CallGraph* graph_;
+  TraceGeneratorOptions options_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TRACING_TRACE_GENERATOR_H_

@@ -1,0 +1,90 @@
+#include "src/tsa/em_changepoint.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/hypothesis.h"
+#include "src/tsa/cusum.h"
+
+namespace fbdetect {
+namespace {
+
+// Combined residual sum of squares of a two-segment mean model split at t,
+// computed in O(1) from prefix sums.
+double SplitRss(const std::vector<double>& prefix_sum, const std::vector<double>& prefix_sq,
+                size_t t, size_t n) {
+  const double sum_before = prefix_sum[t];
+  const double sq_before = prefix_sq[t];
+  const double sum_after = prefix_sum[n] - sum_before;
+  const double sq_after = prefix_sq[n] - sq_before;
+  const double nb = static_cast<double>(t);
+  const double na = static_cast<double>(n - t);
+  const double rss_before = sq_before - sum_before * sum_before / nb;
+  const double rss_after = sq_after - sum_after * sum_after / na;
+  return rss_before + rss_after;
+}
+
+}  // namespace
+
+ChangePoint DetectChangePoint(std::span<const double> values, const ChangePointConfig& config) {
+  ChangePoint result;
+  const size_t n = values.size();
+  const size_t min_segment = config.min_segment < 1 ? 1 : config.min_segment;
+  if (n < 2 * min_segment) {
+    return result;
+  }
+
+  // Initialization: CUSUM peak.
+  const CusumResult init = CusumLocate(values, min_segment);
+  if (!init.found) {
+    return result;
+  }
+  size_t split = init.change_point;
+
+  // Prefix sums enable O(n) E-steps.
+  std::vector<double> prefix_sum(n + 1, 0.0);
+  std::vector<double> prefix_sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix_sum[i + 1] = prefix_sum[i] + values[i];
+    prefix_sq[i + 1] = prefix_sq[i] + values[i] * values[i];
+  }
+
+  int iterations = 0;
+  for (; iterations < config.max_iterations; ++iterations) {
+    // E-step: best split given the mean-per-segment model class — scan the
+    // RSS of every admissible split. (With Gaussian segments and free means,
+    // the likelihood-maximizing split is the RSS-minimizing one.)
+    size_t best_split = split;
+    double best_rss = SplitRss(prefix_sum, prefix_sq, split, n);
+    for (size_t t = min_segment; t + min_segment <= n; ++t) {
+      const double rss = SplitRss(prefix_sum, prefix_sq, t, n);
+      if (rss < best_rss) {
+        best_rss = rss;
+        best_split = t;
+      }
+    }
+    if (best_split == split) {
+      ++iterations;
+      break;  // Converged.
+    }
+    split = best_split;  // M-step (means) is implicit in SplitRss.
+  }
+
+  const auto before = values.subspan(0, split);
+  const auto after = values.subspan(split);
+  result.index = split;
+  result.mean_before = Mean(before);
+  result.mean_after = Mean(after);
+  result.delta = result.mean_after - result.mean_before;
+  result.iterations_used = iterations;
+
+  // Validation: likelihood-ratio chi-squared test (§5.2.1).
+  const LikelihoodRatioResult test =
+      MeanShiftLikelihoodRatioTest(values, split, config.significance_level);
+  result.p_value = test.p_value;
+  result.found = test.significant;
+  return result;
+}
+
+}  // namespace fbdetect

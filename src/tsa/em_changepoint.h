@@ -1,0 +1,44 @@
+// Iterative CUSUM + Expectation-Maximization change-point detection with the
+// likelihood-ratio validation of §5.2.1.
+//
+// The loop alternates:
+//   E-step: given segment means, reassign the split point to the position
+//           that maximizes the two-segment Gaussian likelihood (equivalently
+//           minimizes the combined residual sum of squares);
+//   M-step: recompute the two segment means.
+// CUSUM provides the initial split. Iteration stops at convergence or after
+// `max_iterations`. The converged split is then validated with the
+// likelihood-ratio chi-squared test at `significance_level` (paper: 0.01).
+#ifndef FBDETECT_SRC_TSA_EM_CHANGEPOINT_H_
+#define FBDETECT_SRC_TSA_EM_CHANGEPOINT_H_
+
+#include <cstddef>
+#include <span>
+
+namespace fbdetect {
+
+struct ChangePointConfig {
+  size_t min_segment = 4;           // Minimum points on each side of the split.
+  int max_iterations = 20;          // EM iteration budget ("computation time").
+  double significance_level = 0.01; // For the likelihood-ratio test.
+};
+
+struct ChangePoint {
+  bool found = false;
+  size_t index = 0;  // First element of the post-change segment.
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+  double delta = 0.0;       // mean_after - mean_before.
+  double p_value = 1.0;     // From the likelihood-ratio test.
+  int iterations_used = 0;
+};
+
+// Finds and validates the maximum-likelihood single change point. Returns
+// found=false when the series is too short, constant, or the test does not
+// reject H0 (no change).
+ChangePoint DetectChangePoint(std::span<const double> values,
+                              const ChangePointConfig& config = {});
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSA_EM_CHANGEPOINT_H_

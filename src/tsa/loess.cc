@@ -1,0 +1,84 @@
+#include "src/tsa/loess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+namespace {
+
+double Tricube(double u) {
+  const double a = 1.0 - std::fabs(u) * std::fabs(u) * std::fabs(u);
+  return a <= 0.0 ? 0.0 : a * a * a;
+}
+
+}  // namespace
+
+std::vector<double> LoessSmoothWeighted(std::span<const double> values, size_t span,
+                                        std::span<const double> robustness) {
+  const size_t n = values.size();
+  std::vector<double> smoothed(n, 0.0);
+  if (n == 0) {
+    return smoothed;
+  }
+  FBD_CHECK(robustness.empty() || robustness.size() == n);
+  if (n == 1) {
+    smoothed[0] = values[0];
+    return smoothed;
+  }
+  span = std::clamp<size_t>(span, 2, n);
+
+  for (size_t i = 0; i < n; ++i) {
+    // Neighborhood of `span` points centered on i, shifted at the edges.
+    size_t lo = i >= span / 2 ? i - span / 2 : 0;
+    if (lo + span > n) {
+      lo = n - span;
+    }
+    const size_t hi = lo + span;  // Exclusive.
+    const double max_dist =
+        std::max(static_cast<double>(i - lo), static_cast<double>(hi - 1 - i));
+    // Weighted linear fit over the neighborhood.
+    double sw = 0.0;
+    double swx = 0.0;
+    double swy = 0.0;
+    double swxx = 0.0;
+    double swxy = 0.0;
+    for (size_t j = lo; j < hi; ++j) {
+      const double dist = std::fabs(static_cast<double>(j) - static_cast<double>(i));
+      double w = max_dist > 0.0 ? Tricube(dist / (max_dist + 1.0)) : 1.0;
+      if (!robustness.empty()) {
+        w *= robustness[j];
+      }
+      if (w <= 0.0) {
+        continue;
+      }
+      const double x = static_cast<double>(j);
+      sw += w;
+      swx += w * x;
+      swy += w * values[j];
+      swxx += w * x * x;
+      swxy += w * x * values[j];
+    }
+    if (sw <= 0.0) {
+      smoothed[i] = values[i];
+      continue;
+    }
+    const double denom = sw * swxx - swx * swx;
+    const double x_i = static_cast<double>(i);
+    if (std::fabs(denom) < 1e-12 * sw * swxx + 1e-300) {
+      smoothed[i] = swy / sw;  // Fall back to the weighted mean.
+    } else {
+      const double slope = (sw * swxy - swx * swy) / denom;
+      const double intercept = (swy - slope * swx) / sw;
+      smoothed[i] = slope * x_i + intercept;
+    }
+  }
+  return smoothed;
+}
+
+std::vector<double> LoessSmooth(std::span<const double> values, size_t span) {
+  return LoessSmoothWeighted(values, span, {});
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,47 @@
+// Seasonal-Trend decomposition using Loess (STL), Cleveland et al. 1990,
+// used by the seasonality detector (§5.2.3) and the long-term detector
+// (§5.3). Also provides the moving-average decomposition the paper evaluated
+// as an alternative and rejected.
+#ifndef FBDETECT_SRC_TSA_STL_H_
+#define FBDETECT_SRC_TSA_STL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fbdetect {
+
+struct Decomposition {
+  std::vector<double> seasonal;
+  std::vector<double> trend;
+  std::vector<double> residual;
+  bool valid = false;
+
+  // trend[i] + residual[i] — what the seasonality detector compares medians
+  // over after removing seasonality.
+  std::vector<double> Deseasonalized() const;
+};
+
+struct StlConfig {
+  int inner_iterations = 2;
+  int outer_iterations = 1;      // Robustness passes; 1 = plain STL.
+  size_t seasonal_span = 7;      // Loess span for cycle-subseries smoothing.
+  size_t trend_span = 0;         // 0 = derive from period (next odd >= 1.5*period).
+  size_t lowpass_span = 0;       // 0 = derive from period.
+};
+
+// Decomposes `values` with seasonal period `period` (>= 2, and the series
+// must contain at least two full periods; otherwise returns valid=false with
+// all signal assigned to trend=input).
+Decomposition StlDecompose(std::span<const double> values, size_t period,
+                           const StlConfig& config = {});
+
+// Classical moving-average decomposition: centered MA of width `period` as
+// trend, per-phase means of the detrended series as seasonality. The paper
+// found this inferior to STL (too sensitive to sudden changes); it is kept as
+// the comparison baseline.
+Decomposition MovingAverageDecompose(std::span<const double> values, size_t period);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSA_STL_H_

@@ -1,0 +1,73 @@
+#include "src/tsdb/database.h"
+
+#include <algorithm>
+
+namespace fbdetect {
+
+void TimeSeriesDatabase::Write(const MetricId& id, TimePoint timestamp, double value) {
+  series_[id].Append(timestamp, value);
+}
+
+void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    series_.emplace(id, std::move(series));
+    return;
+  }
+  for (size_t i = 0; i < series.size(); ++i) {
+    it->second.Append(series.timestamps()[i], series.values()[i]);
+  }
+}
+
+const TimeSeries* TimeSeriesDatabase::Find(const MetricId& id) const {
+  const auto it = series_.find(id);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+bool TimeSeriesDatabase::Contains(const MetricId& id) const { return series_.contains(id); }
+
+std::vector<MetricId> TimeSeriesDatabase::ListMetrics(const std::string& service) const {
+  std::vector<MetricId> ids;
+  for (const auto& [id, unused] : series_) {
+    if (service.empty() || id.service == service) {
+      ids.push_back(id);
+    }
+  }
+  // Deterministic order for reproducible pipeline runs.
+  std::sort(ids.begin(), ids.end(), [](const MetricId& a, const MetricId& b) {
+    return a.ToString() < b.ToString();
+  });
+  return ids;
+}
+
+std::vector<MetricId> TimeSeriesDatabase::ListMetricsOfKind(const std::string& service,
+                                                            MetricKind kind) const {
+  std::vector<MetricId> ids;
+  for (MetricId& id : ListMetrics(service)) {
+    if (id.kind == kind) {
+      ids.push_back(std::move(id));
+    }
+  }
+  return ids;
+}
+
+size_t TimeSeriesDatabase::total_points() const {
+  size_t total = 0;
+  for (const auto& [unused, series] : series_) {
+    total += series.size();
+  }
+  return total;
+}
+
+void TimeSeriesDatabase::Expire(TimePoint cutoff) {
+  for (auto it = series_.begin(); it != series_.end();) {
+    it->second.DropBefore(cutoff);
+    if (it->second.empty()) {
+      it = series_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,51 @@
+// In-memory time-series database. The fleet simulator and profilers ingest
+// points keyed by MetricId; the detection pipeline scans all series of a
+// service. A real deployment would back this with a distributed TSDB (Meta
+// uses ODS/Gorilla-class storage); the interface is deliberately the subset
+// the detectors need.
+#ifndef FBDETECT_SRC_TSDB_DATABASE_H_
+#define FBDETECT_SRC_TSDB_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/tsdb/metric_id.h"
+#include "src/tsdb/timeseries.h"
+
+namespace fbdetect {
+
+class TimeSeriesDatabase {
+ public:
+  // Appends one point; timestamps per metric must be strictly increasing.
+  void Write(const MetricId& id, TimePoint timestamp, double value);
+
+  // Bulk-appends a series (moves it in when the metric is new).
+  void WriteSeries(const MetricId& id, TimeSeries series);
+
+  // nullptr when absent.
+  const TimeSeries* Find(const MetricId& id) const;
+
+  bool Contains(const MetricId& id) const;
+
+  // All metric IDs, optionally filtered by service (empty = all).
+  std::vector<MetricId> ListMetrics(const std::string& service = {}) const;
+
+  // All metric IDs of a given kind within a service.
+  std::vector<MetricId> ListMetricsOfKind(const std::string& service, MetricKind kind) const;
+
+  size_t metric_count() const { return series_.size(); }
+  size_t total_points() const;
+
+  // Applies retention: drops points older than `cutoff` and removes metrics
+  // that become empty.
+  void Expire(TimePoint cutoff);
+
+ private:
+  std::unordered_map<MetricId, TimeSeries, MetricIdHash> series_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSDB_DATABASE_H_

@@ -1,0 +1,189 @@
+#include "src/tsdb/gorilla.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+namespace {
+
+uint64_t DoubleToBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// ZigZag encoding maps signed deltas to unsigned for variable-width storage.
+uint64_t ZigZag(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+}
+
+int64_t UnZigZag(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+}  // namespace
+
+void BitWriter::WriteBit(bool bit) {
+  const size_t byte_index = bit_count_ / 8;
+  if (byte_index >= bytes_.size()) {
+    bytes_.push_back(0);
+  }
+  if (bit) {
+    bytes_[byte_index] |= static_cast<uint8_t>(0x80u >> (bit_count_ % 8));
+  }
+  ++bit_count_;
+}
+
+void BitWriter::WriteBits(uint64_t value, int bits) {
+  FBD_DCHECK(bits >= 0 && bits <= 64);
+  for (int i = bits - 1; i >= 0; --i) {
+    WriteBit(((value >> i) & 1) != 0);
+  }
+}
+
+bool BitReader::ReadBit() {
+  FBD_CHECK(position_ < bit_count_);
+  const bool bit =
+      ((*bytes_)[position_ / 8] & static_cast<uint8_t>(0x80u >> (position_ % 8))) != 0;
+  ++position_;
+  return bit;
+}
+
+uint64_t BitReader::ReadBits(int bits) {
+  FBD_DCHECK(bits >= 0 && bits <= 64);
+  uint64_t value = 0;
+  for (int i = 0; i < bits; ++i) {
+    value = (value << 1) | (ReadBit() ? 1 : 0);
+  }
+  return value;
+}
+
+void CompressedTimeSeries::Append(TimePoint timestamp, double value) {
+  FBD_CHECK(count_ == 0 || timestamp > last_timestamp_);
+  const uint64_t value_bits = DoubleToBits(value);
+
+  if (count_ == 0) {
+    // Header: absolute first timestamp (64 bits) + raw first value (64 bits).
+    first_timestamp_ = timestamp;
+    stream_.WriteBits(static_cast<uint64_t>(timestamp), 64);
+    stream_.WriteBits(value_bits, 64);
+    last_timestamp_ = timestamp;
+    last_delta_ = 0;
+    last_value_bits_ = value_bits;
+    last_leading_ = -1;
+    ++count_;
+    return;
+  }
+
+  // --- Timestamp: delta-of-delta, Gorilla bucket encoding ---
+  const Duration delta = timestamp - last_timestamp_;
+  const int64_t dod = static_cast<int64_t>(delta) - static_cast<int64_t>(last_delta_);
+  if (dod == 0) {
+    stream_.WriteBit(false);  // '0'
+  } else if (dod >= -64 && dod <= 63) {
+    stream_.WriteBits(0b10, 2);
+    stream_.WriteBits(ZigZag(dod), 7);
+  } else if (dod >= -256 && dod <= 255) {
+    stream_.WriteBits(0b110, 3);
+    stream_.WriteBits(ZigZag(dod), 9);
+  } else if (dod >= -2048 && dod <= 2047) {
+    stream_.WriteBits(0b1110, 4);
+    stream_.WriteBits(ZigZag(dod), 12);
+  } else {
+    stream_.WriteBits(0b1111, 4);
+    stream_.WriteBits(ZigZag(dod), 64);
+  }
+  last_timestamp_ = timestamp;
+  last_delta_ = delta;
+
+  // --- Value: XOR encoding ---
+  const uint64_t xored = value_bits ^ last_value_bits_;
+  if (xored == 0) {
+    stream_.WriteBit(false);  // '0': identical value.
+  } else {
+    stream_.WriteBit(true);
+    int leading = std::countl_zero(xored);
+    const int trailing = std::countr_zero(xored);
+    if (leading > 31) {
+      leading = 31;  // 5-bit field.
+    }
+    if (last_leading_ >= 0 && leading >= last_leading_ &&
+        trailing >= last_trailing_) {
+      // '10': reuse the previous block position.
+      stream_.WriteBit(false);
+      const int block_bits = 64 - last_leading_ - last_trailing_;
+      stream_.WriteBits(xored >> last_trailing_, block_bits);
+    } else {
+      // '11': new block position (5 bits leading, 6 bits length; a full
+      // 64-bit block is stored as 0 since the block is never empty).
+      stream_.WriteBit(true);
+      const int block_bits = 64 - leading - trailing;
+      stream_.WriteBits(static_cast<uint64_t>(leading), 5);
+      stream_.WriteBits(static_cast<uint64_t>(block_bits == 64 ? 0 : block_bits), 6);
+      stream_.WriteBits(xored >> trailing, block_bits);
+      last_leading_ = leading;
+      last_trailing_ = trailing;
+    }
+  }
+  last_value_bits_ = value_bits;
+  ++count_;
+}
+
+TimeSeries CompressedTimeSeries::Decode() const {
+  TimeSeries series;
+  if (count_ == 0) {
+    return series;
+  }
+  BitReader reader(stream_.bytes(), stream_.bit_count());
+  TimePoint timestamp = static_cast<TimePoint>(reader.ReadBits(64));
+  uint64_t value_bits = reader.ReadBits(64);
+  series.Append(timestamp, BitsToDouble(value_bits));
+
+  Duration delta = 0;
+  int leading = 0;
+  int trailing = 0;
+  for (size_t i = 1; i < count_; ++i) {
+    // Timestamp.
+    int64_t dod = 0;
+    if (!reader.ReadBit()) {
+      dod = 0;
+    } else if (!reader.ReadBit()) {
+      dod = UnZigZag(reader.ReadBits(7));
+    } else if (!reader.ReadBit()) {
+      dod = UnZigZag(reader.ReadBits(9));
+    } else if (!reader.ReadBit()) {
+      dod = UnZigZag(reader.ReadBits(12));
+    } else {
+      dod = UnZigZag(reader.ReadBits(64));
+    }
+    delta += dod;
+    timestamp += delta;
+    // Value.
+    if (reader.ReadBit()) {
+      if (reader.ReadBit()) {
+        leading = static_cast<int>(reader.ReadBits(5));
+        int block_bits = static_cast<int>(reader.ReadBits(6));
+        if (block_bits == 0) {
+          block_bits = 64;
+        }
+        trailing = 64 - leading - block_bits;
+        value_bits ^= reader.ReadBits(block_bits) << trailing;
+      } else {
+        const int block_bits = 64 - leading - trailing;
+        value_bits ^= reader.ReadBits(block_bits) << trailing;
+      }
+    }
+    series.Append(timestamp, BitsToDouble(value_bits));
+  }
+  return series;
+}
+
+}  // namespace fbdetect

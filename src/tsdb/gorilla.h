@@ -1,0 +1,81 @@
+// Gorilla-style time-series compression (Pelkonen et al., VLDB 2015) — the
+// storage format behind Meta's ODS, the production TSDB FBDetect reads from.
+//
+// Timestamps are delta-of-delta encoded (regular series cost ~1 bit/point);
+// values are XOR encoded against the previous value (unchanged values cost
+// 1 bit; small mantissa changes cost a dozen bits). At FBDetect's scale
+// (~800k series at 10-minute resolution over 10+ day windows) this is the
+// difference between fitting in memory and not.
+//
+// CompressedTimeSeries is an append-only encoder plus a decoder that
+// materializes a TimeSeries; the round trip is exact (bit-level) for both
+// timestamps and IEEE-754 doubles.
+#ifndef FBDETECT_SRC_TSDB_GORILLA_H_
+#define FBDETECT_SRC_TSDB_GORILLA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/tsdb/timeseries.h"
+
+namespace fbdetect {
+
+// Append-only bit stream.
+class BitWriter {
+ public:
+  void WriteBit(bool bit);
+  // Writes the low `bits` bits of `value`, most significant first.
+  void WriteBits(uint64_t value, int bits);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::vector<uint8_t>& bytes, size_t bit_count)
+      : bytes_(&bytes), bit_count_(bit_count) {}
+
+  bool ReadBit();
+  uint64_t ReadBits(int bits);
+  bool AtEnd() const { return position_ >= bit_count_; }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  size_t bit_count_;
+  size_t position_ = 0;
+};
+
+class CompressedTimeSeries {
+ public:
+  // Appends a point; timestamps must be strictly increasing.
+  void Append(TimePoint timestamp, double value);
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Compressed size in bytes (for compression-ratio accounting).
+  size_t byte_size() const { return stream_.bytes().size(); }
+
+  // Decodes the full series. Exact round trip.
+  TimeSeries Decode() const;
+
+ private:
+  size_t count_ = 0;
+  TimePoint first_timestamp_ = 0;
+  TimePoint last_timestamp_ = 0;
+  Duration last_delta_ = 0;
+  uint64_t last_value_bits_ = 0;
+  int last_leading_ = -1;   // Leading zero count of the previous XOR block.
+  int last_trailing_ = 0;   // Trailing zero count of the previous XOR block.
+  BitWriter stream_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSDB_GORILLA_H_

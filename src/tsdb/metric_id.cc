@@ -1,0 +1,59 @@
+#include "src/tsdb/metric_id.h"
+
+namespace fbdetect {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kGcpu:
+      return "gcpu";
+    case MetricKind::kCpu:
+      return "cpu";
+    case MetricKind::kMemory:
+      return "memory";
+    case MetricKind::kThroughput:
+      return "throughput";
+    case MetricKind::kLatency:
+      return "latency";
+    case MetricKind::kErrorRate:
+      return "error_rate";
+    case MetricKind::kCoredumpCount:
+      return "coredump_count";
+    case MetricKind::kEndpointCost:
+      return "endpoint_cost";
+    case MetricKind::kIoPerDataType:
+      return "io_per_data_type";
+    case MetricKind::kMaxThroughput:
+      return "max_throughput";
+    case MetricKind::kPeakDemand:
+      return "peak_demand";
+    case MetricKind::kApplication:
+      return "application";
+  }
+  return "unknown";
+}
+
+std::string MetricId::ToString() const {
+  std::string out = service;
+  out.push_back('/');
+  out += MetricKindName(kind);
+  if (!entity.empty()) {
+    out.push_back('/');
+    out += entity;
+  }
+  if (!metadata.empty()) {
+    out.push_back('@');
+    out += metadata;
+  }
+  return out;
+}
+
+size_t MetricIdHash::operator()(const MetricId& id) const {
+  const std::hash<std::string> string_hash;
+  size_t h = string_hash(id.service);
+  h = h * 1315423911u + static_cast<size_t>(id.kind);
+  h = h * 1315423911u + string_hash(id.entity);
+  h = h * 1315423911u + string_hash(id.metadata);
+  return h;
+}
+
+}  // namespace fbdetect

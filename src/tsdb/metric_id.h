@@ -1,0 +1,52 @@
+// Metric identity. FBDetect monitors ~800k time series across hundreds of
+// services; each series is identified by (service, metric kind, entity,
+// optional metadata). "Entity" is the subroutine name for gCPU metrics, the
+// endpoint URL for endpoint metrics, the data type for per-data-type I/O, or
+// empty for service-level metrics.
+#ifndef FBDETECT_SRC_TSDB_METRIC_ID_H_
+#define FBDETECT_SRC_TSDB_METRIC_ID_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace fbdetect {
+
+enum class MetricKind : int {
+  kGcpu = 0,         // Relative subroutine CPU from stack-trace samples.
+  kCpu,              // Process-level CPU usage.
+  kMemory,
+  kThroughput,
+  kLatency,
+  kErrorRate,
+  kCoredumpCount,
+  kEndpointCost,     // End-to-end aggregated endpoint cost (§3, FrontFaaS).
+  kIoPerDataType,    // Per-data-type I/O to a downstream database (§3, TAO).
+  kMaxThroughput,    // CT-supply: per-server maximum throughput from load tests.
+  kPeakDemand,       // CT-demand: total peak requests across all servers.
+  kApplication,      // Free-form application-level metric.
+};
+
+// Human-readable kind name ("gcpu", "throughput", ...).
+const char* MetricKindName(MetricKind kind);
+
+struct MetricId {
+  std::string service;
+  MetricKind kind = MetricKind::kCpu;
+  std::string entity;    // Subroutine / endpoint / data type; may be empty.
+  std::string metadata;  // SetFrameMetadata annotation; may be empty.
+
+  bool operator==(const MetricId& other) const = default;
+
+  // Canonical string form "service/kind/entity[@metadata]" — this is the
+  // "metric ID" whose n-gram similarity SOMDedup and PairwiseDedup use.
+  std::string ToString() const;
+};
+
+struct MetricIdHash {
+  size_t operator()(const MetricId& id) const;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSDB_METRIC_ID_H_

@@ -1,0 +1,55 @@
+// Detection windows (Fig. 4). At every re-run, FBDetect looks at the most
+// recent [historical | analysis | extended] split of a series:
+//   * historical window — the baseline for comparison;
+//   * analysis window — where regressions are reported;
+//   * extended window — used to evaluate whether a regression persists
+//     (went-away detection); optional (N/A rows in Table 1).
+//
+// WindowSpec holds durations; WindowExtract materializes value spans of one
+// series relative to an as-of time.
+#ifndef FBDETECT_SRC_TSDB_WINDOW_H_
+#define FBDETECT_SRC_TSDB_WINDOW_H_
+
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/tsdb/timeseries.h"
+
+namespace fbdetect {
+
+struct WindowSpec {
+  Duration historical = Days(10);
+  Duration analysis = Hours(4);
+  Duration extended = 0;  // 0 = no extended window (N/A).
+
+  Duration Total() const { return historical + analysis + extended; }
+};
+
+struct WindowExtract {
+  std::vector<double> historical;
+  std::vector<double> analysis;
+  std::vector<double> extended;
+  // analysis followed by extended — the span the short-term detector scans.
+  std::vector<double> analysis_plus_extended;
+  TimePoint historical_begin = 0;
+  TimePoint analysis_begin = 0;
+  TimePoint extended_begin = 0;
+  TimePoint as_of = 0;
+  // Timestamps aligned with analysis_plus_extended (for change-point
+  // timestamps in reports).
+  std::vector<TimePoint> analysis_timestamps;
+
+  bool HasEnoughData(size_t min_historical, size_t min_analysis) const {
+    return historical.size() >= min_historical && analysis.size() >= min_analysis;
+  }
+};
+
+// Splits `series` at `as_of` (exclusive upper bound) into the three windows:
+//   [as_of - total, as_of - analysis - extended) -> historical
+//   [as_of - analysis - extended, as_of - extended) -> analysis
+//   [as_of - extended, as_of)                     -> extended
+WindowExtract ExtractWindows(const TimeSeries& series, TimePoint as_of, const WindowSpec& spec);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSDB_WINDOW_H_

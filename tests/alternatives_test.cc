@@ -1,0 +1,325 @@
+// Tests for the paper's "discussion of alternatives" implementations: the
+// legacy went-away iterations (§5.2.2) and the clustering alternatives
+// (§5.5.1), plus the new metadata/endpoint-cost/IO fleet emissions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/core/clustering_alternatives.h"
+#include "src/core/went_away.h"
+#include "src/core/went_away_legacy.h"
+#include "src/core/workload_config.h"
+#include "src/fleet/service.h"
+#include "src/stats/descriptive.h"
+
+namespace fbdetect {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Legacy went-away iterations.
+// ---------------------------------------------------------------------------
+
+DetectionConfig LegacyConfig() {
+  DetectionConfig config;
+  config.windows.historical = Days(2);
+  config.windows.analysis = Hours(4);
+  config.windows.extended = Hours(2);
+  return config;
+}
+
+// A regression record with a hand-built shape: historical flat at
+// `base` (with an optional spike), post-change data given explicitly.
+Regression BuildRegression(double base, const std::vector<double>& post,
+                           bool historical_spike) {
+  Regression regression;
+  regression.metric = {"svc", MetricKind::kGcpu, "sub", ""};
+  Rng rng(7);
+  for (int i = 0; i < 288; ++i) {
+    double level = base;
+    if (historical_spike && i >= 60 && i < 66) {
+      level = base * 1.8;  // 6 of 288 points: ~2%, below SAX validity.
+    }
+    regression.historical.push_back(rng.Normal(level, base * 0.02));
+  }
+  // Analysis window: half pre-change at base, half the provided post data.
+  for (int i = 0; i < 12; ++i) {
+    regression.analysis.push_back(rng.Normal(base, base * 0.02));
+  }
+  regression.change_index = regression.analysis.size();
+  regression.analysis.insert(regression.analysis.end(), post.begin(), post.end());
+  for (size_t i = 0; i < regression.analysis.size(); ++i) {
+    regression.analysis_timestamps.push_back(static_cast<TimePoint>(i) * Minutes(10));
+  }
+  regression.baseline_mean = base;
+  regression.regressed_mean = Mean(std::span<const double>(post));
+  regression.delta = regression.regressed_mean - base;
+  regression.relative_delta = regression.delta / base;
+  return regression;
+}
+
+// A true regression whose post window contains a temporary dip: the paper's
+// counter-example for iteration 1.
+TEST(LegacyWentAwayTest, InverseCusumFiltersTrueRegressionWithDip) {
+  std::vector<double> post;
+  Rng rng(8);
+  for (int i = 0; i < 34; ++i) {
+    double level = 0.065;             // Regressed level.
+    if (i >= 12 && i < 28) {
+      level = 0.050;                  // Long temporary dip back to baseline...
+    }
+    post.push_back(rng.Normal(level, 0.001));
+  }
+  const Regression regression = BuildRegression(0.050, post, false);
+  const DetectionConfig config = LegacyConfig();
+  // Iteration 1 wrongly filters it (the dip looks like a compensating
+  // inverse shift)...
+  EXPECT_FALSE(InverseCusumWentAway(config).Keep(regression));
+  // ...while the current SAX-based detector keeps it.
+  EXPECT_TRUE(WentAwayDetector(config).Evaluate(regression, 144).keep);
+}
+
+TEST(LegacyWentAwayTest, InverseCusumKeepsCleanStep) {
+  std::vector<double> post;
+  Rng rng(9);
+  for (int i = 0; i < 36; ++i) {
+    post.push_back(rng.Normal(0.065, 0.001));
+  }
+  const Regression regression = BuildRegression(0.050, post, false);
+  EXPECT_TRUE(InverseCusumWentAway(LegacyConfig()).Keep(regression));
+}
+
+// Fig. 7's counter-example for iteration 2: with a spike in the chosen
+// baseline slice, a decaying-but-still-regressed series compares as
+// "recovered".
+TEST(LegacyWentAwayTest, TrendCompareDependsOnBaselineWindowChoice) {
+  // Post window: decays from a high overshoot to a still-regressed plateau.
+  std::vector<double> post;
+  Rng rng(10);
+  for (int i = 0; i < 36; ++i) {
+    const double level = 0.062 + 0.02 * std::exp(-i / 6.0);
+    post.push_back(rng.Normal(level, 0.0005));
+  }
+  const DetectionConfig config = LegacyConfig();
+  const Regression with_spike = BuildRegression(0.050, post, /*historical_spike=*/true);
+  // The spike sits at indices 60..66 of 288 historical points. With offset
+  // such that the baseline slice contains the spike, the still-regressed
+  // tail (~0.062) compares BELOW the spike's P90 -> wrongly filtered.
+  // offset counts slices from the end; slice size = analysis size (48).
+  // Spike at 60..66 => inside slice [48, 96) => offset 4 covers [96+..]..
+  // offsets: 0 -> [240,288), 4 -> [48,96).
+  const TrendCompareWentAway spike_baseline(config, 4);
+  EXPECT_FALSE(spike_baseline.Keep(with_spike));
+  // With a clean baseline slice the same regression is kept.
+  const TrendCompareWentAway clean_baseline(config, 0);
+  EXPECT_TRUE(clean_baseline.Keep(with_spike));
+  // The current detector keeps it regardless — no window choice to get wrong.
+  EXPECT_TRUE(WentAwayDetector(config).Evaluate(with_spike, 144).keep);
+}
+
+// ---------------------------------------------------------------------------
+// Clustering alternatives.
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> TwoBlobs(int per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> items;
+  for (int i = 0; i < per_blob; ++i) {
+    items.push_back({rng.Normal(0.0, 0.2), rng.Normal(0.0, 0.2)});
+  }
+  for (int i = 0; i < per_blob; ++i) {
+    items.push_back({rng.Normal(5.0, 0.2), rng.Normal(5.0, 0.2)});
+  }
+  return items;
+}
+
+TEST(KMeansTest, SeparatesTwoBlobsWithCorrectK) {
+  const auto items = TwoBlobs(30, 1);
+  const std::vector<int> assignment = KMeansCluster(items, 2, 50, 42);
+  const std::set<int> first(assignment.begin(), assignment.begin() + 30);
+  const std::set<int> second(assignment.begin() + 30, assignment.end());
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+}
+
+TEST(KMeansTest, WrongKFragmentsClusters) {
+  // The paper's point: K must be known up front; K=6 on two blobs shatters
+  // them into more clusters than there are causes.
+  const auto items = TwoBlobs(30, 2);
+  const std::vector<int> assignment = KMeansCluster(items, 6, 50, 42);
+  EXPECT_GT(CountClusters(assignment), 2);
+}
+
+TEST(KMeansTest, DegenerateInputs) {
+  EXPECT_TRUE(KMeansCluster({}, 3, 10, 1).empty());
+  const std::vector<std::vector<double>> one = {{1.0, 2.0}};
+  EXPECT_EQ(KMeansCluster(one, 3, 10, 1), (std::vector<int>{0}));
+}
+
+TEST(HierarchicalTest, ThresholdControlsClusterCount) {
+  const auto items = TwoBlobs(20, 3);
+  // Tiny threshold: everything is its own cluster (or nearly).
+  EXPECT_GT(CountClusters(HierarchicalCluster(items, 0.01)), 10);
+  // Moderate threshold: exactly the two blobs.
+  EXPECT_EQ(CountClusters(HierarchicalCluster(items, 2.0)), 2);
+  // Huge threshold: one blob.
+  EXPECT_EQ(CountClusters(HierarchicalCluster(items, 100.0)), 1);
+}
+
+TEST(SilhouetteTest, PrefersCorrectClustering) {
+  const auto items = TwoBlobs(25, 4);
+  const std::vector<int> good = HierarchicalCluster(items, 2.0);
+  const std::vector<int> bad = KMeansCluster(items, 5, 50, 11);
+  EXPECT_GT(SilhouetteScore(items, good), SilhouetteScore(items, bad));
+  EXPECT_GT(SilhouetteScore(items, good), 0.8);
+}
+
+TEST(SilhouetteTest, SingleClusterScoresZero) {
+  const auto items = TwoBlobs(10, 5);
+  const std::vector<int> one_cluster(items.size(), 0);
+  EXPECT_EQ(SilhouetteScore(items, one_cluster), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// New fleet emissions: metadata gCPU, endpoint cost, per-data-type I/O.
+// ---------------------------------------------------------------------------
+
+TEST(FleetEmissionsTest, MetadataGcpuSeriesEmitted) {
+  ServiceConfig config;
+  config.name = "svc";
+  config.num_servers = 50;
+  config.call_graph.num_subroutines = 60;
+  config.sampling.samples_per_bucket = 200000;
+  config.num_annotated_subroutines = 12;
+  config.num_annotation_groups = 3;
+  config.emit_metadata_gcpu = true;
+  config.emit_endpoint_metrics = false;
+  config.emit_process_cpu = false;
+  config.emit_gcpu = false;
+  config.seed = 11;
+  ServiceSimulator service(config);
+  TimeSeriesDatabase db;
+  for (TimePoint t = Minutes(10); t <= Hours(2); t += Minutes(10)) {
+    service.Tick(t, db);
+  }
+  int metadata_series = 0;
+  for (const MetricId& id : db.ListMetrics("svc")) {
+    if (!id.metadata.empty()) {
+      ++metadata_series;
+      EXPECT_TRUE(id.metadata.rfind("feature/group", 0) == 0);
+    }
+  }
+  EXPECT_GE(metadata_series, 1);
+  EXPECT_LE(metadata_series, 3);
+}
+
+TEST(FleetEmissionsTest, EndpointCostSeriesReactToRegression) {
+  ServiceConfig config;
+  config.name = "svc";
+  config.num_servers = 50;
+  config.call_graph.num_subroutines = 40;
+  config.emit_endpoint_cost = true;
+  config.emit_endpoint_metrics = false;
+  config.emit_process_cpu = false;
+  config.emit_gcpu = false;
+  config.num_endpoints = 2;
+  config.num_seasonal_subroutines = 0;
+  config.traces_per_endpoint_per_tick = 60;
+  config.seed = 12;
+  ServiceSimulator service(config);
+
+  // Regress the heaviest leaf REACHABLE from endpoint 0's entry (the
+  // round-robin entry assignment maps endpoint e to roots[e % num_roots]).
+  const CallGraph& graph = service.graph();
+  const NodeId entry = graph.roots()[0];
+  std::vector<NodeId> stack = {entry};
+  std::vector<bool> visited(graph.node_count(), false);
+  NodeId leaf = kInvalidNode;
+  double best_cost = 0.0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<size_t>(v)]) {
+      continue;
+    }
+    visited[static_cast<size_t>(v)] = true;
+    if (graph.edges(v).empty() && graph.node(v).self_cost > best_cost) {
+      best_cost = graph.node(v).self_cost;
+      leaf = v;
+    }
+    for (const CallEdge& edge : graph.edges(v)) {
+      stack.push_back(edge.callee);
+    }
+  }
+  ASSERT_NE(leaf, kInvalidNode);
+  InjectedEvent event;
+  event.kind = EventKind::kStepRegression;
+  event.service = "svc";
+  event.subroutine = graph.node(leaf).name;
+  event.start = Hours(4);
+  event.magnitude = 4.0;  // 5x the leaf's cost.
+  service.ScheduleEvent(event);
+
+  TimeSeriesDatabase db;
+  for (TimePoint t = Minutes(10); t <= Hours(8); t += Minutes(10)) {
+    service.Tick(t, db);
+  }
+  const std::vector<MetricId> cost_metrics =
+      db.ListMetricsOfKind("svc", MetricKind::kEndpointCost);
+  ASSERT_EQ(cost_metrics.size(), 2u);
+  // At least one endpoint's cost must rise (the one whose entry reaches the
+  // leaf; with a connected random graph usually both).
+  bool any_rose = false;
+  for (const MetricId& id : cost_metrics) {
+    const TimeSeries* series = db.Find(id);
+    const double before = Mean(series->ValuesBetween(0, Hours(4)));
+    const double after = Mean(series->ValuesBetween(Hours(4) + 1, Hours(8) + 1));
+    if (after > before * 1.02) {
+      any_rose = true;
+    }
+  }
+  EXPECT_TRUE(any_rose);
+}
+
+TEST(FleetEmissionsTest, IoPerDataTypeRegression) {
+  ServiceConfig config;
+  config.name = "svc";
+  config.num_servers = 100;
+  config.call_graph.num_subroutines = 20;
+  config.emit_gcpu = false;
+  config.emit_process_cpu = false;
+  config.emit_endpoint_metrics = false;
+  config.io_data_types = {"user", "post", "comment"};
+  config.seasonal_load_amplitude = 0.0;
+  config.seed = 13;
+  ServiceSimulator service(config);
+
+  InjectedEvent event;
+  event.kind = EventKind::kStepRegression;
+  event.service = "svc";
+  event.subroutine = "io/post";  // Target one data type.
+  event.start = Hours(3);
+  event.magnitude = 0.25;
+  service.ScheduleEvent(event);
+
+  TimeSeriesDatabase db;
+  for (TimePoint t = Minutes(10); t <= Hours(6); t += Minutes(10)) {
+    service.Tick(t, db);
+  }
+  ASSERT_EQ(db.ListMetricsOfKind("svc", MetricKind::kIoPerDataType).size(), 3u);
+  const TimeSeries* post_series = db.Find({"svc", MetricKind::kIoPerDataType, "post", ""});
+  const TimeSeries* user_series = db.Find({"svc", MetricKind::kIoPerDataType, "user", ""});
+  ASSERT_NE(post_series, nullptr);
+  ASSERT_NE(user_series, nullptr);
+  const double post_change = Mean(post_series->ValuesBetween(Hours(3) + 1, Hours(6) + 1)) /
+                             Mean(post_series->ValuesBetween(0, Hours(3)));
+  const double user_change = Mean(user_series->ValuesBetween(Hours(3) + 1, Hours(6) + 1)) /
+                             Mean(user_series->ValuesBetween(0, Hours(3)));
+  EXPECT_NEAR(post_change, 1.25, 0.05);  // Regressed type.
+  EXPECT_NEAR(user_change, 1.00, 0.05);  // Untouched type.
+}
+
+}  // namespace
+}  // namespace fbdetect

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/common/sim_time.h"
+#include "src/common/strings.h"
+
+namespace fbdetect {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(99);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, NormalScalesMeanAndStddev) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ClippedNormalStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.ClippedNormal(0.5, 10.0, 0.0, 1.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedUintRespectsBound) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextUint64(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All values reachable.
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Poisson(4.5);
+  }
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int v = rng.Poisson(500.0);
+    EXPECT_GE(v, 0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 500.0, 2.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(41);
+  parent_copy.Fork();
+  EXPECT_NE(child.NextUint64(), parent.NextUint64());
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(53);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(StringsTest, SplitStringDropsEmptyPieces) {
+  EXPECT_EQ(SplitString("a//b/c/", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitString("", '/').empty());
+  EXPECT_TRUE(SplitString("///", '/').empty());
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"only"}, "-"), "only");
+}
+
+TEST(StringsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC-123"), "abc-123");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("endpoint_12", "endpoint_"));
+  EXPECT_FALSE(StartsWith("end", "endpoint_"));
+}
+
+TEST(StringsTest, TokenizeIdentifierHandlesCamelAndSnake) {
+  EXPECT_EQ(TokenizeIdentifier("TaoClient::fetchUserById"),
+            (std::vector<std::string>{"tao", "client", "fetch", "user", "by", "id"}));
+  EXPECT_EQ(TokenizeIdentifier("my_snake_case"),
+            (std::vector<std::string>{"my", "snake", "case"}));
+  EXPECT_TRUE(TokenizeIdentifier("").empty());
+  EXPECT_TRUE(TokenizeIdentifier("___").empty());
+}
+
+TEST(StringsTest, CharNgrams) {
+  EXPECT_EQ(CharNgrams("abcd", 2), (std::vector<std::string>{"ab", "bc", "cd"}));
+  EXPECT_EQ(CharNgrams("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_TRUE(CharNgrams("", 2).empty());
+}
+
+TEST(SimTimeTest, DurationHelpers) {
+  EXPECT_EQ(Minutes(90), 90 * 60);
+  EXPECT_EQ(Hours(2), 7200);
+  EXPECT_EQ(Days(1), kDay);
+  EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+}  // namespace
+}  // namespace fbdetect

@@ -1,0 +1,406 @@
+// Tests for SOM, SOMDedup, PairwiseDedup, and the cost-shift detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/core/cost_shift.h"
+#include "src/core/pairwise_dedup.h"
+#include "src/core/som.h"
+#include "src/core/som_dedup.h"
+#include "src/tsdb/database.h"
+
+namespace fbdetect {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SOM.
+// ---------------------------------------------------------------------------
+
+class SomGridSizeTest : public ::testing::TestWithParam<std::pair<size_t, int>> {};
+
+TEST_P(SomGridSizeTest, FollowsFourthRootRule) {
+  const auto [n, expected] = GetParam();
+  EXPECT_EQ(SomGridSize(n), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SomGridSizeTest,
+                         ::testing::Values(std::pair<size_t, int>{0, 1},
+                                           std::pair<size_t, int>{1, 1},
+                                           std::pair<size_t, int>{16, 2},
+                                           std::pair<size_t, int>{81, 3},
+                                           std::pair<size_t, int>{100, 4},
+                                           std::pair<size_t, int>{10000, 10}));
+
+TEST(SomTest, SeparatesTwoBlobs) {
+  Rng rng(1);
+  std::vector<std::vector<double>> items;
+  for (int i = 0; i < 40; ++i) {
+    items.push_back({rng.Normal(0.0, 0.1), rng.Normal(0.0, 0.1)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    items.push_back({rng.Normal(5.0, 0.1), rng.Normal(5.0, 0.1)});
+  }
+  SelfOrganizingMap som(2, 3, 99);
+  som.Train(items, {});
+  const std::vector<int> assignment = som.Assign(items);
+  std::set<int> blob_a(assignment.begin(), assignment.begin() + 40);
+  std::set<int> blob_b(assignment.begin() + 40, assignment.end());
+  // The two blobs must not share any cell.
+  for (int cell : blob_a) {
+    EXPECT_EQ(blob_b.count(cell), 0u);
+  }
+}
+
+TEST(SomTest, IdenticalItemsShareCell) {
+  std::vector<std::vector<double>> items(10, std::vector<double>{1.0, 2.0, 3.0});
+  SelfOrganizingMap som(3, 2, 5);
+  som.Train(items, {});
+  const std::vector<int> assignment = som.Assign(items);
+  for (int cell : assignment) {
+    EXPECT_EQ(cell, assignment[0]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SOMDedup.
+// ---------------------------------------------------------------------------
+
+Regression MakeRegression(const std::string& subroutine, double delta, double baseline,
+                          const std::vector<double>& analysis,
+                          std::vector<int64_t> causes = {}) {
+  Regression regression;
+  regression.metric = {"svc", MetricKind::kGcpu, subroutine, ""};
+  regression.change_time = Hours(10);
+  regression.change_index = analysis.size() / 2;
+  regression.baseline_mean = baseline;
+  regression.regressed_mean = baseline + delta;
+  regression.delta = delta;
+  regression.relative_delta = baseline > 0.0 ? delta / baseline : 0.0;
+  regression.analysis = analysis;
+  for (size_t i = 0; i < analysis.size(); ++i) {
+    regression.analysis_timestamps.push_back(static_cast<TimePoint>(i) * Minutes(10));
+  }
+  regression.historical.assign(50, baseline);
+  regression.candidate_root_causes = std::move(causes);
+  return regression;
+}
+
+std::vector<double> StepShape(double base, double delta, size_t n, uint64_t seed,
+                              double noise = 0.0005) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back((i < n / 2 ? base : base + delta) + rng.Normal(0.0, noise));
+  }
+  return values;
+}
+
+TEST(SomDedupTest, MergesSameShapeSameCauseRegressions) {
+  // Ten callers of the same regressed subroutine: same change point, same
+  // root-cause candidate, near-identical shapes -> expect heavy merging.
+  std::vector<Regression> regressions;
+  for (int i = 0; i < 10; ++i) {
+    regressions.push_back(MakeRegression("caller_" + std::to_string(i), 0.01, 0.05,
+                                         StepShape(0.05, 0.01, 48, 100 + i), {7}));
+  }
+  const SomDedup dedup;
+  const std::vector<Regression> representatives = dedup.Deduplicate(regressions);
+  EXPECT_LT(representatives.size(), regressions.size() / 2);
+  size_t merged_total = 0;
+  for (const Regression& representative : representatives) {
+    merged_total += representative.merged_count;
+  }
+  EXPECT_EQ(merged_total, regressions.size());
+}
+
+TEST(SomDedupTest, KeepsDistinctRegressionsApart) {
+  std::vector<Regression> regressions;
+  // Two very different cohorts: tiny gCPU steps vs a big throughput-style one.
+  for (int i = 0; i < 5; ++i) {
+    regressions.push_back(MakeRegression("sub_a" + std::to_string(i), 0.002, 0.03,
+                                         StepShape(0.03, 0.002, 48, 200 + i), {1}));
+  }
+  Regression big = MakeRegression("sub_huge", 0.5, 0.2, StepShape(0.2, 0.5, 48, 300), {9});
+  big.metric.kind = MetricKind::kEndpointCost;
+  regressions.push_back(big);
+  const SomDedup dedup;
+  const std::vector<Regression> representatives = dedup.Deduplicate(regressions);
+  bool found_big = false;
+  for (const Regression& representative : representatives) {
+    if (representative.metric.entity == "sub_huge") {
+      found_big = true;
+    }
+  }
+  EXPECT_TRUE(found_big);  // The outlier must survive as its own cluster.
+}
+
+TEST(SomDedupTest, RepresentativeHasHighestImportance) {
+  // Same cluster shape; one member has a much larger absolute delta.
+  std::vector<Regression> regressions;
+  for (int i = 0; i < 6; ++i) {
+    regressions.push_back(MakeRegression("sub_" + std::to_string(i), 0.01, 0.05,
+                                         StepShape(0.05, 0.01, 48, 400), {3}));
+  }
+  regressions.push_back(MakeRegression("sub_heavy", 0.012, 0.05,
+                                       StepShape(0.05, 0.012, 48, 400), {3}));
+  const SomDedup dedup;
+  const std::vector<Regression> representatives = dedup.Deduplicate(regressions);
+  for (const Regression& representative : representatives) {
+    if (representative.merged_count > 1) {
+      // Within any merged cluster the representative's importance is maximal
+      // by construction; sanity-check it is positive.
+      EXPECT_GT(representative.importance, 0.0);
+    }
+  }
+}
+
+TEST(SomDedupTest, ImportanceScoreWeights) {
+  const SomDedup dedup;
+  Regression regression = MakeRegression("sub", 0.01, 0.05, StepShape(0.05, 0.01, 16, 1), {5});
+  // Normalized: rel = 1, abs = 1, popularity = 0.05, root cause found = 1.
+  const double score =
+      dedup.ImportanceScore(regression, std::fabs(regression.delta),
+                            std::fabs(regression.relative_delta));
+  EXPECT_NEAR(score, 0.2 * 1.0 + 0.6 * 1.0 + 0.1 * 0.95 + 0.1 * 1.0, 1e-9);
+}
+
+TEST(SomDedupTest, EmptyAndSingletonInputs) {
+  const SomDedup dedup;
+  EXPECT_TRUE(dedup.Deduplicate({}).empty());
+  const std::vector<Regression> one =
+      dedup.Deduplicate({MakeRegression("s", 0.01, 0.05, StepShape(0.05, 0.01, 16, 2))});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].som_cluster, 0);
+}
+
+// ---------------------------------------------------------------------------
+// PairwiseDedup.
+// ---------------------------------------------------------------------------
+
+TEST(PairwiseDedupTest, MergesCorrelatedSimilarlyNamedRegressions) {
+  PairwiseDedup dedup;
+  Regression first = MakeRegression("TaoClient_fetch_user", 0.01, 0.05,
+                                    StepShape(0.05, 0.01, 48, 500, 0.0001));
+  // Same shape (same seed => identical noise), closely related name.
+  Regression second = MakeRegression("TaoClient_fetch_user_by_id", 0.01, 0.05,
+                                     StepShape(0.05, 0.01, 48, 500, 0.0001));
+  const std::vector<int> first_new = dedup.Ingest({first});
+  EXPECT_EQ(first_new.size(), 1u);
+  const std::vector<int> second_new = dedup.Ingest({second});
+  EXPECT_TRUE(second_new.empty());  // Merged into the existing group.
+  EXPECT_EQ(dedup.groups().size(), 1u);
+  EXPECT_EQ(dedup.groups()[0].members.size(), 2u);
+}
+
+TEST(PairwiseDedupTest, KeepsUncorrelatedApart) {
+  PairwiseDedup dedup;
+  Regression first = MakeRegression("alpha_module_run", 0.01, 0.05,
+                                    StepShape(0.05, 0.01, 48, 600, 0.002));
+  Rng rng(601);
+  std::vector<double> reversed;
+  for (size_t i = 0; i < 48; ++i) {
+    reversed.push_back((i < 24 ? 0.08 : 0.05) + rng.Normal(0.0, 0.002));  // Opposite step.
+  }
+  Regression second = MakeRegression("zeta_engine_step", 0.01, 0.06, reversed);
+  dedup.Ingest({first});
+  const std::vector<int> new_groups = dedup.Ingest({second});
+  EXPECT_EQ(new_groups.size(), 1u);
+  EXPECT_EQ(dedup.groups().size(), 2u);
+}
+
+TEST(PairwiseDedupTest, StackOverlapEnablesMergeOfDissimilarNames) {
+  PairwiseRule rule;
+  rule.min_text = 0.99;  // Make text matching impossible for these names.
+  PairwiseDedup dedup(rule, [](const MetricId&, const MetricId&) { return 0.9; });
+  Regression first = MakeRegression("alpha", 0.01, 0.05,
+                                    StepShape(0.05, 0.01, 48, 700, 0.0001));
+  Regression second = MakeRegression("omega", 0.01, 0.05,
+                                     StepShape(0.05, 0.01, 48, 700, 0.0001));
+  dedup.Ingest({first});
+  const std::vector<int> new_groups = dedup.Ingest({second});
+  EXPECT_TRUE(new_groups.empty());  // Overlap carried the merge.
+}
+
+TEST(PairwiseDedupTest, ScoreExposesFeatureValues) {
+  PairwiseDedup dedup;
+  Regression first = MakeRegression("svc_sub", 0.01, 0.05,
+                                    StepShape(0.05, 0.01, 48, 800, 0.0001));
+  dedup.Ingest({first});
+  Regression probe = MakeRegression("svc_sub", 0.01, 0.05,
+                                    StepShape(0.05, 0.01, 48, 800, 0.0001));
+  const PairwiseScores scores = dedup.Score(probe, dedup.groups()[0]);
+  EXPECT_GT(scores.pearson, 0.95);
+  EXPECT_GT(scores.text, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-shift detector.
+// ---------------------------------------------------------------------------
+
+// Fake code info with one class of three subroutines and a caller.
+class FakeCodeInfo : public CodeInfoProvider {
+ public:
+  bool Exists(const std::string& subroutine) const override {
+    return subroutine == "caller" || subroutine == "method_a" || subroutine == "method_b" ||
+           subroutine == "method_c";
+  }
+  std::vector<std::string> CallersOf(const std::string& subroutine) const override {
+    if (subroutine == "method_a" || subroutine == "method_b" || subroutine == "method_c") {
+      return {"caller"};
+    }
+    return {};
+  }
+  std::string ClassOf(const std::string& subroutine) const override {
+    if (subroutine == "caller") {
+      return "Caller";
+    }
+    return Exists(subroutine) ? "Widget" : "";
+  }
+  std::vector<std::string> ClassMembers(const std::string& class_name) const override {
+    if (class_name == "Widget") {
+      return {"method_a", "method_b", "method_c"};
+    }
+    return {};
+  }
+  bool IsDescendant(const std::string&, const std::string&) const override { return false; }
+};
+
+// Writes a gCPU series with a step at `step_at`.
+void WriteStepSeries(TimeSeriesDatabase& db, const std::string& subroutine, double before,
+                     double after, TimePoint step_at, TimePoint end) {
+  const MetricId id{"svc", MetricKind::kGcpu, subroutine, ""};
+  for (TimePoint t = 0; t < end; t += Minutes(10)) {
+    db.Write(id, t, t < step_at ? before : after);
+  }
+}
+
+Regression ShiftCandidate(const std::string& subroutine, double delta, double baseline,
+                          TimePoint change, TimePoint detected) {
+  Regression regression;
+  regression.metric = {"svc", MetricKind::kGcpu, subroutine, ""};
+  regression.change_time = change;
+  regression.detected_at = detected;
+  regression.baseline_mean = baseline;
+  regression.delta = delta;
+  regression.relative_delta = delta / baseline;
+  return regression;
+}
+
+TEST(CostShiftTest, ClassDomainCatchesPureShift) {
+  TimeSeriesDatabase db;
+  const TimePoint step = Hours(10);
+  const TimePoint end = Hours(20);
+  // method_a gains exactly what method_b loses; method_c unchanged.
+  WriteStepSeries(db, "method_a", 0.010, 0.018, step, end);
+  WriteStepSeries(db, "method_b", 0.012, 0.004, step, end);
+  WriteStepSeries(db, "method_c", 0.005, 0.005, step, end);
+
+  FakeCodeInfo code_info;
+  CostShiftDetector detector(&db, CostShiftConfig{});
+  detector.AddDomainDetector(std::make_unique<ClassDomainDetector>(&code_info));
+
+  const Regression regression = ShiftCandidate("method_a", 0.008, 0.010, step, end);
+  const CostShiftVerdict verdict = detector.Evaluate(regression);
+  EXPECT_TRUE(verdict.is_cost_shift);
+  EXPECT_EQ(verdict.domain, "enclosing_class:class/Widget");
+}
+
+TEST(CostShiftTest, RealRegressionNotFlagged) {
+  TimeSeriesDatabase db;
+  const TimePoint step = Hours(10);
+  const TimePoint end = Hours(20);
+  // method_a gains cost; nothing compensates -> the class total rises too.
+  WriteStepSeries(db, "method_a", 0.010, 0.018, step, end);
+  WriteStepSeries(db, "method_b", 0.012, 0.012, step, end);
+  WriteStepSeries(db, "method_c", 0.005, 0.005, step, end);
+
+  FakeCodeInfo code_info;
+  CostShiftDetector detector(&db, CostShiftConfig{});
+  detector.AddDomainDetector(std::make_unique<ClassDomainDetector>(&code_info));
+
+  const Regression regression = ShiftCandidate("method_a", 0.008, 0.010, step, end);
+  EXPECT_FALSE(detector.Evaluate(regression).is_cost_shift);
+}
+
+TEST(CostShiftTest, CallerDomainCatchesShiftAmongCallees) {
+  TimeSeriesDatabase db;
+  const TimePoint step = Hours(10);
+  const TimePoint end = Hours(20);
+  WriteStepSeries(db, "method_a", 0.010, 0.018, step, end);
+  // The caller's own (inclusive) gCPU is flat: the shift happened below it.
+  WriteStepSeries(db, "caller", 0.040, 0.040, step, end);
+
+  FakeCodeInfo code_info;
+  CostShiftDetector detector(&db, CostShiftConfig{});
+  detector.AddDomainDetector(std::make_unique<CallerDomainDetector>(&code_info));
+
+  const Regression regression = ShiftCandidate("method_a", 0.008, 0.010, step, end);
+  const CostShiftVerdict verdict = detector.Evaluate(regression);
+  EXPECT_TRUE(verdict.is_cost_shift);
+  EXPECT_EQ(verdict.domain, "upstream_caller:callers_of/method_a");
+}
+
+TEST(CostShiftTest, HugeDomainExcluded) {
+  TimeSeriesDatabase db;
+  const TimePoint step = Hours(10);
+  const TimePoint end = Hours(20);
+  WriteStepSeries(db, "method_a", 0.0001, 0.0002, step, end);
+  // Caller at 20% gCPU — 2000x the regression delta of 0.0001: excluded by
+  // check 2 even though it is flat.
+  WriteStepSeries(db, "caller", 0.20, 0.20, step, end);
+
+  FakeCodeInfo code_info;
+  CostShiftDetector detector(&db, CostShiftConfig{});
+  detector.AddDomainDetector(std::make_unique<CallerDomainDetector>(&code_info));
+
+  const Regression regression = ShiftCandidate("method_a", 0.0001, 0.0001, step, end);
+  EXPECT_FALSE(detector.Evaluate(regression).is_cost_shift);
+}
+
+TEST(CostShiftTest, NewDomainNotACostShift) {
+  TimeSeriesDatabase db;
+  const TimePoint step = Hours(10);
+  const TimePoint end = Hours(20);
+  WriteStepSeries(db, "method_a", 0.010, 0.018, step, end);
+  // method_b's series only exists AFTER the change: the domain is new.
+  const MetricId b_id{"svc", MetricKind::kGcpu, "method_b", ""};
+  for (TimePoint t = step; t < end; t += Minutes(10)) {
+    db.Write(b_id, t, 0.001);
+  }
+  WriteStepSeries(db, "method_c", 0.005, 0.0, step, end);
+
+  FakeCodeInfo code_info;
+  CostShiftDetector detector(&db, CostShiftConfig{});
+  detector.AddDomainDetector(std::make_unique<ClassDomainDetector>(&code_info));
+
+  const Regression regression = ShiftCandidate("method_a", 0.008, 0.010, step, end);
+  EXPECT_FALSE(detector.Evaluate(regression).is_cost_shift);
+}
+
+TEST(CostShiftTest, CommitDomainGroupsTouchedSubroutines) {
+  TimeSeriesDatabase db;
+  const TimePoint step = Hours(10);
+  const TimePoint end = Hours(20);
+  WriteStepSeries(db, "method_a", 0.010, 0.018, step, end);
+  WriteStepSeries(db, "method_b", 0.012, 0.004, step, end);
+
+  ChangeLog log;
+  Commit commit;
+  commit.service = "svc";
+  commit.time = step - Minutes(30);
+  commit.title = "refactor";
+  commit.touched_subroutines = {"method_a", "method_b"};
+  log.Add(commit);
+
+  CostShiftDetector detector(&db, CostShiftConfig{});
+  detector.AddDomainDetector(std::make_unique<CommitDomainDetector>(&log, Days(1)));
+
+  const Regression regression = ShiftCandidate("method_a", 0.008, 0.010, step, end);
+  const CostShiftVerdict verdict = detector.Evaluate(regression);
+  EXPECT_TRUE(verdict.is_cost_shift);
+}
+
+}  // namespace
+}  // namespace fbdetect

@@ -1,0 +1,455 @@
+// Tests for the per-series detection stages: change-point stage, went-away
+// detector, seasonality stage, threshold filter, long-term detector, and
+// SameRegressionMerger.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/change_point_stage.h"
+#include "src/core/long_term.h"
+#include "src/core/same_regression_merger.h"
+#include "src/core/seasonality_stage.h"
+#include "src/core/threshold_filter.h"
+#include "src/core/went_away.h"
+#include "src/core/workload_config.h"
+#include "src/tsdb/timeseries.h"
+#include "src/tsdb/window.h"
+
+namespace fbdetect {
+namespace {
+
+constexpr Duration kTick = Minutes(10);
+
+// Test config: 2-day history, 4h analysis, 2h extended at 10-minute ticks.
+DetectionConfig TestConfig() {
+  DetectionConfig config;
+  config.threshold = 0.001;
+  config.windows.historical = Days(2);
+  config.windows.analysis = Hours(4);
+  config.windows.extended = Hours(2);
+  config.rerun_interval = Hours(2);
+  return config;
+}
+
+// Builds a series from a level function over [0, total).
+template <typename Fn>
+TimeSeries BuildSeries(Duration total, double noise_sd, uint64_t seed, Fn level) {
+  Rng rng(seed);
+  TimeSeries series;
+  for (TimePoint t = 0; t < total; t += kTick) {
+    series.Append(t, level(t) + (noise_sd > 0.0 ? rng.Normal(0.0, noise_sd) : 0.0));
+  }
+  return series;
+}
+
+MetricId GcpuMetric() { return {"svc", MetricKind::kGcpu, "sub_7", ""}; }
+
+// ---------------------------------------------------------------------------
+// ChangePointStage.
+// ---------------------------------------------------------------------------
+
+TEST(ChangePointStageTest, DetectsStepInAnalysisWindow) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint step_at = total - Hours(4);  // Inside the analysis window.
+  const TimeSeries series = BuildSeries(total, 0.001, 1, [&](TimePoint t) {
+    return t >= step_at ? 0.060 : 0.050;
+  });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  ChangePointStage stage(config);
+  const auto regression = stage.Detect(GcpuMetric(), windows);
+  ASSERT_TRUE(regression.has_value());
+  EXPECT_NEAR(static_cast<double>(regression->change_time), static_cast<double>(step_at),
+              static_cast<double>(Hours(1)));
+  EXPECT_NEAR(regression->delta, 0.010, 0.003);
+  EXPECT_GT(regression->relative_delta, 0.1);
+  EXPECT_FALSE(regression->long_term);
+}
+
+TEST(ChangePointStageTest, NoChangeNoDetection) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimeSeries series =
+      BuildSeries(total, 0.001, 2, [](TimePoint) { return 0.05; });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  ChangePointStage stage(config);
+  EXPECT_FALSE(stage.Detect(GcpuMetric(), windows).has_value());
+}
+
+TEST(ChangePointStageTest, ImprovementIsNotRegression) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint step_at = total - Hours(4);
+  const TimeSeries series = BuildSeries(total, 0.001, 3, [&](TimePoint t) {
+    return t >= step_at ? 0.040 : 0.050;  // CPU drops: an improvement.
+  });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  ChangePointStage stage(config);
+  EXPECT_FALSE(stage.Detect(GcpuMetric(), windows).has_value());
+}
+
+TEST(ChangePointStageTest, ThroughputDropIsRegression) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint step_at = total - Hours(4);
+  const TimeSeries series = BuildSeries(total, 5.0, 4, [&](TimePoint t) {
+    return t >= step_at ? 900.0 : 1000.0;
+  });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  ChangePointStage stage(config);
+  const MetricId metric{"svc", MetricKind::kThroughput, "", ""};
+  const auto regression = stage.Detect(metric, windows);
+  ASSERT_TRUE(regression.has_value());
+  // Oriented delta is positive (regression-positive orientation).
+  EXPECT_GT(regression->delta, 50.0);
+}
+
+TEST(ChangePointStageTest, StepInHistoricalContextRejected) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  // Step 8 hours before the end of history — visible in the context tail but
+  // outside the analysis window.
+  const TimePoint step_at = total - Hours(4) - Hours(2) - Hours(8);
+  const TimeSeries series = BuildSeries(total, 0.0005, 5, [&](TimePoint t) {
+    return t >= step_at ? 0.058 : 0.050;
+  });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  ChangePointStage stage(config);
+  EXPECT_FALSE(stage.Detect(GcpuMetric(), windows).has_value());
+}
+
+TEST(ChangePointStageTest, InsufficientDataRejected) {
+  const DetectionConfig config = TestConfig();
+  const TimeSeries series = BuildSeries(Hours(2), 0.001, 6, [](TimePoint) { return 0.05; });
+  const WindowExtract windows =
+      ExtractWindows(series, Hours(2), config.windows);
+  ChangePointStage stage(config);
+  EXPECT_FALSE(stage.Detect(GcpuMetric(), windows).has_value());
+}
+
+// Property sweep: detectable step magnitudes produce detections with accurate
+// change-point localization across noise levels.
+struct StepCase {
+  double step;
+  double noise;
+};
+
+class ChangePointSweepTest : public ::testing::TestWithParam<StepCase> {};
+
+TEST_P(ChangePointSweepTest, LocalizesStep) {
+  const StepCase c = GetParam();
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint step_at = total - Hours(3);
+  const TimeSeries series = BuildSeries(total, c.noise, 7, [&](TimePoint t) {
+    return t >= step_at ? 0.05 + c.step : 0.05;
+  });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  ChangePointStage stage(config);
+  const auto regression = stage.Detect(GcpuMetric(), windows);
+  ASSERT_TRUE(regression.has_value()) << "step=" << c.step << " noise=" << c.noise;
+  EXPECT_NEAR(regression->delta, c.step, c.step * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, ChangePointSweepTest,
+                         ::testing::Values(StepCase{0.01, 0.001}, StepCase{0.005, 0.001},
+                                           StepCase{0.02, 0.005}, StepCase{0.001, 0.0001}));
+
+// ---------------------------------------------------------------------------
+// WentAwayDetector.
+// ---------------------------------------------------------------------------
+
+// Builds a Regression by running the change-point stage on a constructed
+// series (keeps test data realistic).
+std::optional<Regression> DetectOn(const TimeSeries& series, const DetectionConfig& config,
+                                   MetricId metric = GcpuMetric()) {
+  const WindowExtract windows =
+      ExtractWindows(series, series.end_time() + kTick, config.windows);
+  return ChangePointStage(config).Detect(metric, windows);
+}
+
+TEST(WentAwayTest, PersistentStepKept) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint step_at = total - Hours(5);
+  const TimeSeries series = BuildSeries(total, 0.001, 8, [&](TimePoint t) {
+    return t >= step_at ? 0.060 : 0.050;
+  });
+  const auto regression = DetectOn(series, config);
+  ASSERT_TRUE(regression.has_value());
+  const WentAwayVerdict verdict = WentAwayDetector(config).Evaluate(*regression, 144);
+  EXPECT_TRUE(verdict.keep);
+  EXPECT_FALSE(verdict.gone_away);
+}
+
+TEST(WentAwayTest, TransientSpikeFiltered) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  // Spike starts inside the analysis window and fully recovers before the
+  // series ends (the Figure 1(c) case, oriented).
+  const TimePoint spike_start = total - Hours(5);
+  const TimePoint spike_end = total - Hours(3);
+  const TimeSeries series = BuildSeries(total, 0.001, 9, [&](TimePoint t) {
+    return (t >= spike_start && t < spike_end) ? 0.065 : 0.050;
+  });
+  const auto regression = DetectOn(series, config);
+  if (!regression.has_value()) {
+    GTEST_SKIP() << "change point not flagged; nothing to filter";
+  }
+  const WentAwayVerdict verdict = WentAwayDetector(config).Evaluate(*regression, 144);
+  EXPECT_FALSE(verdict.keep);
+  EXPECT_TRUE(verdict.gone_away);
+}
+
+TEST(WentAwayTest, Figure7RegressionAtEndDespiteHistoricalSpike) {
+  // Fig. 7: history contains a short spike; the real regression starts near
+  // the end. The SAX validity rule must ignore the spike's buckets (they hold
+  // < 3% of historical points) and keep the terminal regression.
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint spike_start = Hours(10);
+  const TimePoint spike_end = Hours(11);  // 1h spike in 2 days of history: ~2%.
+  const TimePoint regression_at = total - Hours(5);
+  const TimeSeries series = BuildSeries(total, 0.0008, 10, [&](TimePoint t) {
+    if (t >= spike_start && t < spike_end) {
+      return 0.080;  // Historical spike, higher than the regression level.
+    }
+    return t >= regression_at ? 0.062 : 0.050;
+  });
+  const auto regression = DetectOn(series, config);
+  ASSERT_TRUE(regression.has_value());
+  const WentAwayVerdict verdict = WentAwayDetector(config).Evaluate(*regression, 144);
+  EXPECT_TRUE(verdict.keep);
+}
+
+TEST(WentAwayTest, GradualRampKeptViaLastingTrend) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint ramp_start = total - Hours(6);
+  const TimeSeries series = BuildSeries(total, 0.0005, 11, [&](TimePoint t) {
+    if (t < ramp_start) {
+      return 0.050;
+    }
+    const double progress =
+        static_cast<double>(t - ramp_start) / static_cast<double>(Hours(6));
+    return 0.050 + 0.012 * progress;
+  });
+  const auto regression = DetectOn(series, config);
+  ASSERT_TRUE(regression.has_value());
+  const WentAwayVerdict verdict = WentAwayDetector(config).Evaluate(*regression, 144);
+  EXPECT_TRUE(verdict.keep);
+  EXPECT_TRUE(verdict.lasting_trend);
+}
+
+TEST(WentAwayTest, DecayingSpikeWithRecoveryTailFiltered) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint spike_at = total - Hours(5);
+  const TimeSeries series = BuildSeries(total, 0.0005, 12, [&](TimePoint t) {
+    if (t < spike_at) {
+      return 0.050;
+    }
+    // Exponential decay back to baseline.
+    const double age = static_cast<double>(t - spike_at) / static_cast<double>(Hours(1));
+    return 0.050 + 0.02 * std::exp(-age);
+  });
+  const auto regression = DetectOn(series, config);
+  if (!regression.has_value()) {
+    GTEST_SKIP() << "change point not flagged";
+  }
+  const WentAwayVerdict verdict = WentAwayDetector(config).Evaluate(*regression, 144);
+  EXPECT_FALSE(verdict.keep);
+}
+
+TEST(WentAwayTest, EmptyDataRejected) {
+  const DetectionConfig config = TestConfig();
+  Regression regression;
+  const WentAwayVerdict verdict = WentAwayDetector(config).Evaluate(regression, 0);
+  EXPECT_FALSE(verdict.keep);
+}
+
+// ---------------------------------------------------------------------------
+// SeasonalityStage.
+// ---------------------------------------------------------------------------
+
+TEST(SeasonalityStageTest, SeasonalPeakFilteredAsFalsePositive) {
+  DetectionConfig config = TestConfig();
+  config.windows.historical = Days(4);
+  const Duration total = config.windows.Total();
+  const Duration period = Days(1);
+  // Pure diurnal pattern; the analysis window catches the rising flank.
+  const TimeSeries series = BuildSeries(total, 0.0005, 13, [&](TimePoint t) {
+    const double phase = 2.0 * M_PI * static_cast<double>(t % period) /
+                         static_cast<double>(period);
+    return 0.050 + 0.010 * std::sin(phase);
+  });
+  const auto regression = DetectOn(series, config);
+  if (!regression.has_value()) {
+    GTEST_SKIP() << "seasonal flank did not trigger the change-point stage";
+  }
+  const SeasonalityVerdict verdict = SeasonalityStage(config).Evaluate(*regression);
+  EXPECT_TRUE(verdict.seasonality_present);
+  EXPECT_TRUE(verdict.seasonal_filtered);
+}
+
+TEST(SeasonalityStageTest, RealStepOnSeasonalSeriesKept) {
+  DetectionConfig config = TestConfig();
+  config.windows.historical = Days(4);
+  const Duration total = config.windows.Total();
+  const Duration period = Days(1);
+  const TimePoint step_at = total - Hours(5);
+  const TimeSeries series = BuildSeries(total, 0.0005, 14, [&](TimePoint t) {
+    const double phase = 2.0 * M_PI * static_cast<double>(t % period) /
+                         static_cast<double>(period);
+    const double seasonal = 0.006 * std::sin(phase);
+    return (t >= step_at ? 0.065 : 0.050) + seasonal;
+  });
+  const auto regression = DetectOn(series, config);
+  ASSERT_TRUE(regression.has_value());
+  const SeasonalityVerdict verdict = SeasonalityStage(config).Evaluate(*regression);
+  EXPECT_FALSE(verdict.seasonal_filtered);
+}
+
+TEST(SeasonalityStageTest, NonSeasonalSeriesPassesThrough) {
+  const DetectionConfig config = TestConfig();
+  const Duration total = config.windows.Total();
+  const TimePoint step_at = total - Hours(5);
+  const TimeSeries series = BuildSeries(total, 0.001, 15, [&](TimePoint t) {
+    return t >= step_at ? 0.060 : 0.050;
+  });
+  const auto regression = DetectOn(series, config);
+  ASSERT_TRUE(regression.has_value());
+  const SeasonalityVerdict verdict = SeasonalityStage(config).Evaluate(*regression);
+  EXPECT_FALSE(verdict.seasonality_present);
+  EXPECT_FALSE(verdict.seasonal_filtered);
+}
+
+// ---------------------------------------------------------------------------
+// Threshold filter.
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdFilterTest, AbsoluteMode) {
+  DetectionConfig config;
+  config.threshold_mode = ThresholdMode::kAbsolute;
+  config.threshold = 0.01;
+  Regression regression;
+  regression.delta = 0.02;
+  EXPECT_TRUE(PassesThreshold(regression, config));
+  regression.delta = 0.005;
+  EXPECT_FALSE(PassesThreshold(regression, config));
+}
+
+TEST(ThresholdFilterTest, RelativeMode) {
+  DetectionConfig config;
+  config.threshold_mode = ThresholdMode::kRelative;
+  config.threshold = 0.05;
+  Regression regression;
+  regression.delta = 1.0;
+  regression.relative_delta = 0.10;
+  EXPECT_TRUE(PassesThreshold(regression, config));
+  regression.relative_delta = 0.01;
+  EXPECT_FALSE(PassesThreshold(regression, config));
+}
+
+// ---------------------------------------------------------------------------
+// Long-term detector.
+// ---------------------------------------------------------------------------
+
+TEST(LongTermTest, DetectsSlowRamp) {
+  DetectionConfig config;
+  config.threshold = 0.003;
+  config.windows.historical = Days(6);
+  config.windows.analysis = Days(3);
+  config.windows.extended = 0;
+  const Duration total = config.windows.Total();
+  const TimePoint ramp_start = total - Days(3);
+  const TimeSeries series = BuildSeries(total, 0.002, 16, [&](TimePoint t) {
+    if (t < ramp_start) {
+      return 0.050;
+    }
+    const double progress =
+        static_cast<double>(t - ramp_start) / static_cast<double>(Days(3));
+    return 0.050 + 0.010 * progress;
+  });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  LongTermDetector detector(config);
+  const auto regression = detector.Detect(GcpuMetric(), windows);
+  ASSERT_TRUE(regression.has_value());
+  EXPECT_TRUE(regression->long_term);
+  EXPECT_GT(regression->delta, 0.003);
+}
+
+TEST(LongTermTest, StableSeriesNotDetected) {
+  DetectionConfig config;
+  config.threshold = 0.003;
+  config.windows.historical = Days(6);
+  config.windows.analysis = Days(3);
+  config.windows.extended = 0;
+  const Duration total = config.windows.Total();
+  const TimeSeries series = BuildSeries(total, 0.002, 17, [](TimePoint) { return 0.05; });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  LongTermDetector detector(config);
+  EXPECT_FALSE(detector.Detect(GcpuMetric(), windows).has_value());
+}
+
+TEST(LongTermTest, SeasonalSeriesWithoutTrendNotDetected) {
+  DetectionConfig config;
+  config.threshold = 0.003;
+  config.windows.historical = Days(6);
+  config.windows.analysis = Days(3);
+  config.windows.extended = 0;
+  const Duration total = config.windows.Total();
+  const Duration period = Days(1);
+  const TimeSeries series = BuildSeries(total, 0.001, 18, [&](TimePoint t) {
+    const double phase = 2.0 * M_PI * static_cast<double>(t % period) /
+                         static_cast<double>(period);
+    return 0.050 + 0.008 * std::sin(phase);
+  });
+  const WindowExtract windows = ExtractWindows(series, total, config.windows);
+  LongTermDetector detector(config);
+  EXPECT_FALSE(detector.Detect(GcpuMetric(), windows).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// SameRegressionMerger.
+// ---------------------------------------------------------------------------
+
+TEST(SameRegressionMergerTest, DropsRepeatedChangePoint) {
+  SameRegressionMerger merger(Hours(4));
+  Regression regression;
+  regression.metric = GcpuMetric();
+  regression.change_time = Hours(100);
+  EXPECT_TRUE(merger.Admit(regression));
+  regression.change_time = Hours(100) + Hours(2);  // Same regression, re-run.
+  EXPECT_FALSE(merger.Admit(regression));
+  regression.change_time = Hours(100) + Hours(10);  // A genuinely new one.
+  EXPECT_TRUE(merger.Admit(regression));
+}
+
+TEST(SameRegressionMergerTest, DifferentMetricsIndependent) {
+  SameRegressionMerger merger(Hours(4));
+  Regression a;
+  a.metric = GcpuMetric();
+  a.change_time = Hours(10);
+  Regression b;
+  b.metric = {"svc", MetricKind::kGcpu, "other_sub", ""};
+  b.change_time = Hours(10);
+  EXPECT_TRUE(merger.Admit(a));
+  EXPECT_TRUE(merger.Admit(b));
+}
+
+TEST(SameRegressionMergerTest, FilterBatch) {
+  SameRegressionMerger merger(Hours(4));
+  Regression a;
+  a.metric = GcpuMetric();
+  a.change_time = Hours(10);
+  Regression duplicate = a;
+  duplicate.change_time = Hours(11);
+  const std::vector<Regression> kept = merger.Filter({a, duplicate});
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fbdetect

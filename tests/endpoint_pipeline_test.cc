@@ -1,0 +1,180 @@
+// End-to-end detection of the §3 metric families beyond per-subroutine gCPU:
+// endpoint-level costs (via end-to-end tracing), metadata-annotated gCPU,
+// and per-data-type I/O.
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/core/pipeline.h"
+#include "src/fleet/fleet.h"
+
+namespace fbdetect {
+namespace {
+
+PipelineOptions EndpointOptions(double threshold, ThresholdMode mode) {
+  PipelineOptions options;
+  options.detection.threshold = threshold;
+  options.detection.threshold_mode = mode;
+  options.detection.windows.historical = Days(2);
+  options.detection.windows.analysis = Hours(4);
+  options.detection.windows.extended = Hours(2);
+  options.detection.rerun_interval = Hours(4);
+  options.detection.enable_long_term = false;
+  return options;
+}
+
+TEST(EndpointPipelineTest, MetadataAnnotatedRegressionDetected) {
+  FleetSimulator fleet;
+  ServiceConfig config;
+  config.name = "svc";
+  config.num_servers = 100;
+  config.call_graph.num_subroutines = 80;
+  config.sampling.samples_per_bucket = 2000000;
+  config.emit_gcpu = false;  // Only the annotated series, to isolate the path.
+  config.emit_metadata_gcpu = true;
+  config.emit_process_cpu = false;
+  config.emit_endpoint_metrics = false;
+  config.num_annotated_subroutines = 16;
+  config.num_annotation_groups = 4;
+  config.num_seasonal_subroutines = 0;
+  config.seed = 31;
+  ServiceSimulator* service = fleet.AddService(config);
+
+  // Regress the annotated LEAF with the largest gCPU: the regression must
+  // stand out against the annotation group's aggregate sampling noise.
+  const CallGraph& graph = service->graph();
+  const std::vector<double> reach = graph.ReachProbabilities();
+  NodeId target = kInvalidNode;
+  double best_reach = 0.0;
+  for (size_t i = 0; i < graph.node_count(); ++i) {
+    if (!graph.node(static_cast<NodeId>(i)).metadata.empty() &&
+        graph.edges(static_cast<NodeId>(i)).empty() && reach[i] > best_reach) {
+      best_reach = reach[i];
+      target = static_cast<NodeId>(i);
+    }
+  }
+  if (target == kInvalidNode) {
+    GTEST_SKIP() << "no annotated leaf in this random graph";
+  }
+  InjectedEvent event;
+  event.kind = EventKind::kStepRegression;
+  event.service = "svc";
+  event.subroutine = graph.node(target).name;
+  event.start = Days(2) + Hours(8);
+  event.magnitude = 3.0;
+  fleet.InjectEvent(event);
+  fleet.Run(0, Days(3));
+
+  Pipeline pipeline(&fleet.db(), nullptr, nullptr,
+                    EndpointOptions(0.0001, ThresholdMode::kAbsolute));
+  const std::vector<Regression> reports = pipeline.RunPeriod("svc", Days(2), Days(3));
+  bool found_metadata_report = false;
+  const std::string expected = graph.node(target).metadata;
+  for (const Regression& report : reports) {
+    if (report.metric.metadata == expected) {
+      found_metadata_report = true;
+    }
+  }
+  EXPECT_TRUE(found_metadata_report)
+      << "expected a regression on annotation series " << expected;
+}
+
+TEST(EndpointPipelineTest, EndpointCostRegressionDetected) {
+  FleetSimulator fleet;
+  ServiceConfig config;
+  config.name = "svc";
+  config.num_servers = 100;
+  config.call_graph.num_subroutines = 50;
+  config.emit_gcpu = false;
+  config.emit_process_cpu = false;
+  config.emit_endpoint_metrics = false;
+  config.emit_endpoint_cost = true;
+  config.num_endpoints = 3;
+  config.traces_per_endpoint_per_tick = 80;
+  config.num_seasonal_subroutines = 0;
+  config.seed = 32;
+  ServiceSimulator* service = fleet.AddService(config);
+
+  // Regress the heaviest leaf under the first endpoint's entry root.
+  const CallGraph& graph = service->graph();
+  const NodeId entry = graph.roots()[0];
+  std::vector<NodeId> stack = {entry};
+  std::vector<bool> visited(graph.node_count(), false);
+  NodeId leaf = kInvalidNode;
+  double best_cost = 0.0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<size_t>(v)]) {
+      continue;
+    }
+    visited[static_cast<size_t>(v)] = true;
+    if (graph.edges(v).empty() && graph.node(v).self_cost > best_cost) {
+      best_cost = graph.node(v).self_cost;
+      leaf = v;
+    }
+    for (const CallEdge& edge : graph.edges(v)) {
+      stack.push_back(edge.callee);
+    }
+  }
+  FBD_CHECK(leaf != kInvalidNode);
+  InjectedEvent event;
+  event.kind = EventKind::kStepRegression;
+  event.service = "svc";
+  event.subroutine = graph.node(leaf).name;
+  event.start = Days(2) + Hours(8);
+  event.magnitude = 3.0;
+  fleet.InjectEvent(event);
+  fleet.Run(0, Days(3));
+
+  // Relative threshold: endpoint costs are in arbitrary cost units.
+  Pipeline pipeline(&fleet.db(), nullptr, nullptr,
+                    EndpointOptions(0.02, ThresholdMode::kRelative));
+  const std::vector<Regression> reports = pipeline.RunPeriod("svc", Days(2), Days(3));
+  bool endpoint_report = false;
+  for (const Regression& report : reports) {
+    if (report.metric.kind == MetricKind::kEndpointCost) {
+      endpoint_report = true;
+      EXPECT_GT(report.relative_delta, 0.02);
+    }
+  }
+  EXPECT_TRUE(endpoint_report);
+}
+
+TEST(EndpointPipelineTest, IoPerDataTypeRegressionDetected) {
+  FleetSimulator fleet;
+  ServiceConfig config;
+  config.name = "tao_like";
+  config.num_servers = 500;
+  config.call_graph.num_subroutines = 20;
+  config.emit_gcpu = false;
+  config.emit_process_cpu = false;
+  config.emit_endpoint_metrics = false;
+  config.io_data_types = {"user", "post", "comment", "like"};
+  config.seasonal_load_amplitude = 0.03;
+  config.seed = 33;
+  fleet.AddService(config);
+
+  InjectedEvent event;
+  event.kind = EventKind::kStepRegression;
+  event.service = "tao_like";
+  event.subroutine = "io/comment";
+  event.start = Days(2) + Hours(8);
+  event.magnitude = 0.20;
+  fleet.InjectEvent(event);
+  fleet.Run(0, Days(3));
+
+  Pipeline pipeline(&fleet.db(), nullptr, nullptr,
+                    EndpointOptions(0.05, ThresholdMode::kRelative));
+  const std::vector<Regression> reports = pipeline.RunPeriod("tao_like", Days(2), Days(3));
+  bool io_report = false;
+  for (const Regression& report : reports) {
+    if (report.metric.kind == MetricKind::kIoPerDataType) {
+      io_report = true;
+      EXPECT_EQ(report.metric.entity, "comment");  // Only the targeted type.
+    }
+  }
+  EXPECT_TRUE(io_report);
+}
+
+}  // namespace
+}  // namespace fbdetect

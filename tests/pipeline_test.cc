@@ -1,0 +1,283 @@
+// End-to-end integration tests: fleet simulator -> profiler -> TSDB ->
+// full Fig. 6 pipeline, scored against injected ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/check.h"
+#include "src/core/pipeline.h"
+#include "src/core/workload_config.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/scenario.h"
+
+namespace fbdetect {
+namespace {
+
+// A compact single-service world with one planted regression, one cost
+// shift, and one transient. Small enough to run in seconds.
+struct World {
+  FleetSimulator fleet;
+  ServiceSimulator* service = nullptr;
+  std::string regressed_subroutine;
+  std::string shift_target;
+  std::string shift_source;
+  TimePoint regression_at = 0;
+  int64_t culprit_commit = -1;
+
+  // 4 days of data at 10-minute ticks.
+  static constexpr Duration kDuration = Days(4);
+
+  explicit World(uint64_t seed, double regression_magnitude = 0.4) {
+    ServiceConfig config;
+    config.name = "svc";
+    config.num_servers = 200;
+    config.call_graph.num_subroutines = 80;
+    config.sampling.samples_per_bucket = 2000000;
+    config.sampling.bucket_width = Minutes(10);
+    config.tick = Minutes(10);
+    config.num_seasonal_subroutines = 10;
+    config.seasonal_mix_amplitude = 0.10;
+    config.seed = seed;
+    service = fleet.AddService(config);
+
+    // Targets: mid-weight LEAF subroutines (self cost == subtree cost, so
+    // injected relative changes translate 1:1 into gCPU changes).
+    const CallGraph& graph = service->graph();
+    const std::vector<double> reach = graph.ReachProbabilities();
+    std::vector<NodeId> mid;
+    for (size_t i = 0; i < reach.size(); ++i) {
+      if (reach[i] > 0.003 && reach[i] < 0.10 &&
+          graph.edges(static_cast<NodeId>(i)).empty()) {
+        mid.push_back(static_cast<NodeId>(i));
+      }
+    }
+    FBD_CHECK(mid.size() >= 3);
+    regressed_subroutine = graph.node(mid[0]).name;
+    shift_target = graph.node(mid[1]).name;
+    shift_source = graph.node(mid[2]).name;
+
+    regression_at = Days(2) + Hours(13);
+
+    // True regression with a culprit commit.
+    InjectedEvent regression;
+    regression.kind = EventKind::kStepRegression;
+    regression.service = "svc";
+    regression.subroutine = regressed_subroutine;
+    regression.start = regression_at;
+    regression.magnitude = regression_magnitude;
+    Commit commit;
+    commit.time = regression_at - Minutes(20);
+    commit.title = "Add extra processing to " + regressed_subroutine;
+    commit.description = "Expands validation in " + regressed_subroutine;
+    commit.touched_subroutines = {regressed_subroutine};
+    fleet.InjectEvent(regression, &commit);
+    culprit_commit = fleet.ground_truth().back().commit_id;
+
+    // Cost shift (same time frame, different subroutines).
+    InjectedEvent shift;
+    shift.kind = EventKind::kCostShift;
+    shift.service = "svc";
+    shift.subroutine = shift_target;
+    shift.shift_source = shift_source;
+    shift.start = Days(2) + Hours(20);
+    shift.magnitude = 0.8;
+    Commit shift_commit;
+    shift_commit.time = shift.start - Minutes(20);
+    shift_commit.title = "Refactor " + shift_source;
+    shift_commit.description = "Moves code from " + shift_source + " to " + shift_target;
+    shift_commit.touched_subroutines = {shift_source, shift_target};
+    fleet.InjectEvent(shift, &shift_commit);
+
+    // Transient load spike.
+    InjectedEvent transient;
+    transient.kind = EventKind::kTransientIssue;
+    transient.transient_kind = TransientKind::kLoadSpike;
+    transient.service = "svc";
+    transient.start = Days(3) + Hours(2);
+    transient.duration = Hours(1);
+    transient.magnitude = 0.3;
+    fleet.InjectEvent(transient);
+
+    fleet.Run(0, kDuration);
+  }
+
+  PipelineOptions Options() const {
+    PipelineOptions options;
+    options.detection.threshold = 0.0005;
+    options.detection.windows.historical = Days(2);
+    options.detection.windows.analysis = Hours(4);
+    options.detection.windows.extended = Hours(2);
+    options.detection.rerun_interval = Hours(4);
+    return options;
+  }
+};
+
+TEST(PipelineIntegrationTest, DetectsInjectedRegressionWithRootCause) {
+  World world(1);
+  CallGraphCodeInfo code_info(&world.service->graph());
+  Pipeline pipeline(&world.fleet.db(), &world.fleet.change_log(), &code_info,
+                    world.Options());
+  const std::vector<Regression> reports =
+      pipeline.RunPeriod("svc", Days(2), World::kDuration);
+
+  // The injected regression must be among the reports.
+  const Regression* hit = nullptr;
+  for (const Regression& report : reports) {
+    if (report.metric.entity == world.regressed_subroutine) {
+      hit = &report;
+      break;
+    }
+  }
+  ASSERT_NE(hit, nullptr) << "injected regression was not reported";
+  EXPECT_NEAR(static_cast<double>(hit->change_time),
+              static_cast<double>(world.regression_at), static_cast<double>(Hours(3)));
+  // Root cause: the culprit commit should rank in the top three.
+  bool culprit_found = false;
+  for (const RankedCause& cause : hit->root_causes) {
+    if (cause.commit_id == world.culprit_commit) {
+      culprit_found = true;
+    }
+  }
+  EXPECT_TRUE(culprit_found);
+}
+
+TEST(PipelineIntegrationTest, FunnelMonotonicallyDecreases) {
+  World world(2);
+  CallGraphCodeInfo code_info(&world.service->graph());
+  Pipeline pipeline(&world.fleet.db(), &world.fleet.change_log(), &code_info,
+                    world.Options());
+  pipeline.RunPeriod("svc", Days(2), World::kDuration);
+
+  const FunnelStats& funnel = pipeline.short_term_funnel();
+  EXPECT_GT(funnel.change_points, 0u);
+  EXPECT_LE(funnel.after_went_away, funnel.change_points);
+  EXPECT_LE(funnel.after_seasonality, funnel.after_went_away);
+  EXPECT_LE(funnel.after_threshold, funnel.after_seasonality);
+  EXPECT_LE(funnel.after_same_merger, funnel.after_threshold);
+  EXPECT_LE(funnel.after_som_dedup, funnel.after_same_merger);
+  EXPECT_LE(funnel.after_cost_shift, funnel.after_som_dedup);
+  EXPECT_LE(funnel.after_pairwise, funnel.after_cost_shift);
+}
+
+TEST(PipelineIntegrationTest, WentAwayFiltersTransients) {
+  World world(3);
+  CallGraphCodeInfo code_info(&world.service->graph());
+  Pipeline pipeline(&world.fleet.db(), &world.fleet.change_log(), &code_info,
+                    world.Options());
+  pipeline.RunPeriod("svc", Days(2), World::kDuration);
+  const FunnelStats& funnel = pipeline.short_term_funnel();
+  // The went-away detector is the paper's workhorse: it must filter a large
+  // share of raw change points (99.7% in production; the synthetic world is
+  // cleaner, so require at least half).
+  ASSERT_GT(funnel.change_points, 0u);
+  EXPECT_LT(static_cast<double>(funnel.after_went_away),
+            0.5 * static_cast<double>(funnel.change_points));
+}
+
+TEST(PipelineIntegrationTest, ReportsAreDeduplicated) {
+  World world(4);
+  CallGraphCodeInfo code_info(&world.service->graph());
+  Pipeline pipeline(&world.fleet.db(), &world.fleet.change_log(), &code_info,
+                    world.Options());
+  const std::vector<Regression> reports =
+      pipeline.RunPeriod("svc", Days(2), World::kDuration);
+  // No two reports may target the same subroutine at (nearly) the same time.
+  for (size_t i = 0; i < reports.size(); ++i) {
+    for (size_t j = i + 1; j < reports.size(); ++j) {
+      if (reports[i].metric == reports[j].metric) {
+        EXPECT_GT(std::llabs(static_cast<long long>(reports[i].change_time -
+                                                    reports[j].change_time)),
+                  static_cast<long long>(Hours(4)));
+      }
+    }
+  }
+}
+
+TEST(PipelineIntegrationTest, RunWithoutChangeLogStillDetects) {
+  World world(5);
+  Pipeline pipeline(&world.fleet.db(), nullptr, nullptr, world.Options());
+  const std::vector<Regression> reports =
+      pipeline.RunPeriod("svc", Days(2), World::kDuration);
+  bool found = false;
+  for (const Regression& report : reports) {
+    if (report.metric.entity == world.regressed_subroutine) {
+      found = true;
+      EXPECT_TRUE(report.root_causes.empty());  // No change log, no causes.
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PipelineIntegrationTest, EmptyServiceYieldsNothing) {
+  TimeSeriesDatabase db;
+  PipelineOptions options;
+  Pipeline pipeline(&db, nullptr, nullptr, options);
+  EXPECT_TRUE(pipeline.RunAt("ghost", Days(1)).empty());
+  EXPECT_EQ(pipeline.short_term_funnel().change_points, 0u);
+}
+
+TEST(PipelineIntegrationTest, ParallelScanMatchesSerial) {
+  World world(6);
+  CallGraphCodeInfo code_info(&world.service->graph());
+
+  PipelineOptions serial_options = world.Options();
+  serial_options.scan_threads = 1;
+  Pipeline serial(&world.fleet.db(), &world.fleet.change_log(), &code_info, serial_options);
+  const std::vector<Regression> serial_reports =
+      serial.RunPeriod("svc", Days(2), World::kDuration);
+
+  PipelineOptions parallel_options = world.Options();
+  parallel_options.scan_threads = 4;
+  Pipeline parallel(&world.fleet.db(), &world.fleet.change_log(), &code_info,
+                    parallel_options);
+  const std::vector<Regression> parallel_reports =
+      parallel.RunPeriod("svc", Days(2), World::kDuration);
+
+  ASSERT_EQ(serial_reports.size(), parallel_reports.size());
+  for (size_t i = 0; i < serial_reports.size(); ++i) {
+    EXPECT_EQ(serial_reports[i].metric, parallel_reports[i].metric);
+    EXPECT_EQ(serial_reports[i].change_time, parallel_reports[i].change_time);
+    EXPECT_DOUBLE_EQ(serial_reports[i].delta, parallel_reports[i].delta);
+  }
+  EXPECT_EQ(serial.short_term_funnel().change_points,
+            parallel.short_term_funnel().change_points);
+  EXPECT_EQ(serial.short_term_funnel().after_pairwise,
+            parallel.short_term_funnel().after_pairwise);
+  EXPECT_EQ(serial.long_term_funnel().change_points,
+            parallel.long_term_funnel().change_points);
+}
+
+TEST(WorkloadConfigTest, AllTwelveTable1Presets) {
+  const std::vector<DetectionConfig> configs = AllTable1Configs();
+  ASSERT_EQ(configs.size(), 12u);
+  // Spot-check the paper's values.
+  EXPECT_EQ(configs[0].name, "FrontFaaS (large)");
+  EXPECT_DOUBLE_EQ(configs[0].threshold, 0.03);
+  EXPECT_EQ(configs[0].rerun_interval, Minutes(30));
+  EXPECT_EQ(configs[0].windows.historical, Days(10));
+  EXPECT_EQ(configs[0].windows.analysis, Hours(3));
+  EXPECT_EQ(configs[0].windows.extended, 0);
+
+  EXPECT_EQ(configs[1].name, "FrontFaaS (small)");
+  EXPECT_DOUBLE_EQ(configs[1].threshold, 0.00005);  // 0.005% absolute.
+  EXPECT_EQ(configs[1].windows.extended, Hours(6));
+
+  EXPECT_EQ(configs[8].name, "Invoicer (short)");
+  EXPECT_DOUBLE_EQ(configs[8].threshold, 0.005);  // 0.5%.
+  EXPECT_EQ(configs[8].windows.historical, Days(14));
+
+  EXPECT_EQ(configs[9].threshold_mode, ThresholdMode::kRelative);
+  EXPECT_DOUBLE_EQ(configs[9].threshold, 0.05);  // 5% relative.
+  EXPECT_EQ(configs[11].name, "CT-demand");
+  EXPECT_EQ(configs[11].windows.extended, 0);
+
+  for (const DetectionConfig& config : configs) {
+    EXPECT_GT(config.threshold, 0.0) << config.name;
+    EXPECT_GT(config.rerun_interval, 0) << config.name;
+    EXPECT_GT(config.windows.historical, config.windows.analysis) << config.name;
+  }
+}
+
+}  // namespace
+}  // namespace fbdetect

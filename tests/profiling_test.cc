@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/profiling/call_graph.h"
+#include "src/profiling/profile.h"
+#include "src/profiling/profiler.h"
+#include "src/profiling/pyperf.h"
+#include "src/tsdb/database.h"
+
+namespace fbdetect {
+namespace {
+
+// A small hand-built graph:  main -> {work, io}; work -> leaf.
+struct TinyGraph {
+  CallGraph graph;
+  NodeId main_id;
+  NodeId work;
+  NodeId io;
+  NodeId leaf;
+
+  TinyGraph() {
+    main_id = graph.AddNode({"main", "Main", 1.0, ""});
+    work = graph.AddNode({"work", "Worker", 2.0, ""});
+    io = graph.AddNode({"io", "Worker", 3.0, ""});
+    leaf = graph.AddNode({"leaf", "Worker", 4.0, ""});
+    graph.AddEdge(main_id, work, 1.0);
+    graph.AddEdge(main_id, io, 1.0);
+    graph.AddEdge(work, leaf, 1.0);
+  }
+};
+
+TEST(CallGraphTest, SubtreeCostsComposeBottomUp) {
+  TinyGraph t;
+  const std::vector<double>& subtree = t.graph.SubtreeCosts();
+  EXPECT_DOUBLE_EQ(subtree[static_cast<size_t>(t.leaf)], 4.0);
+  EXPECT_DOUBLE_EQ(subtree[static_cast<size_t>(t.work)], 2.0 + 4.0);
+  EXPECT_DOUBLE_EQ(subtree[static_cast<size_t>(t.io)], 3.0);
+  EXPECT_DOUBLE_EQ(subtree[static_cast<size_t>(t.main_id)], 1.0 + 6.0 + 3.0);
+}
+
+TEST(CallGraphTest, ReachProbabilities) {
+  TinyGraph t;
+  const std::vector<double> reach = t.graph.ReachProbabilities();
+  // Single root: every sample passes through main.
+  EXPECT_DOUBLE_EQ(reach[static_cast<size_t>(t.main_id)], 1.0);
+  // P(work) = subtree(work)/subtree(main) = 6/10.
+  EXPECT_NEAR(reach[static_cast<size_t>(t.work)], 0.6, 1e-12);
+  EXPECT_NEAR(reach[static_cast<size_t>(t.io)], 0.3, 1e-12);
+  // P(leaf) = P(work) * 4/6.
+  EXPECT_NEAR(reach[static_cast<size_t>(t.leaf)], 0.4, 1e-12);
+}
+
+TEST(CallGraphTest, SampledGcpuMatchesReach) {
+  TinyGraph t;
+  Rng rng(1);
+  ProfileAggregate aggregate;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    aggregate.AddSample(t.graph.SampleStack(rng));
+  }
+  const std::vector<double> reach = t.graph.ReachProbabilities();
+  for (NodeId id : {t.main_id, t.work, t.io, t.leaf}) {
+    EXPECT_NEAR(aggregate.Gcpu(id), reach[static_cast<size_t>(id)], 0.01)
+        << t.graph.node(id).name;
+  }
+}
+
+TEST(CallGraphTest, ScaleSelfCostRaisesReach) {
+  TinyGraph t;
+  const double before = t.graph.ReachProbabilities()[static_cast<size_t>(t.io)];
+  t.graph.ScaleSelfCost(t.io, 2.0);
+  const double after = t.graph.ReachProbabilities()[static_cast<size_t>(t.io)];
+  EXPECT_GT(after, before);
+}
+
+TEST(CallGraphTest, ShiftSelfCostPreservesTotal) {
+  TinyGraph t;
+  const double total_before = t.graph.TotalCost();
+  t.graph.ShiftSelfCost(t.io, t.leaf, 2.0);
+  EXPECT_NEAR(t.graph.TotalCost(), total_before, 1e-12);
+  EXPECT_DOUBLE_EQ(t.graph.node(t.io).self_cost, 1.0);
+  EXPECT_DOUBLE_EQ(t.graph.node(t.leaf).self_cost, 6.0);
+}
+
+TEST(CallGraphTest, ShiftClampsAtAvailableCost) {
+  TinyGraph t;
+  t.graph.ShiftSelfCost(t.io, t.leaf, 100.0);
+  EXPECT_DOUBLE_EQ(t.graph.node(t.io).self_cost, 0.0);
+  EXPECT_DOUBLE_EQ(t.graph.node(t.leaf).self_cost, 7.0);
+}
+
+TEST(CallGraphTest, CallersOfAndClassMembers) {
+  TinyGraph t;
+  EXPECT_EQ(t.graph.CallersOf(t.leaf), (std::vector<NodeId>{t.work}));
+  EXPECT_EQ(t.graph.NodesInClass("Worker").size(), 3u);
+  EXPECT_EQ(t.graph.FindByName("io"), t.io);
+  EXPECT_EQ(t.graph.FindByName("nope"), kInvalidNode);
+}
+
+TEST(CallGraphTest, RandomGraphIsWellFormed) {
+  Rng rng(2);
+  RandomCallGraphOptions options;
+  options.num_subroutines = 300;
+  const CallGraph graph = GenerateRandomCallGraph(options, rng);
+  EXPECT_EQ(graph.node_count(), 300u);
+  EXPECT_FALSE(graph.roots().empty());
+  const std::vector<double> reach = graph.ReachProbabilities();
+  double root_total = 0.0;
+  for (NodeId r : graph.roots()) {
+    root_total += reach[static_cast<size_t>(r)];
+  }
+  EXPECT_NEAR(root_total, 1.0, 1e-9);
+  for (double p : reach) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(ProfileAggregateTest, GcpuCountsContainment) {
+  ProfileAggregate aggregate;
+  aggregate.AddSample({0, 1, 2});
+  aggregate.AddSample({0, 1});
+  aggregate.AddSample({0, 3});
+  aggregate.AddSample({0, 1, 2});
+  EXPECT_EQ(aggregate.total_samples(), 4u);
+  EXPECT_DOUBLE_EQ(aggregate.Gcpu(0), 1.0);
+  EXPECT_DOUBLE_EQ(aggregate.Gcpu(1), 0.75);
+  EXPECT_DOUBLE_EQ(aggregate.Gcpu(2), 0.5);
+  EXPECT_DOUBLE_EQ(aggregate.Gcpu(3), 0.25);
+  EXPECT_DOUBLE_EQ(aggregate.Gcpu(99), 0.0);
+}
+
+TEST(ProfileAggregateTest, SampleOverlapJaccard) {
+  ProfileAggregate aggregate;
+  aggregate.AddSample({0, 1});  // Both.
+  aggregate.AddSample({0});     // Only 0.
+  aggregate.AddSample({1});     // Only 1.
+  // |0 and 1| = 1, |0 or 1| = 3.
+  EXPECT_NEAR(aggregate.SampleOverlap(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(aggregate.SampleOverlap(0, 9), 0.0);
+}
+
+TEST(ProfileAggregateTest, MergeOffsetsSampleIndices) {
+  ProfileAggregate a;
+  a.AddSample({0});
+  ProfileAggregate b;
+  b.AddSample({0, 1});
+  a.Merge(b);
+  EXPECT_EQ(a.total_samples(), 2u);
+  EXPECT_DOUBLE_EQ(a.Gcpu(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.Gcpu(1), 0.5);
+  EXPECT_NEAR(a.SampleOverlap(0, 1), 0.5, 1e-12);
+}
+
+TEST(ProfileAggregateTest, DuplicateFramesCountedOnce) {
+  ProfileAggregate aggregate;
+  aggregate.AddSample({5, 5, 5});
+  EXPECT_EQ(aggregate.CountOf(5), 1u);
+}
+
+TEST(SampleBinomialTest, MatchesMoments) {
+  Rng rng(3);
+  // Large-variance branch (normal approximation).
+  double sum = 0.0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(SampleBinomial(100000, 0.01, rng));
+  }
+  EXPECT_NEAR(sum / trials, 1000.0, 5.0);
+  // Rare-event branch (Poisson).
+  sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(SampleBinomial(1000, 0.001, rng));
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.1);
+  // Edge cases.
+  EXPECT_EQ(SampleBinomial(0, 0.5, rng), 0u);
+  EXPECT_EQ(SampleBinomial(10, 0.0, rng), 0u);
+  EXPECT_EQ(SampleBinomial(10, 1.0, rng), 10u);
+}
+
+TEST(SamplingProfilerTest, AnalyticBucketTracksReach) {
+  TinyGraph t;
+  SamplingConfig config;
+  config.samples_per_bucket = 1000000;
+  SamplingProfiler profiler("svc", config);
+  Rng rng(4);
+  const std::vector<uint64_t> counts = profiler.AnalyticBucket(t.graph, rng);
+  const std::vector<double> reach = t.graph.ReachProbabilities();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / 1e6, reach[i], 0.005);
+  }
+}
+
+TEST(SamplingProfilerTest, WriteGcpuBucketPopulatesDatabase) {
+  TinyGraph t;
+  SamplingConfig config;
+  config.samples_per_bucket = 100000;
+  SamplingProfiler profiler("svc", config);
+  Rng rng(5);
+  TimeSeriesDatabase db;
+  profiler.WriteGcpuBucket(t.graph, 600, rng, db);
+  const MetricId main_metric{"svc", MetricKind::kGcpu, "main", ""};
+  ASSERT_NE(db.Find(main_metric), nullptr);
+  EXPECT_NEAR(db.Find(main_metric)->values()[0], 1.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// PyPerf.
+// ---------------------------------------------------------------------------
+
+TEST(PyPerfTest, MergesSimpleSnapshot) {
+  InterpreterSnapshot snapshot;
+  snapshot.native_stack = {
+      {NativeFrameKind::kSystem, "_start"},
+      {NativeFrameKind::kInterpreterCall, "Py_RunMain"},
+      {NativeFrameKind::kPyEvalFrame, "_PyEval_EvalFrameDefault"},
+      {NativeFrameKind::kInterpreterCall, "_PyObject_Call"},
+      {NativeFrameKind::kPyEvalFrame, "_PyEval_EvalFrameDefault"},
+      {NativeFrameKind::kNativeLibrary, "c_lib_foo"},
+  };
+  snapshot.virtual_call_stack = {{"py_funX", "x.py", 1}, {"py_funZ", "z.py", 2}};
+  bool torn = true;
+  const std::vector<MergedFrame> merged = MergeStacks(snapshot, &torn);
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(merged.size(), 4u);  // _start, py_funX, py_funZ, c_lib_foo.
+  EXPECT_EQ(merged[0].symbol, "_start");
+  EXPECT_FALSE(merged[0].is_python);
+  EXPECT_EQ(merged[1].symbol, "py_funX");
+  EXPECT_TRUE(merged[1].is_python);
+  EXPECT_EQ(merged[2].symbol, "py_funZ");
+  EXPECT_EQ(merged[3].symbol, "c_lib_foo");
+  EXPECT_FALSE(merged[3].is_python);
+}
+
+TEST(PyPerfTest, TornSampleAlignsFromLeaf) {
+  InterpreterSnapshot snapshot;
+  snapshot.native_stack = {
+      {NativeFrameKind::kPyEvalFrame, "_PyEval_EvalFrameDefault"},
+      {NativeFrameKind::kPyEvalFrame, "_PyEval_EvalFrameDefault"},
+  };
+  // Only the innermost VCS frame survived the race.
+  snapshot.virtual_call_stack = {{"py_inner", "i.py", 1}};
+  bool torn = false;
+  const std::vector<MergedFrame> merged = MergeStacks(snapshot, &torn);
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].symbol, "<unknown-python-frame>");
+  EXPECT_EQ(merged[1].symbol, "py_inner");  // Leaf matched to leaf.
+}
+
+TEST(PyPerfTest, SimulatedProcessProducesConsistentSnapshots) {
+  SimulatedInterpreterProcess::Options options;
+  SimulatedInterpreterProcess process(options, 42);
+  for (int i = 0; i < 500; ++i) {
+    const InterpreterSnapshot snapshot = process.Sample();
+    size_t eval_frames = 0;
+    for (const NativeFrame& frame : snapshot.native_stack) {
+      if (frame.kind == NativeFrameKind::kPyEvalFrame) {
+        ++eval_frames;
+      }
+    }
+    EXPECT_EQ(eval_frames, snapshot.virtual_call_stack.size());
+    bool torn = true;
+    const std::vector<MergedFrame> merged = MergeStacks(snapshot, &torn);
+    EXPECT_FALSE(torn);
+    // Every Python frame must appear by name in the merged stack, in order.
+    size_t python_count = 0;
+    for (const MergedFrame& frame : merged) {
+      if (frame.is_python) {
+        ASSERT_LT(python_count, snapshot.virtual_call_stack.size());
+        EXPECT_EQ(frame.symbol, snapshot.virtual_call_stack[python_count].function);
+        ++python_count;
+      }
+      // No interpreter plumbing may leak into the merged stack.
+      EXPECT_NE(frame.symbol, "_PyObject_Call");
+      EXPECT_NE(frame.symbol, "Py_RunMain");
+    }
+    EXPECT_EQ(python_count, snapshot.virtual_call_stack.size());
+  }
+}
+
+}  // namespace
+}  // namespace fbdetect

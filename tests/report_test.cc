@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/report/report.h"
+
+namespace fbdetect {
+namespace {
+
+Regression SampleRegression() {
+  Regression regression;
+  regression.metric = {"svc", MetricKind::kGcpu, "hot_path", ""};
+  regression.change_time = Hours(100);
+  regression.detected_at = Hours(104);
+  regression.baseline_mean = 0.010;
+  regression.regressed_mean = 0.012;
+  regression.delta = 0.002;
+  regression.relative_delta = 0.2;
+  regression.p_value = 0.001;
+  regression.merged_count = 3;
+  regression.analysis = {0.01, 0.01, 0.012, 0.012};
+  regression.root_causes = {{42, 0.9, 1.0, 0.5, 0.8}, {7, 0.3, 0.0, 0.4, 0.2}};
+  return regression;
+}
+
+TEST(ReportTest, TicketContainsKeyFields) {
+  ChangeLog log;
+  Commit commit;
+  commit.service = "svc";
+  commit.time = Hours(99);
+  commit.title = "Change the hot path";
+  for (int i = 0; i < 43; ++i) {
+    Commit filler;
+    filler.service = "svc";
+    filler.time = Hours(99);
+    filler.title = i == 42 ? "Change the hot path" : "filler";
+    log.Add(filler);
+  }
+  const std::string ticket = RenderTicket(SampleRegression(), &log);
+  EXPECT_NE(ticket.find("svc/gcpu/hot_path"), std::string::npos);
+  EXPECT_NE(ticket.find("+0.002"), std::string::npos);
+  EXPECT_NE(ticket.find("+20.00%"), std::string::npos);
+  EXPECT_NE(ticket.find("commit 42"), std::string::npos);
+  EXPECT_NE(ticket.find("Change the hot path"), std::string::npos);
+  EXPECT_NE(ticket.find("3 deduplicated"), std::string::npos);
+}
+
+TEST(ReportTest, TicketWithoutChangeLogOrCauses) {
+  Regression regression = SampleRegression();
+  regression.root_causes.clear();
+  const std::string ticket = RenderTicket(regression, nullptr);
+  EXPECT_NE(ticket.find("no confident candidate"), std::string::npos);
+}
+
+TEST(ReportTest, MaxCausesRespected) {
+  ReportOptions options;
+  options.max_causes = 1;
+  const std::string ticket = RenderTicket(SampleRegression(), nullptr, options);
+  EXPECT_NE(ticket.find("commit 42"), std::string::npos);
+  EXPECT_EQ(ticket.find("commit 7"), std::string::npos);
+}
+
+TEST(ReportTest, JsonLineIsWellFormedish) {
+  const std::string json = ToJsonLine(SampleRegression());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"metric\":\"svc/gcpu/hot_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"long_term\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"root_causes\":[{\"commit\":42"), std::string::npos);
+  // Balanced braces/brackets.
+  int depth = 0;
+  for (char c : json) {
+    depth += (c == '{' || c == '[') ? 1 : 0;
+    depth -= (c == '}' || c == ']') ? 1 : 0;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ReportTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+TEST(ReportTest, FunnelRendering) {
+  FunnelStats short_term;
+  short_term.change_points = 1000;
+  short_term.after_went_away = 100;
+  short_term.after_seasonality = 80;
+  short_term.after_threshold = 40;
+  short_term.after_same_merger = 20;
+  short_term.after_som_dedup = 10;
+  short_term.after_cost_shift = 8;
+  short_term.after_pairwise = 4;
+  FunnelStats long_term;
+  const std::string text = RenderFunnel(short_term, long_term, /*long_term_enabled=*/false);
+  EXPECT_NE(text.find("1/10.0"), std::string::npos);   // went-away row.
+  EXPECT_NE(text.find("1/250.0"), std::string::npos);  // pairwise row.
+  EXPECT_EQ(text.find("long-term path"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbdetect

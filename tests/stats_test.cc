@@ -1,0 +1,488 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/stats/accumulator.h"
+#include "src/stats/correlation.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/distributions.h"
+#include "src/stats/fourier.h"
+#include "src/stats/hypothesis.h"
+#include "src/stats/linreg.h"
+#include "src/stats/text.h"
+#include "src/stats/trend.h"
+
+namespace fbdetect {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Descriptive statistics.
+// ---------------------------------------------------------------------------
+
+TEST(DescriptiveTest, MeanAndVariance) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance(values), 4.0);
+  EXPECT_NEAR(SampleVariance(values), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(DescriptiveTest, EmptyInputsReturnZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(Mean(empty), 0.0);
+  EXPECT_EQ(SampleVariance(empty), 0.0);
+  EXPECT_EQ(Median(empty), 0.0);
+  EXPECT_EQ(Percentile(empty, 90.0), 0.0);
+  EXPECT_EQ(MedianAbsoluteDeviation(empty, true), 0.0);
+  EXPECT_EQ(Min(empty), 0.0);
+  EXPECT_EQ(Max(empty), 0.0);
+}
+
+TEST(DescriptiveTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(DescriptiveTest, PercentileInterpolates) {
+  const std::vector<double> values = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 25.0);
+}
+
+TEST(DescriptiveTest, SinglePointPercentile) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(Percentile(one, 10.0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(one, 99.0), 42.0);
+}
+
+TEST(DescriptiveTest, MadRobustToOutlier) {
+  const std::vector<double> values = {1.0, 1.1, 0.9, 1.05, 0.95, 100.0};
+  const double mad = MedianAbsoluteDeviation(values, /*normalized=*/false);
+  EXPECT_LT(mad, 0.2);  // The single outlier barely moves the MAD.
+  EXPECT_NEAR(MedianAbsoluteDeviation(values, true), mad * 1.4826, 1e-12);
+}
+
+TEST(DescriptiveTest, HasNonFinite) {
+  EXPECT_FALSE(HasNonFinite(std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(HasNonFinite(std::vector<double>{1.0, std::nan("")}));
+  EXPECT_TRUE(HasNonFinite(std::vector<double>{1.0, INFINITY}));
+}
+
+// ---------------------------------------------------------------------------
+// Welford accumulator.
+// ---------------------------------------------------------------------------
+
+TEST(AccumulatorTest, MatchesBatchStatistics) {
+  Rng rng(1);
+  std::vector<double> values;
+  WelfordAccumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(3.0, 2.0);
+    values.push_back(v);
+    acc.Add(v);
+  }
+  EXPECT_NEAR(acc.mean(), Mean(values), 1e-9);
+  EXPECT_NEAR(acc.sample_variance(), SampleVariance(values), 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), Min(values));
+  EXPECT_DOUBLE_EQ(acc.max(), Max(values));
+}
+
+// Property: merging split accumulators equals one accumulator over all data,
+// regardless of split point.
+class AccumulatorMergeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccumulatorMergeTest, MergeEqualsWhole) {
+  const int split = GetParam();
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.Normal(0.0, 5.0));
+  }
+  WelfordAccumulator whole;
+  WelfordAccumulator left;
+  WelfordAccumulator right;
+  for (int i = 0; i < 200; ++i) {
+    whole.Add(values[static_cast<size_t>(i)]);
+    (i < split ? left : right).Add(values[static_cast<size_t>(i)]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.sample_variance(), whole.sample_variance(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, AccumulatorMergeTest,
+                         ::testing::Values(0, 1, 50, 100, 150, 199, 200));
+
+// ---------------------------------------------------------------------------
+// Distributions.
+// ---------------------------------------------------------------------------
+
+TEST(DistributionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021, 1e-5);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.0249979, 1e-5);
+}
+
+TEST(DistributionsTest, NormalQuantileRoundTrips) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(DistributionsTest, ChiSquaredKnownValues) {
+  // chi2(1): P(X <= 3.841) ~= 0.95; chi2(2): P(X <= 5.991) ~= 0.95.
+  EXPECT_NEAR(ChiSquaredCdf(3.841, 1.0), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquaredCdf(5.991, 2.0), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquaredSurvival(6.635, 1.0), 0.01, 1e-3);
+}
+
+TEST(DistributionsTest, StudentTCriticalMatchesTables) {
+  // Two-sided alpha=0.05: df=10 -> 2.228, df=30 -> 2.042, df=inf -> 1.960.
+  EXPECT_NEAR(StudentTCriticalTwoSided(0.05, 10.0), 2.228, 0.01);
+  EXPECT_NEAR(StudentTCriticalTwoSided(0.05, 30.0), 2.042, 0.005);
+  EXPECT_NEAR(StudentTCriticalTwoSided(0.05, 1e6), 1.960, 0.001);
+  // alpha=0.01, df=20 -> 2.845.
+  EXPECT_NEAR(StudentTCriticalTwoSided(0.01, 20.0), 2.845, 0.02);
+}
+
+TEST(DistributionsTest, RegularizedGammaBoundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 30.0), 1.0, 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Hypothesis tests.
+// ---------------------------------------------------------------------------
+
+TEST(HypothesisTest, WelchDetectsShiftedMeans) {
+  Rng rng(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.Normal(0.0, 1.0));
+    b.push_back(rng.Normal(0.5, 1.0));
+  }
+  const TTestResult result = WelchTTest(a, b, 0.01);
+  EXPECT_TRUE(result.significant);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(HypothesisTest, WelchAcceptsEqualMeans) {
+  Rng rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.Normal(1.0, 1.0));
+    b.push_back(rng.Normal(1.0, 1.0));
+  }
+  const TTestResult result = WelchTTest(a, b, 0.01);
+  EXPECT_FALSE(result.significant);
+}
+
+TEST(HypothesisTest, WelchHandlesTinyGroups) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {2.0, 3.0};
+  EXPECT_FALSE(WelchTTest(a, b, 0.05).significant);
+}
+
+TEST(HypothesisTest, WelchConstantGroupsDifferentMeans) {
+  const std::vector<double> a = {1.0, 1.0, 1.0};
+  const std::vector<double> b = {2.0, 2.0, 2.0};
+  EXPECT_TRUE(WelchTTest(a, b, 0.05).significant);
+}
+
+TEST(HypothesisTest, LikelihoodRatioDetectsMeanShift) {
+  Rng rng(4);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.Normal(i < 50 ? 0.0 : 1.0, 0.5));
+  }
+  const LikelihoodRatioResult result = MeanShiftLikelihoodRatioTest(values, 50, 0.01);
+  EXPECT_TRUE(result.significant);
+}
+
+TEST(HypothesisTest, LikelihoodRatioAcceptsNoShift) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.Normal(0.0, 0.5));
+  }
+  const LikelihoodRatioResult result = MeanShiftLikelihoodRatioTest(values, 50, 0.01);
+  EXPECT_FALSE(result.significant);
+}
+
+TEST(HypothesisTest, LikelihoodRatioRejectsDegenerateSplit) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_FALSE(MeanShiftLikelihoodRatioTest(values, 0, 0.01).significant);
+  EXPECT_FALSE(MeanShiftLikelihoodRatioTest(values, 4, 0.01).significant);
+}
+
+// Property (Appendix A.2): the smallest detectable shift scales ~ sqrt(1/n).
+// With the shift fixed, detection must turn on as n grows.
+class DetectionThresholdLawTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetectionThresholdLawTest, MoreSamplesDetectSmallerShifts) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(n));
+  const double shift = 0.2;  // sigma = 1.
+  int detections = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < n; ++i) {
+      a.push_back(rng.Normal(0.0, 1.0));
+      b.push_back(rng.Normal(shift, 1.0));
+    }
+    if (WelchTTest(a, b, 0.01).significant) {
+      ++detections;
+    }
+  }
+  // Power grows with n: nearly never at n=10, nearly always at n=2000.
+  if (n >= 2000) {
+    EXPECT_GE(detections, trials - 2);
+  }
+  if (n <= 10) {
+    EXPECT_LE(detections, trials / 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, DetectionThresholdLawTest,
+                         ::testing::Values(10, 100, 500, 2000, 5000));
+
+// ---------------------------------------------------------------------------
+// Trend statistics.
+// ---------------------------------------------------------------------------
+
+TEST(TrendTest, MannKendallDetectsIncreasingTrend) {
+  std::vector<double> values;
+  for (int i = 0; i < 40; ++i) {
+    values.push_back(static_cast<double>(i) * 0.5);
+  }
+  const MannKendallResult result = MannKendallTest(values, 0.05);
+  EXPECT_TRUE(result.significant);
+  EXPECT_EQ(result.direction, TrendDirection::kIncreasing);
+}
+
+TEST(TrendTest, MannKendallDetectsDecreasingTrend) {
+  std::vector<double> values;
+  for (int i = 0; i < 40; ++i) {
+    values.push_back(-static_cast<double>(i));
+  }
+  EXPECT_EQ(MannKendallTest(values, 0.05).direction, TrendDirection::kDecreasing);
+}
+
+TEST(TrendTest, MannKendallNoTrendOnNoise) {
+  Rng rng(6);
+  std::vector<double> values;
+  for (int i = 0; i < 60; ++i) {
+    values.push_back(rng.Normal(0.0, 1.0));
+  }
+  EXPECT_EQ(MannKendallTest(values, 0.01).direction, TrendDirection::kNone);
+}
+
+TEST(TrendTest, MannKendallAllTiesIsNoTrend) {
+  const std::vector<double> values(20, 3.0);
+  const MannKendallResult result = MannKendallTest(values, 0.05);
+  EXPECT_FALSE(result.significant);
+  EXPECT_EQ(result.direction, TrendDirection::kNone);
+}
+
+TEST(TrendTest, MannKendallShortInputNotSignificant) {
+  EXPECT_FALSE(MannKendallTest(std::vector<double>{1.0, 2.0, 3.0}, 0.05).significant);
+}
+
+TEST(TheilSenTest, ExactOnPerfectLine) {
+  std::vector<double> values;
+  for (int i = 0; i < 25; ++i) {
+    values.push_back(3.0 + 0.7 * static_cast<double>(i));
+  }
+  const TheilSenResult result = TheilSenEstimate(values);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.slope, 0.7, 1e-12);
+  EXPECT_NEAR(result.intercept, 3.0, 1e-12);
+}
+
+// Property: Theil-Sen stays accurate with up to ~25% outliers.
+class TheilSenRobustnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TheilSenRobustnessTest, RobustToOutliers) {
+  const int num_outliers = GetParam();
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 60; ++i) {
+    values.push_back(1.0 + 0.5 * static_cast<double>(i) + rng.Normal(0.0, 0.05));
+  }
+  for (int k = 0; k < num_outliers; ++k) {
+    values[rng.NextUint64(values.size())] += rng.Uniform(20.0, 50.0);
+  }
+  const TheilSenResult result = TheilSenEstimate(values);
+  EXPECT_NEAR(result.slope, 0.5, 0.1) << "outliers=" << num_outliers;
+}
+
+INSTANTIATE_TEST_SUITE_P(OutlierCounts, TheilSenRobustnessTest, ::testing::Values(0, 3, 8, 15));
+
+TEST(TheilSenTest, TooFewPointsInvalid) {
+  EXPECT_FALSE(TheilSenEstimate(std::vector<double>{5.0}).valid);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation / seasonality.
+// ---------------------------------------------------------------------------
+
+TEST(CorrelationTest, PearsonPerfectPositive) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PearsonPerfectNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PearsonConstantSeriesIsZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(CorrelationTest, AutocorrelationOfSinePeaksAtPeriod) {
+  std::vector<double> values;
+  const size_t period = 24;
+  for (size_t i = 0; i < 240; ++i) {
+    values.push_back(std::sin(2.0 * M_PI * static_cast<double>(i) / period));
+  }
+  EXPECT_GT(Autocorrelation(values, period), 0.9);
+  EXPECT_LT(Autocorrelation(values, period / 2), -0.9);
+}
+
+class SeasonalityDetectionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SeasonalityDetectionTest, FindsPlantedPeriod) {
+  const size_t period = GetParam();
+  Rng rng(8);
+  std::vector<double> values;
+  for (size_t i = 0; i < period * 12; ++i) {
+    values.push_back(std::sin(2.0 * M_PI * static_cast<double>(i) / period) +
+                     rng.Normal(0.0, 0.15));
+  }
+  const SeasonalityEstimate estimate = DetectSeasonality(values, 4, period * 3, 0.3);
+  ASSERT_TRUE(estimate.present);
+  EXPECT_NEAR(static_cast<double>(estimate.period), static_cast<double>(period),
+              static_cast<double>(period) * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SeasonalityDetectionTest, ::testing::Values(12, 24, 48, 96));
+
+TEST(SeasonalityDetectionTest, NoSeasonalityInWhiteNoise) {
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.Normal(0.0, 1.0));
+  }
+  EXPECT_FALSE(DetectSeasonality(values, 4, 150, 0.3).present);
+}
+
+// ---------------------------------------------------------------------------
+// Linear regression and Fourier features.
+// ---------------------------------------------------------------------------
+
+TEST(LinRegTest, ExactFitOnLine) {
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) {
+    values.push_back(5.0 - 0.25 * static_cast<double>(i));
+  }
+  const LinearFit fit = FitLine(values);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.slope, -0.25, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-10);
+}
+
+TEST(LinRegTest, NoisyLineHasPositiveRmse) {
+  Rng rng(10);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(static_cast<double>(i) + rng.Normal(0.0, 2.0));
+  }
+  const LinearFit fit = FitLine(values);
+  EXPECT_GT(fit.rmse, 1.0);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+}
+
+TEST(FourierTest, DominantFrequencyOfSine) {
+  std::vector<double> values;
+  const size_t n = 128;
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(std::sin(2.0 * M_PI * 4.0 * static_cast<double>(i) / n));
+  }
+  EXPECT_EQ(DominantFrequency(values), 4u);
+}
+
+TEST(FourierTest, ConstantSeriesHasNoDominantFrequency) {
+  const std::vector<double> values(64, 2.5);
+  EXPECT_EQ(DominantFrequency(values), 0u);
+}
+
+TEST(FourierTest, MagnitudesVectorHasRequestedLength) {
+  const std::vector<double> values = {1.0, 2.0, 1.0, 2.0, 1.0, 2.0};
+  EXPECT_EQ(FourierMagnitudes(values, 4).size(), 4u);
+  EXPECT_EQ(FourierMagnitudes({}, 4).size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Text features.
+// ---------------------------------------------------------------------------
+
+TEST(TextTest, CosineSimilarityIdenticalIsOne) {
+  EXPECT_NEAR(TextCosineSimilarity("FetchUserById", "fetch_user_by_id"), 1.0, 1e-9);
+}
+
+TEST(TextTest, CosineSimilarityDisjointIsZero) {
+  EXPECT_EQ(TextCosineSimilarity("alpha beta", "gamma delta"), 0.0);
+}
+
+TEST(TextTest, CosineSimilarityPartialOverlap) {
+  const double similarity = TextCosineSimilarity("tao client fetch", "tao server store");
+  EXPECT_GT(similarity, 0.0);
+  EXPECT_LT(similarity, 1.0);
+}
+
+TEST(TextTest, TfIdfEmbedIsUnitNorm) {
+  TfIdfHasher hasher(16);
+  hasher.Fit({"service/gcpu/sub_1", "service/gcpu/sub_2", "service/throughput"});
+  const std::vector<double> embedding = hasher.Embed("service/gcpu/sub_3");
+  double norm = 0.0;
+  for (double v : embedding) {
+    norm += v * v;
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(TextTest, TfIdfSimilarStringsCloser) {
+  TfIdfHasher hasher(32);
+  hasher.Fit({"svc/gcpu/sub_10", "svc/gcpu/sub_11", "svc/throughput/endpoint_1"});
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      sum += a[i] * b[i];
+    }
+    return sum;
+  };
+  const auto base = hasher.Embed("svc/gcpu/sub_10");
+  EXPECT_GT(dot(base, hasher.Embed("svc/gcpu/sub_11")),
+            dot(base, hasher.Embed("svc/throughput/endpoint_1")));
+}
+
+TEST(TextTest, EmptyTermVectorSimilarityIsZero) {
+  EXPECT_EQ(CosineSimilarity({}, BuildTermVector({"a"})), 0.0);
+}
+
+}  // namespace
+}  // namespace fbdetect

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/profiling/call_graph.h"
+#include "src/tracing/trace.h"
+#include "src/tracing/trace_generator.h"
+
+namespace fbdetect {
+namespace {
+
+// entry -> {work -> leaf, io}, same shape as the profiling tests.
+struct TracedGraph {
+  CallGraph graph;
+  NodeId entry;
+  NodeId work;
+  NodeId io;
+  NodeId leaf;
+
+  TracedGraph() {
+    entry = graph.AddNode({"entry", "Api", 1.0, ""});
+    work = graph.AddNode({"work", "Worker", 2.0, ""});
+    io = graph.AddNode({"io", "Worker", 3.0, ""});
+    leaf = graph.AddNode({"leaf", "Worker", 4.0, ""});
+    graph.AddEdge(entry, work, 1.0);
+    graph.AddEdge(entry, io, 1.0);
+    graph.AddEdge(work, leaf, 1.0);
+  }
+};
+
+TEST(TraceTest, EndpointCostSumsAllSpans) {
+  Trace trace;
+  trace.spans = {
+      {0, kNoSpan, 0, "entry", 1.0, false},
+      {1, 0, 0, "work", 2.0, false},
+      {2, 0, 1, "io", 3.0, true},  // Async on another thread.
+  };
+  EXPECT_DOUBLE_EQ(trace.EndpointCost(), 6.0);
+  EXPECT_EQ(trace.ThreadCount(), 2);
+  EXPECT_EQ(trace.ChildrenOf(0), (std::vector<SpanId>{1, 2}));
+  EXPECT_TRUE(trace.IsWellFormed());
+}
+
+TEST(TraceTest, MalformedTraces) {
+  Trace empty;
+  EXPECT_FALSE(empty.IsWellFormed());
+  Trace bad_root;
+  bad_root.spans = {{0, 5, 0, "x", 1.0, false}};
+  EXPECT_FALSE(bad_root.IsWellFormed());
+  Trace forward_parent;
+  forward_parent.spans = {{0, kNoSpan, 0, "x", 1.0, false}, {1, 2, 0, "y", 1.0, false}};
+  EXPECT_FALSE(forward_parent.IsWellFormed());
+}
+
+TEST(TraceGeneratorTest, GeneratesWellFormedTraces) {
+  TracedGraph t;
+  TraceGenerator generator(&t.graph, {});
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Trace trace = generator.Generate("endpoint_0", t.entry, rng);
+    ASSERT_TRUE(trace.IsWellFormed());
+    EXPECT_EQ(trace.spans[0].subroutine, "entry");
+    EXPECT_EQ(trace.endpoint, "endpoint_0");
+  }
+}
+
+TEST(TraceGeneratorTest, MeanCostTracksGraphCosts) {
+  TracedGraph t;
+  TraceGeneratorOptions options;
+  options.cost_noise = 0.0;
+  TraceGenerator generator(&t.graph, options);
+  Rng rng(2);
+  // Every edge has weight 1.0 -> every request runs all four subroutines
+  // exactly once -> cost is deterministic: 1+2+3+4 = 10.
+  const double mean = generator.MeanEndpointCost("e", t.entry, 500, rng);
+  EXPECT_NEAR(mean, 10.0, 0.5);
+}
+
+TEST(TraceGeneratorTest, RegressionRaisesEndpointCost) {
+  TracedGraph t;
+  TraceGeneratorOptions options;
+  options.cost_noise = 0.05;
+  TraceGenerator generator(&t.graph, options);
+  Rng rng(3);
+  const double before = generator.MeanEndpointCost("e", t.entry, 2000, rng);
+  t.graph.ScaleSelfCost(t.leaf, 1.5);  // +50% in leaf.
+  const double after = generator.MeanEndpointCost("e", t.entry, 2000, rng);
+  EXPECT_NEAR(after - before, 2.0, 0.4);  // leaf 4.0 -> 6.0.
+}
+
+TEST(TraceGeneratorTest, AsyncProbabilityControlsThreadFanout) {
+  TracedGraph t;
+  TraceGeneratorOptions sync_options;
+  sync_options.async_probability = 0.0;
+  TraceGenerator sync_generator(&t.graph, sync_options);
+  TraceGeneratorOptions async_options;
+  async_options.async_probability = 1.0;
+  TraceGenerator async_generator(&t.graph, async_options);
+  Rng rng(4);
+  int sync_threads = 0;
+  int async_threads = 0;
+  for (int i = 0; i < 100; ++i) {
+    sync_threads += sync_generator.Generate("e", t.entry, rng).ThreadCount();
+    async_threads += async_generator.Generate("e", t.entry, rng).ThreadCount();
+  }
+  EXPECT_EQ(sync_threads, 100);     // Everything on thread 0.
+  EXPECT_GT(async_threads, 300);    // Every child dispatched to a new thread.
+}
+
+TEST(TraceGeneratorTest, MaxSpansCapsRunawayTraces) {
+  // A wide graph with heavy fan-out must stay within max_spans.
+  Rng build_rng(5);
+  RandomCallGraphOptions graph_options;
+  graph_options.num_subroutines = 200;
+  graph_options.max_depth = 6;
+  CallGraph graph = GenerateRandomCallGraph(graph_options, build_rng);
+  TraceGeneratorOptions options;
+  options.max_spans = 64;
+  TraceGenerator generator(&graph, options);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Trace trace = generator.Generate("e", graph.roots()[0], rng);
+    EXPECT_LE(trace.spans.size(), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace fbdetect

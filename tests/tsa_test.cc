@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/stats/descriptive.h"
+#include "src/tsa/cusum.h"
+#include "src/tsa/dp_changepoint.h"
+#include "src/tsa/em_changepoint.h"
+#include "src/tsa/loess.h"
+#include "src/tsa/sax.h"
+#include "src/tsa/stl.h"
+
+namespace fbdetect {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SAX.
+// ---------------------------------------------------------------------------
+
+TEST(SaxTest, PaperExampleAbcdcba) {
+  // §5.2.2: [1.1, 2.0, 3.1, 4.2, 3.5, 2.3, 1.1] with four buckets where 'a'
+  // is [1, 2) etc. encodes as "abcdcba". Reference [1, 5) gives those exact
+  // bucket edges with 4 buckets... our encoder derives the range from data
+  // (min 1.1, max 4.2), so supply an explicit reference spanning [1.0, 5.0).
+  const std::vector<double> reference = {1.0, 2.0, 3.0, 4.0, 4.9999};
+  SaxConfig config;
+  config.num_buckets = 4;
+  config.min_bucket_fraction = 0.0;
+  const SaxEncoder encoder(reference, config);
+  const std::vector<double> series = {1.1, 2.0, 3.1, 4.2, 3.5, 2.3, 1.1};
+  EXPECT_EQ(encoder.EncodeSeries(series), "abcdcba");
+}
+
+TEST(SaxTest, ValuesOutsideRangeClampToEdgeBuckets) {
+  const std::vector<double> reference = {0.0, 10.0};
+  SaxConfig config;
+  config.num_buckets = 5;
+  const SaxEncoder encoder(reference, config);
+  EXPECT_EQ(encoder.Encode(-100.0), 'a');
+  EXPECT_EQ(encoder.Encode(100.0), 'e');
+}
+
+TEST(SaxTest, ConstantReferenceCollapsesToOneBucket) {
+  const std::vector<double> reference(10, 3.0);
+  const SaxEncoder encoder(reference, SaxConfig{});
+  EXPECT_EQ(encoder.Encode(3.0), 'a');
+  EXPECT_EQ(encoder.Encode(-5.0), 'a');
+  EXPECT_EQ(encoder.num_buckets(), 1);
+}
+
+TEST(SaxTest, ValidityRuleFiltersRareBuckets) {
+  // 97 points near 0 and 3 outliers near 1: with 3% threshold over 100
+  // points, the outlier bucket has exactly 3 (= 3%) -> valid; with a higher
+  // threshold it becomes invalid.
+  std::vector<double> reference(97, 0.05);
+  reference.insert(reference.end(), {0.95, 0.96, 0.97});
+  SaxConfig strict;
+  strict.num_buckets = 10;
+  strict.min_bucket_fraction = 0.05;
+  const SaxEncoder strict_encoder(reference, strict);
+  EXPECT_FALSE(strict_encoder.IsValidLetter('j'));
+  EXPECT_TRUE(strict_encoder.IsValidLetter('a'));
+
+  SaxConfig lenient = strict;
+  lenient.min_bucket_fraction = 0.03;
+  const SaxEncoder lenient_encoder(reference, lenient);
+  EXPECT_TRUE(lenient_encoder.IsValidLetter('j'));
+}
+
+TEST(SaxTest, InvalidFraction) {
+  std::vector<double> reference(100, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    reference.push_back(1.0);
+  }
+  SaxConfig config;
+  config.num_buckets = 2;
+  config.min_bucket_fraction = 0.03;
+  const SaxEncoder encoder(reference, config);
+  EXPECT_DOUBLE_EQ(encoder.InvalidFraction("ab"), 0.0);
+  EXPECT_DOUBLE_EQ(encoder.InvalidFraction(""), 1.0);
+}
+
+TEST(SaxTest, LargestValidLetter) {
+  std::vector<double> reference;
+  for (int i = 0; i < 100; ++i) {
+    reference.push_back(static_cast<double>(i % 10));
+  }
+  SaxConfig config;
+  config.num_buckets = 10;
+  const SaxEncoder encoder(reference, config);
+  EXPECT_EQ(encoder.LargestValidLetter(), 'j');
+}
+
+// Property: encoding is monotone — larger values never map to smaller letters.
+class SaxMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaxMonotonicityTest, EncodingIsMonotone) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> reference;
+  for (int i = 0; i < 200; ++i) {
+    reference.push_back(rng.Normal(0.0, 5.0));
+  }
+  SaxConfig config;
+  config.num_buckets = 20;
+  const SaxEncoder encoder(reference, config);
+  double previous = -100.0;
+  for (double v = -100.0; v <= 100.0; v += 0.5) {
+    EXPECT_GE(encoder.Encode(v), encoder.Encode(previous));
+    previous = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaxMonotonicityTest, ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Loess / STL.
+// ---------------------------------------------------------------------------
+
+TEST(LoessTest, ReproducesLineExactly) {
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(2.0 + 0.3 * static_cast<double>(i));
+  }
+  const std::vector<double> smoothed = LoessSmooth(values, 11);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(smoothed[i], values[i], 1e-9);
+  }
+}
+
+TEST(LoessTest, SmoothsNoise) {
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(5.0 + rng.Normal(0.0, 1.0));
+  }
+  const std::vector<double> smoothed = LoessSmooth(values, 41);
+  EXPECT_LT(SampleVariance(smoothed), SampleVariance(values) / 4.0);
+}
+
+TEST(LoessTest, HandlesDegenerateInputs) {
+  EXPECT_TRUE(LoessSmooth({}, 5).empty());
+  EXPECT_EQ(LoessSmooth(std::vector<double>{7.0}, 5), (std::vector<double>{7.0}));
+}
+
+TEST(StlTest, ComponentsSumToInput) {
+  Rng rng(12);
+  std::vector<double> values;
+  const size_t period = 24;
+  for (size_t i = 0; i < period * 10; ++i) {
+    values.push_back(10.0 + 0.01 * static_cast<double>(i) +
+                     2.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / period) +
+                     rng.Normal(0.0, 0.2));
+  }
+  const Decomposition stl = StlDecompose(values, period);
+  ASSERT_TRUE(stl.valid);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(stl.seasonal[i] + stl.trend[i] + stl.residual[i], values[i], 1e-9);
+  }
+}
+
+TEST(StlTest, RecoversSeasonalAmplitude) {
+  std::vector<double> values;
+  const size_t period = 12;
+  for (size_t i = 0; i < period * 20; ++i) {
+    values.push_back(5.0 + 3.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / period));
+  }
+  const Decomposition stl = StlDecompose(values, period);
+  ASSERT_TRUE(stl.valid);
+  // Interior seasonal component should reach close to +-3.
+  const std::span<const double> interior(stl.seasonal.data() + period * 2,
+                                         stl.seasonal.size() - period * 4);
+  EXPECT_GT(Max(interior), 2.5);
+  EXPECT_LT(Min(interior), -2.5);
+  // Residual should be small in the interior.
+  const std::span<const double> res(stl.residual.data() + period * 2,
+                                    stl.residual.size() - period * 4);
+  EXPECT_LT(SampleStdDev(res), 0.5);
+}
+
+TEST(StlTest, TooShortSeriesIsInvalid) {
+  const std::vector<double> values(10, 1.0);
+  const Decomposition stl = StlDecompose(values, 12);
+  EXPECT_FALSE(stl.valid);
+  // Everything stays in trend.
+  EXPECT_EQ(stl.trend, values);
+}
+
+TEST(StlTest, TrendFollowsLevelShiftSmoothly) {
+  std::vector<double> values;
+  const size_t period = 8;
+  for (size_t i = 0; i < period * 16; ++i) {
+    const double level = i < period * 8 ? 1.0 : 2.0;
+    values.push_back(level + 0.3 * std::sin(2.0 * M_PI * static_cast<double>(i) / period));
+  }
+  const Decomposition stl = StlDecompose(values, period);
+  ASSERT_TRUE(stl.valid);
+  EXPECT_LT(stl.trend[period * 2], 1.3);
+  EXPECT_GT(stl.trend[period * 14], 1.7);
+}
+
+TEST(MovingAverageTest, DecomposesSeasonalSeries) {
+  std::vector<double> values;
+  const size_t period = 6;
+  for (size_t i = 0; i < period * 10; ++i) {
+    values.push_back(4.0 + std::sin(2.0 * M_PI * static_cast<double>(i) / period));
+  }
+  const Decomposition ma = MovingAverageDecompose(values, period);
+  ASSERT_TRUE(ma.valid);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(ma.seasonal[i] + ma.trend[i] + ma.residual[i], values[i], 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CUSUM.
+// ---------------------------------------------------------------------------
+
+TEST(CusumTest, LocatesCleanStep) {
+  std::vector<double> values(100, 1.0);
+  for (size_t i = 60; i < 100; ++i) {
+    values[i] = 2.0;
+  }
+  const CusumResult result = CusumLocate(values);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.change_point, 60u);
+  EXPECT_DOUBLE_EQ(result.mean_before, 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_after, 2.0);
+}
+
+TEST(CusumTest, ConstantSeriesNotFound) {
+  const std::vector<double> values(50, 3.0);
+  EXPECT_FALSE(CusumLocate(values).found);
+}
+
+TEST(CusumTest, TooShortNotFound) {
+  EXPECT_FALSE(CusumLocate(std::vector<double>{1.0, 2.0, 3.0}, 2).found);
+}
+
+TEST(CusumTest, PathEndsNearZero) {
+  Rng rng(13);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.Normal(5.0, 1.0));
+  }
+  const std::vector<double> path = CusumPath(values);
+  EXPECT_NEAR(path.back(), 0.0, 1e-9);  // Sum of deviations from the mean.
+}
+
+// ---------------------------------------------------------------------------
+// CUSUM + EM iterative change-point detection.
+// ---------------------------------------------------------------------------
+
+struct EmCase {
+  double magnitude;
+  double noise;
+  bool expect_found;
+};
+
+class EmChangePointTest : public ::testing::TestWithParam<EmCase> {};
+
+TEST_P(EmChangePointTest, FindsPlantedStepWhenDetectable) {
+  const EmCase c = GetParam();
+  Rng rng(14);
+  std::vector<double> values;
+  const size_t n = 200;
+  const size_t planted = 120;
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(rng.Normal(i < planted ? 1.0 : 1.0 + c.magnitude, c.noise));
+  }
+  const ChangePoint result = DetectChangePoint(values);
+  EXPECT_EQ(result.found, c.expect_found)
+      << "magnitude=" << c.magnitude << " noise=" << c.noise;
+  if (result.found && c.expect_found) {
+    EXPECT_NEAR(static_cast<double>(result.index), static_cast<double>(planted), 8.0);
+    EXPECT_GT(result.delta, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, EmChangePointTest,
+                         ::testing::Values(EmCase{1.0, 0.1, true}, EmCase{0.5, 0.1, true},
+                                           EmCase{0.2, 0.05, true}, EmCase{1.0, 0.5, true},
+                                           EmCase{0.0, 0.1, false}));
+
+TEST(EmChangePointTest, RespectsSignificanceLevel) {
+  Rng rng(15);
+  // Pure noise: across many trials, false positives should be rare at 0.01.
+  int false_positives = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> values;
+    for (int i = 0; i < 100; ++i) {
+      values.push_back(rng.Normal(0.0, 1.0));
+    }
+    if (DetectChangePoint(values).found) {
+      ++false_positives;
+    }
+  }
+  // The EM loop picks the best split, inflating the nominal level; it still
+  // must reject the vast majority of pure-noise series.
+  EXPECT_LT(false_positives, 30);
+}
+
+TEST(EmChangePointTest, ShortSeriesNotFound) {
+  const std::vector<double> values = {1.0, 2.0, 1.0};
+  EXPECT_FALSE(DetectChangePoint(values).found);
+}
+
+TEST(EmChangePointTest, ConvergesWithinBudget) {
+  Rng rng(16);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(rng.Normal(i < 150 ? 0.0 : 1.0, 0.3));
+  }
+  ChangePointConfig config;
+  config.max_iterations = 50;
+  const ChangePoint result = DetectChangePoint(values, config);
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.iterations_used, 10);  // Should converge fast.
+}
+
+// ---------------------------------------------------------------------------
+// DP change-point search.
+// ---------------------------------------------------------------------------
+
+TEST(DpChangePointTest, SingleSplitMinimizesVariance) {
+  std::vector<double> values(40, 0.0);
+  for (size_t i = 25; i < 40; ++i) {
+    values[i] = 10.0;
+  }
+  EXPECT_EQ(BestSingleSplit(values), 25u);
+}
+
+TEST(DpChangePointTest, TwoChangePoints) {
+  std::vector<double> values;
+  for (int i = 0; i < 30; ++i) {
+    values.push_back(0.0);
+  }
+  for (int i = 0; i < 30; ++i) {
+    values.push_back(5.0);
+  }
+  for (int i = 0; i < 30; ++i) {
+    values.push_back(-3.0);
+  }
+  const Segmentation seg = DpSegment(values, 2);
+  ASSERT_TRUE(seg.valid);
+  ASSERT_EQ(seg.change_points.size(), 2u);
+  EXPECT_EQ(seg.change_points[0], 30u);
+  EXPECT_EQ(seg.change_points[1], 60u);
+  EXPECT_NEAR(seg.total_cost, 0.0, 1e-9);
+}
+
+TEST(DpChangePointTest, InfeasibleSegmentationInvalid) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(DpSegment(values, 3, 2).valid);
+}
+
+TEST(DpChangePointTest, ZeroChangesReturnsWholeSeriesCost) {
+  const std::vector<double> values = {1.0, 3.0, 1.0, 3.0};
+  const Segmentation seg = DpSegment(values, 0);
+  ASSERT_TRUE(seg.valid);
+  EXPECT_TRUE(seg.change_points.empty());
+  EXPECT_NEAR(seg.total_cost, 4.0, 1e-9);  // Sum of squared deviations from 2.
+}
+
+TEST(DpChangePointTest, RespectsMinSegment) {
+  std::vector<double> values(20, 0.0);
+  values[19] = 100.0;  // Tempting split at 19 violates min_segment=5.
+  const Segmentation seg = DpSegment(values, 1, 5);
+  ASSERT_TRUE(seg.valid);
+  EXPECT_GE(seg.change_points[0], 5u);
+  EXPECT_LE(seg.change_points[0], 15u);
+}
+
+}  // namespace
+}  // namespace fbdetect

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+#include "src/tsdb/database.h"
+#include "src/tsdb/metric_id.h"
+#include "src/tsdb/timeseries.h"
+#include "src/tsdb/window.h"
+
+namespace fbdetect {
+namespace {
+
+TimeSeries MakeSeries(TimePoint start, Duration step, const std::vector<double>& values) {
+  TimeSeries series;
+  TimePoint t = start;
+  for (double v : values) {
+    series.Append(t, v);
+    t += step;
+  }
+  return series;
+}
+
+TEST(MetricIdTest, ToStringFormats) {
+  MetricId id{"svc", MetricKind::kGcpu, "foo", ""};
+  EXPECT_EQ(id.ToString(), "svc/gcpu/foo");
+  id.metadata = "user/vip";
+  EXPECT_EQ(id.ToString(), "svc/gcpu/foo@user/vip");
+  MetricId service_level{"svc", MetricKind::kCpu, "", ""};
+  EXPECT_EQ(service_level.ToString(), "svc/cpu");
+}
+
+TEST(MetricIdTest, EqualityAndHash) {
+  const MetricId a{"svc", MetricKind::kGcpu, "foo", ""};
+  const MetricId b{"svc", MetricKind::kGcpu, "foo", ""};
+  const MetricId c{"svc", MetricKind::kGcpu, "bar", ""};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const MetricIdHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(MetricIdTest, AllKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(MetricKind::kApplication); ++k) {
+    EXPECT_STRNE(MetricKindName(static_cast<MetricKind>(k)), "unknown");
+  }
+}
+
+TEST(TimeSeriesTest, AppendAndAccess) {
+  const TimeSeries series = MakeSeries(100, 10, {1.0, 2.0, 3.0});
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.start_time(), 100);
+  EXPECT_EQ(series.end_time(), 120);
+}
+
+TEST(TimeSeriesTest, SliceHalfOpenInterval) {
+  const TimeSeries series = MakeSeries(0, 10, {0.0, 1.0, 2.0, 3.0, 4.0});
+  const TimeSeries slice = series.Slice(10, 40);
+  EXPECT_EQ(slice.size(), 3u);
+  EXPECT_EQ(slice.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TimeSeriesTest, ValuesBetweenEmptyRange) {
+  const TimeSeries series = MakeSeries(0, 10, {1.0, 2.0});
+  EXPECT_TRUE(series.ValuesBetween(100, 200).empty());
+  EXPECT_TRUE(series.ValuesBetween(5, 5).empty());
+}
+
+TEST(TimeSeriesTest, ResampleAverages) {
+  const TimeSeries series = MakeSeries(0, 10, {1.0, 3.0, 5.0, 7.0});
+  const TimeSeries resampled = series.Resample(20);
+  ASSERT_EQ(resampled.size(), 2u);
+  EXPECT_DOUBLE_EQ(resampled.values()[0], 2.0);
+  EXPECT_DOUBLE_EQ(resampled.values()[1], 6.0);
+}
+
+TEST(TimeSeriesTest, DropBefore) {
+  TimeSeries series = MakeSeries(0, 10, {1.0, 2.0, 3.0, 4.0});
+  series.DropBefore(20);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.start_time(), 20);
+}
+
+TEST(WindowTest, ExtractSplitsCorrectly) {
+  // 100 points at 1s resolution, as_of = 100.
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  const TimeSeries series = MakeSeries(0, 1, values);
+  WindowSpec spec;
+  spec.historical = 70;
+  spec.analysis = 20;
+  spec.extended = 10;
+  const WindowExtract extract = ExtractWindows(series, 100, spec);
+  EXPECT_EQ(extract.historical.size(), 70u);
+  EXPECT_EQ(extract.analysis.size(), 20u);
+  EXPECT_EQ(extract.extended.size(), 10u);
+  EXPECT_DOUBLE_EQ(extract.historical.front(), 0.0);
+  EXPECT_DOUBLE_EQ(extract.analysis.front(), 70.0);
+  EXPECT_DOUBLE_EQ(extract.extended.front(), 90.0);
+  EXPECT_EQ(extract.analysis_plus_extended.size(), 30u);
+  EXPECT_EQ(extract.analysis_timestamps.size(), 30u);
+  EXPECT_EQ(extract.analysis_timestamps.front(), 70);
+}
+
+TEST(WindowTest, PartialDataYieldsShortWindows) {
+  const TimeSeries series = MakeSeries(90, 1, {1.0, 2.0, 3.0});
+  WindowSpec spec;
+  spec.historical = 50;
+  spec.analysis = 10;
+  const WindowExtract extract = ExtractWindows(series, 100, spec);
+  EXPECT_TRUE(extract.historical.empty());
+  EXPECT_EQ(extract.analysis.size(), 3u);
+  EXPECT_FALSE(extract.HasEnoughData(1, 1));
+  EXPECT_TRUE(extract.HasEnoughData(0, 2));
+}
+
+TEST(DatabaseTest, WriteAndFind) {
+  TimeSeriesDatabase db;
+  const MetricId id{"svc", MetricKind::kCpu, "", ""};
+  db.Write(id, 10, 0.5);
+  db.Write(id, 20, 0.6);
+  const TimeSeries* series = db.Find(id);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 2u);
+  EXPECT_EQ(db.Find(MetricId{"other", MetricKind::kCpu, "", ""}), nullptr);
+}
+
+TEST(DatabaseTest, ListMetricsFiltersAndSorts) {
+  TimeSeriesDatabase db;
+  db.Write({"b_svc", MetricKind::kCpu, "", ""}, 1, 0.1);
+  db.Write({"a_svc", MetricKind::kGcpu, "sub_2", ""}, 1, 0.1);
+  db.Write({"a_svc", MetricKind::kGcpu, "sub_1", ""}, 1, 0.1);
+  db.Write({"a_svc", MetricKind::kThroughput, "", ""}, 1, 0.1);
+
+  const std::vector<MetricId> all = db.ListMetrics();
+  EXPECT_EQ(all.size(), 4u);
+  const std::vector<MetricId> a_only = db.ListMetrics("a_svc");
+  EXPECT_EQ(a_only.size(), 3u);
+  // Deterministic lexicographic order.
+  EXPECT_EQ(a_only[0].entity, "sub_1");
+  EXPECT_EQ(a_only[1].entity, "sub_2");
+
+  const std::vector<MetricId> gcpu = db.ListMetricsOfKind("a_svc", MetricKind::kGcpu);
+  EXPECT_EQ(gcpu.size(), 2u);
+}
+
+TEST(DatabaseTest, WriteSeriesBulkAndAppend) {
+  TimeSeriesDatabase db;
+  const MetricId id{"svc", MetricKind::kLatency, "e", ""};
+  db.WriteSeries(id, MakeSeries(0, 10, {1.0, 2.0}));
+  db.WriteSeries(id, MakeSeries(20, 10, {3.0}));
+  EXPECT_EQ(db.Find(id)->size(), 3u);
+}
+
+TEST(DatabaseTest, ExpireDropsOldPointsAndEmptyMetrics) {
+  TimeSeriesDatabase db;
+  const MetricId keep{"svc", MetricKind::kCpu, "", ""};
+  const MetricId drop{"svc", MetricKind::kMemory, "", ""};
+  db.WriteSeries(keep, MakeSeries(0, 10, {1.0, 2.0, 3.0}));
+  db.WriteSeries(drop, MakeSeries(0, 10, {1.0}));
+  db.Expire(15);  // Keeps only points with t >= 15: {20} of `keep`.
+  EXPECT_EQ(db.metric_count(), 1u);
+  EXPECT_EQ(db.Find(keep)->size(), 1u);
+  EXPECT_EQ(db.total_points(), 1u);
+}
+
+}  // namespace
+}  // namespace fbdetect
