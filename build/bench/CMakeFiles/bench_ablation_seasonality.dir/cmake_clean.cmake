@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seasonality.dir/bench_ablation_seasonality.cc.o"
+  "CMakeFiles/bench_ablation_seasonality.dir/bench_ablation_seasonality.cc.o.d"
+  "bench_ablation_seasonality"
+  "bench_ablation_seasonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seasonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

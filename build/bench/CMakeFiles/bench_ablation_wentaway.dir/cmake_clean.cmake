@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wentaway.dir/bench_ablation_wentaway.cc.o"
+  "CMakeFiles/bench_ablation_wentaway.dir/bench_ablation_wentaway.cc.o.d"
+  "bench_ablation_wentaway"
+  "bench_ablation_wentaway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wentaway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_scaling.dir/bench_appendix_scaling.cc.o"
+  "CMakeFiles/bench_appendix_scaling.dir/bench_appendix_scaling.cc.o.d"
+  "bench_appendix_scaling"
+  "bench_appendix_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_process_level.dir/bench_fig2_process_level.cc.o"
+  "CMakeFiles/bench_fig2_process_level.dir/bench_fig2_process_level.cc.o.d"
+  "bench_fig2_process_level"
+  "bench_fig2_process_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_process_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_subroutine_level.dir/bench_fig3_subroutine_level.cc.o"
+  "CMakeFiles/bench_fig3_subroutine_level.dir/bench_fig3_subroutine_level.cc.o.d"
+  "bench_fig3_subroutine_level"
+  "bench_fig3_subroutine_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_subroutine_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

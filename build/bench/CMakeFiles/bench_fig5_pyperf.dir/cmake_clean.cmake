@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pyperf.dir/bench_fig5_pyperf.cc.o"
+  "CMakeFiles/bench_fig5_pyperf.dir/bench_fig5_pyperf.cc.o.d"
+  "bench_fig5_pyperf"
+  "bench_fig5_pyperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pyperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

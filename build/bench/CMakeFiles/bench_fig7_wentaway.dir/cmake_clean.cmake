@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_wentaway.dir/bench_fig7_wentaway.cc.o"
+  "CMakeFiles/bench_fig7_wentaway.dir/bench_fig7_wentaway.cc.o.d"
+  "bench_fig7_wentaway"
+  "bench_fig7_wentaway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wentaway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_egads.dir/bench_fig8_egads.cc.o"
+  "CMakeFiles/bench_fig8_egads.dir/bench_fig8_egads.cc.o.d"
+  "bench_fig8_egads"
+  "bench_fig8_egads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_egads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

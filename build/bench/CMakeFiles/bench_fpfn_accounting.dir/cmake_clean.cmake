@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpfn_accounting.dir/bench_fpfn_accounting.cc.o"
+  "CMakeFiles/bench_fpfn_accounting.dir/bench_fpfn_accounting.cc.o.d"
+  "bench_fpfn_accounting"
+  "bench_fpfn_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpfn_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pyperf_overhead.cc" "bench/CMakeFiles/bench_pyperf_overhead.dir/bench_pyperf_overhead.cc.o" "gcc" "bench/CMakeFiles/bench_pyperf_overhead.dir/bench_pyperf_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/fbd_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/fbd_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fbd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

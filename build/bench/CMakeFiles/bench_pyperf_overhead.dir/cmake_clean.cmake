@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pyperf_overhead.dir/bench_pyperf_overhead.cc.o"
+  "CMakeFiles/bench_pyperf_overhead.dir/bench_pyperf_overhead.cc.o.d"
+  "bench_pyperf_overhead"
+  "bench_pyperf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pyperf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_attribution.cc" "bench/CMakeFiles/bench_table2_attribution.dir/bench_table2_attribution.cc.o" "gcc" "bench/CMakeFiles/bench_table2_attribution.dir/bench_table2_attribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/egads/CMakeFiles/fbd_egads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/fbd_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/fbd_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsa/CMakeFiles/fbd_tsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/fbd_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fbd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracing/CMakeFiles/fbd_tracing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_funnel.dir/bench_table3_funnel.cc.o"
+  "CMakeFiles/bench_table3_funnel.dir/bench_table3_funnel.cc.o.d"
+  "bench_table3_funnel"
+  "bench_table3_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

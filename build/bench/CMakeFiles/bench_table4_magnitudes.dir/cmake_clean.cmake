@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_magnitudes.dir/bench_table4_magnitudes.cc.o"
+  "CMakeFiles/bench_table4_magnitudes.dir/bench_table4_magnitudes.cc.o.d"
+  "bench_table4_magnitudes"
+  "bench_table4_magnitudes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_magnitudes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_triage.dir/capacity_triage.cpp.o"
+  "CMakeFiles/capacity_triage.dir/capacity_triage.cpp.o.d"
+  "capacity_triage"
+  "capacity_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invoicer.dir/invoicer.cpp.o"
+  "CMakeFiles/invoicer.dir/invoicer.cpp.o.d"
+  "invoicer"
+  "invoicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invoicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

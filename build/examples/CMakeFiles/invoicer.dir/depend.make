@@ -1,0 +1,2 @@
+# Empty dependencies file for invoicer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyperf_demo.dir/pyperf_demo.cpp.o"
+  "CMakeFiles/pyperf_demo.dir/pyperf_demo.cpp.o.d"
+  "pyperf_demo"
+  "pyperf_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyperf_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

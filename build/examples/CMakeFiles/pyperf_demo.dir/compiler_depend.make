@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pyperf_demo.
+# This may be replaced when dependencies are built.

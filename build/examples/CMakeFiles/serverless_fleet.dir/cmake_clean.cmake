@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_fleet.dir/serverless_fleet.cpp.o"
+  "CMakeFiles/serverless_fleet.dir/serverless_fleet.cpp.o.d"
+  "serverless_fleet"
+  "serverless_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

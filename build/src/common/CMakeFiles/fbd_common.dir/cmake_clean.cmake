@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_common.dir/logging.cc.o"
+  "CMakeFiles/fbd_common.dir/logging.cc.o.d"
+  "CMakeFiles/fbd_common.dir/random.cc.o"
+  "CMakeFiles/fbd_common.dir/random.cc.o.d"
+  "CMakeFiles/fbd_common.dir/strings.cc.o"
+  "CMakeFiles/fbd_common.dir/strings.cc.o.d"
+  "libfbd_common.a"
+  "libfbd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

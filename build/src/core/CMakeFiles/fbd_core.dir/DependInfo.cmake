@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/change_point_stage.cc" "src/core/CMakeFiles/fbd_core.dir/change_point_stage.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/change_point_stage.cc.o.d"
+  "/root/repo/src/core/clustering_alternatives.cc" "src/core/CMakeFiles/fbd_core.dir/clustering_alternatives.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/clustering_alternatives.cc.o.d"
+  "/root/repo/src/core/code_info.cc" "src/core/CMakeFiles/fbd_core.dir/code_info.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/code_info.cc.o.d"
+  "/root/repo/src/core/cost_shift.cc" "src/core/CMakeFiles/fbd_core.dir/cost_shift.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/cost_shift.cc.o.d"
+  "/root/repo/src/core/long_term.cc" "src/core/CMakeFiles/fbd_core.dir/long_term.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/long_term.cc.o.d"
+  "/root/repo/src/core/pairwise_dedup.cc" "src/core/CMakeFiles/fbd_core.dir/pairwise_dedup.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/pairwise_dedup.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/fbd_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/regression.cc" "src/core/CMakeFiles/fbd_core.dir/regression.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/regression.cc.o.d"
+  "/root/repo/src/core/root_cause.cc" "src/core/CMakeFiles/fbd_core.dir/root_cause.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/root_cause.cc.o.d"
+  "/root/repo/src/core/same_regression_merger.cc" "src/core/CMakeFiles/fbd_core.dir/same_regression_merger.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/same_regression_merger.cc.o.d"
+  "/root/repo/src/core/seasonality_stage.cc" "src/core/CMakeFiles/fbd_core.dir/seasonality_stage.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/seasonality_stage.cc.o.d"
+  "/root/repo/src/core/som.cc" "src/core/CMakeFiles/fbd_core.dir/som.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/som.cc.o.d"
+  "/root/repo/src/core/som_dedup.cc" "src/core/CMakeFiles/fbd_core.dir/som_dedup.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/som_dedup.cc.o.d"
+  "/root/repo/src/core/threshold_filter.cc" "src/core/CMakeFiles/fbd_core.dir/threshold_filter.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/threshold_filter.cc.o.d"
+  "/root/repo/src/core/went_away.cc" "src/core/CMakeFiles/fbd_core.dir/went_away.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/went_away.cc.o.d"
+  "/root/repo/src/core/went_away_legacy.cc" "src/core/CMakeFiles/fbd_core.dir/went_away_legacy.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/went_away_legacy.cc.o.d"
+  "/root/repo/src/core/workload_config.cc" "src/core/CMakeFiles/fbd_core.dir/workload_config.cc.o" "gcc" "src/core/CMakeFiles/fbd_core.dir/workload_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/fbd_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/fbd_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsa/CMakeFiles/fbd_tsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/fbd_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fbd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracing/CMakeFiles/fbd_tracing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_egads.dir/egads.cc.o"
+  "CMakeFiles/fbd_egads.dir/egads.cc.o.d"
+  "libfbd_egads.a"
+  "libfbd_egads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_egads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

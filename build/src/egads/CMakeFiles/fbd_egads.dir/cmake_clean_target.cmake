@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfbd_egads.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/change_log.cc" "src/fleet/CMakeFiles/fbd_fleet.dir/change_log.cc.o" "gcc" "src/fleet/CMakeFiles/fbd_fleet.dir/change_log.cc.o.d"
+  "/root/repo/src/fleet/events.cc" "src/fleet/CMakeFiles/fbd_fleet.dir/events.cc.o" "gcc" "src/fleet/CMakeFiles/fbd_fleet.dir/events.cc.o.d"
+  "/root/repo/src/fleet/fleet.cc" "src/fleet/CMakeFiles/fbd_fleet.dir/fleet.cc.o" "gcc" "src/fleet/CMakeFiles/fbd_fleet.dir/fleet.cc.o.d"
+  "/root/repo/src/fleet/scenario.cc" "src/fleet/CMakeFiles/fbd_fleet.dir/scenario.cc.o" "gcc" "src/fleet/CMakeFiles/fbd_fleet.dir/scenario.cc.o.d"
+  "/root/repo/src/fleet/service.cc" "src/fleet/CMakeFiles/fbd_fleet.dir/service.cc.o" "gcc" "src/fleet/CMakeFiles/fbd_fleet.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracing/CMakeFiles/fbd_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/fbd_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/fbd_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fbd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

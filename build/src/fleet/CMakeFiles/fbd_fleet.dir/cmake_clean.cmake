@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_fleet.dir/change_log.cc.o"
+  "CMakeFiles/fbd_fleet.dir/change_log.cc.o.d"
+  "CMakeFiles/fbd_fleet.dir/events.cc.o"
+  "CMakeFiles/fbd_fleet.dir/events.cc.o.d"
+  "CMakeFiles/fbd_fleet.dir/fleet.cc.o"
+  "CMakeFiles/fbd_fleet.dir/fleet.cc.o.d"
+  "CMakeFiles/fbd_fleet.dir/scenario.cc.o"
+  "CMakeFiles/fbd_fleet.dir/scenario.cc.o.d"
+  "CMakeFiles/fbd_fleet.dir/service.cc.o"
+  "CMakeFiles/fbd_fleet.dir/service.cc.o.d"
+  "libfbd_fleet.a"
+  "libfbd_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/call_graph.cc" "src/profiling/CMakeFiles/fbd_profiling.dir/call_graph.cc.o" "gcc" "src/profiling/CMakeFiles/fbd_profiling.dir/call_graph.cc.o.d"
+  "/root/repo/src/profiling/profile.cc" "src/profiling/CMakeFiles/fbd_profiling.dir/profile.cc.o" "gcc" "src/profiling/CMakeFiles/fbd_profiling.dir/profile.cc.o.d"
+  "/root/repo/src/profiling/profile_store.cc" "src/profiling/CMakeFiles/fbd_profiling.dir/profile_store.cc.o" "gcc" "src/profiling/CMakeFiles/fbd_profiling.dir/profile_store.cc.o.d"
+  "/root/repo/src/profiling/profiler.cc" "src/profiling/CMakeFiles/fbd_profiling.dir/profiler.cc.o" "gcc" "src/profiling/CMakeFiles/fbd_profiling.dir/profiler.cc.o.d"
+  "/root/repo/src/profiling/pyperf.cc" "src/profiling/CMakeFiles/fbd_profiling.dir/pyperf.cc.o" "gcc" "src/profiling/CMakeFiles/fbd_profiling.dir/pyperf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsdb/CMakeFiles/fbd_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fbd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_profiling.dir/call_graph.cc.o"
+  "CMakeFiles/fbd_profiling.dir/call_graph.cc.o.d"
+  "CMakeFiles/fbd_profiling.dir/profile.cc.o"
+  "CMakeFiles/fbd_profiling.dir/profile.cc.o.d"
+  "CMakeFiles/fbd_profiling.dir/profile_store.cc.o"
+  "CMakeFiles/fbd_profiling.dir/profile_store.cc.o.d"
+  "CMakeFiles/fbd_profiling.dir/profiler.cc.o"
+  "CMakeFiles/fbd_profiling.dir/profiler.cc.o.d"
+  "CMakeFiles/fbd_profiling.dir/pyperf.cc.o"
+  "CMakeFiles/fbd_profiling.dir/pyperf.cc.o.d"
+  "libfbd_profiling.a"
+  "libfbd_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_report.dir/report.cc.o"
+  "CMakeFiles/fbd_report.dir/report.cc.o.d"
+  "libfbd_report.a"
+  "libfbd_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/accumulator.cc" "src/stats/CMakeFiles/fbd_stats.dir/accumulator.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/accumulator.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/fbd_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/fbd_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/fbd_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/fourier.cc" "src/stats/CMakeFiles/fbd_stats.dir/fourier.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/fourier.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/stats/CMakeFiles/fbd_stats.dir/hypothesis.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/hypothesis.cc.o.d"
+  "/root/repo/src/stats/linreg.cc" "src/stats/CMakeFiles/fbd_stats.dir/linreg.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/linreg.cc.o.d"
+  "/root/repo/src/stats/text.cc" "src/stats/CMakeFiles/fbd_stats.dir/text.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/text.cc.o.d"
+  "/root/repo/src/stats/trend.cc" "src/stats/CMakeFiles/fbd_stats.dir/trend.cc.o" "gcc" "src/stats/CMakeFiles/fbd_stats.dir/trend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_stats.dir/accumulator.cc.o"
+  "CMakeFiles/fbd_stats.dir/accumulator.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/correlation.cc.o"
+  "CMakeFiles/fbd_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/descriptive.cc.o"
+  "CMakeFiles/fbd_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/distributions.cc.o"
+  "CMakeFiles/fbd_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/fourier.cc.o"
+  "CMakeFiles/fbd_stats.dir/fourier.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/hypothesis.cc.o"
+  "CMakeFiles/fbd_stats.dir/hypothesis.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/linreg.cc.o"
+  "CMakeFiles/fbd_stats.dir/linreg.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/text.cc.o"
+  "CMakeFiles/fbd_stats.dir/text.cc.o.d"
+  "CMakeFiles/fbd_stats.dir/trend.cc.o"
+  "CMakeFiles/fbd_stats.dir/trend.cc.o.d"
+  "libfbd_stats.a"
+  "libfbd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_tracing.dir/trace.cc.o"
+  "CMakeFiles/fbd_tracing.dir/trace.cc.o.d"
+  "CMakeFiles/fbd_tracing.dir/trace_generator.cc.o"
+  "CMakeFiles/fbd_tracing.dir/trace_generator.cc.o.d"
+  "libfbd_tracing.a"
+  "libfbd_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsa/cusum.cc" "src/tsa/CMakeFiles/fbd_tsa.dir/cusum.cc.o" "gcc" "src/tsa/CMakeFiles/fbd_tsa.dir/cusum.cc.o.d"
+  "/root/repo/src/tsa/dp_changepoint.cc" "src/tsa/CMakeFiles/fbd_tsa.dir/dp_changepoint.cc.o" "gcc" "src/tsa/CMakeFiles/fbd_tsa.dir/dp_changepoint.cc.o.d"
+  "/root/repo/src/tsa/em_changepoint.cc" "src/tsa/CMakeFiles/fbd_tsa.dir/em_changepoint.cc.o" "gcc" "src/tsa/CMakeFiles/fbd_tsa.dir/em_changepoint.cc.o.d"
+  "/root/repo/src/tsa/loess.cc" "src/tsa/CMakeFiles/fbd_tsa.dir/loess.cc.o" "gcc" "src/tsa/CMakeFiles/fbd_tsa.dir/loess.cc.o.d"
+  "/root/repo/src/tsa/sax.cc" "src/tsa/CMakeFiles/fbd_tsa.dir/sax.cc.o" "gcc" "src/tsa/CMakeFiles/fbd_tsa.dir/sax.cc.o.d"
+  "/root/repo/src/tsa/stl.cc" "src/tsa/CMakeFiles/fbd_tsa.dir/stl.cc.o" "gcc" "src/tsa/CMakeFiles/fbd_tsa.dir/stl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/fbd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

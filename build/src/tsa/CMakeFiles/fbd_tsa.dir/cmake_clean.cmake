@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_tsa.dir/cusum.cc.o"
+  "CMakeFiles/fbd_tsa.dir/cusum.cc.o.d"
+  "CMakeFiles/fbd_tsa.dir/dp_changepoint.cc.o"
+  "CMakeFiles/fbd_tsa.dir/dp_changepoint.cc.o.d"
+  "CMakeFiles/fbd_tsa.dir/em_changepoint.cc.o"
+  "CMakeFiles/fbd_tsa.dir/em_changepoint.cc.o.d"
+  "CMakeFiles/fbd_tsa.dir/loess.cc.o"
+  "CMakeFiles/fbd_tsa.dir/loess.cc.o.d"
+  "CMakeFiles/fbd_tsa.dir/sax.cc.o"
+  "CMakeFiles/fbd_tsa.dir/sax.cc.o.d"
+  "CMakeFiles/fbd_tsa.dir/stl.cc.o"
+  "CMakeFiles/fbd_tsa.dir/stl.cc.o.d"
+  "libfbd_tsa.a"
+  "libfbd_tsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_tsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

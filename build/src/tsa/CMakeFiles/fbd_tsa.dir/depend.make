@@ -1,0 +1,2 @@
+# Empty dependencies file for fbd_tsa.
+# This may be replaced when dependencies are built.

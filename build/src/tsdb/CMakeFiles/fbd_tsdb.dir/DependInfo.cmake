@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdb/database.cc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/database.cc.o" "gcc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/database.cc.o.d"
+  "/root/repo/src/tsdb/gorilla.cc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/gorilla.cc.o" "gcc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/gorilla.cc.o.d"
+  "/root/repo/src/tsdb/metric_id.cc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/metric_id.cc.o" "gcc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/metric_id.cc.o.d"
+  "/root/repo/src/tsdb/timeseries.cc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/timeseries.cc.o" "gcc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/timeseries.cc.o.d"
+  "/root/repo/src/tsdb/window.cc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/window.cc.o" "gcc" "src/tsdb/CMakeFiles/fbd_tsdb.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

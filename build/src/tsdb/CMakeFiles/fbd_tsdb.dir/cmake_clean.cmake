@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbd_tsdb.dir/database.cc.o"
+  "CMakeFiles/fbd_tsdb.dir/database.cc.o.d"
+  "CMakeFiles/fbd_tsdb.dir/gorilla.cc.o"
+  "CMakeFiles/fbd_tsdb.dir/gorilla.cc.o.d"
+  "CMakeFiles/fbd_tsdb.dir/metric_id.cc.o"
+  "CMakeFiles/fbd_tsdb.dir/metric_id.cc.o.d"
+  "CMakeFiles/fbd_tsdb.dir/timeseries.cc.o"
+  "CMakeFiles/fbd_tsdb.dir/timeseries.cc.o.d"
+  "CMakeFiles/fbd_tsdb.dir/window.cc.o"
+  "CMakeFiles/fbd_tsdb.dir/window.cc.o.d"
+  "libfbd_tsdb.a"
+  "libfbd_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbd_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fbd_tsdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egads_test.dir/egads_test.cc.o"
+  "CMakeFiles/egads_test.dir/egads_test.cc.o.d"
+  "egads_test"
+  "egads_test.pdb"
+  "egads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

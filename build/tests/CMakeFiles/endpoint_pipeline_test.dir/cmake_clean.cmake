@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endpoint_pipeline_test.dir/endpoint_pipeline_test.cc.o"
+  "CMakeFiles/endpoint_pipeline_test.dir/endpoint_pipeline_test.cc.o.d"
+  "endpoint_pipeline_test"
+  "endpoint_pipeline_test.pdb"
+  "endpoint_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endpoint_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

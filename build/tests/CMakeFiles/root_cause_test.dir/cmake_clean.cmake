@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_cause_test.dir/root_cause_test.cc.o"
+  "CMakeFiles/root_cause_test.dir/root_cause_test.cc.o.d"
+  "root_cause_test"
+  "root_cause_test.pdb"
+  "root_cause_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_cause_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsa_test.dir/tsa_test.cc.o"
+  "CMakeFiles/tsa_test.dir/tsa_test.cc.o.d"
+  "tsa_test"
+  "tsa_test.pdb"
+  "tsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/tsa_test[1]_include.cmake")
+include("/root/repo/build/tests/tsdb_test[1]_include.cmake")
+include("/root/repo/build/tests/profiling_test[1]_include.cmake")
+include("/root/repo/build/tests/fleet_test[1]_include.cmake")
+include("/root/repo/build/tests/detectors_test[1]_include.cmake")
+include("/root/repo/build/tests/dedup_test[1]_include.cmake")
+include("/root/repo/build/tests/root_cause_test[1]_include.cmake")
+include("/root/repo/build/tests/egads_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/tracing_test[1]_include.cmake")
+include("/root/repo/build/tests/alternatives_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/endpoint_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_store_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/gorilla_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbdetect_sim.dir/fbdetect_sim.cc.o"
+  "CMakeFiles/fbdetect_sim.dir/fbdetect_sim.cc.o.d"
+  "fbdetect_sim"
+  "fbdetect_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbdetect_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
