@@ -1,0 +1,96 @@
+#include "src/common/thread_pool.h"
+
+namespace fbdetect {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::DrainBatch(uint64_t batch, const std::function<void(size_t)>& task) {
+  while (true) {
+    size_t index;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // The batch guard keeps a straggler that wakes late from executing (or
+      // double-counting) indices of a NEWER batch with the OLD task.
+      if (batch_id_ != batch || next_index_ >= num_tasks_) {
+        return;
+      }
+      index = next_index_++;
+    }
+    task(index);
+    bool last = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      last = batch_id_ == batch && ++completed_ == num_tasks_;
+    }
+    if (last) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_batch = 0;
+  while (true) {
+    const std::function<void(size_t)>* task = nullptr;
+    uint64_t batch = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this, seen_batch]() {
+        return stop_ || (task_ != nullptr && batch_id_ != seen_batch);
+      });
+      if (stop_) {
+        return;
+      }
+      batch = batch_id_;
+      task = task_;
+    }
+    seen_batch = batch;
+    DrainBatch(batch, *task);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) {
+    return;
+  }
+  if (workers_.empty() || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) {
+      task(i);
+    }
+    return;
+  }
+  uint64_t batch = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    task_ = &task;
+    next_index_ = 0;
+    num_tasks_ = num_tasks;
+    completed_ = 0;
+    batch = ++batch_id_;
+  }
+  work_cv_.notify_all();
+  // The caller participates, so a batch always makes progress even while the
+  // workers are still waking up.
+  DrainBatch(batch, task);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this]() { return completed_ == num_tasks_; });
+  task_ = nullptr;
+}
+
+}  // namespace fbdetect

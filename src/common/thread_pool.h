@@ -1,0 +1,62 @@
+// A fixed-size worker pool with a shared task counter, built for the
+// pipeline's per-re-run scan fan-out (§5.1): `RunPeriod` issues many `RunAt`
+// calls, and spawning/joining fresh std::threads per run dominates small
+// scans. The pool spawns its workers once; each ParallelFor call hands out
+// task indices [0, num_tasks) to the workers AND the calling thread, and
+// returns when every index has been executed.
+//
+// ParallelFor is synchronous and not reentrant: one batch runs at a time,
+// and tasks must not call ParallelFor on the same pool.
+#ifndef FBDETECT_SRC_COMMON_THREAD_POOL_H_
+#define FBDETECT_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fbdetect {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers. 0 is valid: ParallelFor then runs every
+  // task on the calling thread (useful for single-threaded configurations).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Runs task(0) .. task(num_tasks - 1) across the pool workers and the
+  // calling thread; returns once all have completed. Task indices are handed
+  // out dynamically, so callers that need determinism must make each task's
+  // RESULT depend only on its index (e.g. write into a per-index slot).
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task);
+
+ private:
+  void WorkerLoop();
+  // Pulls and runs task indices of batch `batch` until none remain (or a
+  // newer batch superseded it).
+  void DrainBatch(uint64_t batch, const std::function<void(size_t)>& task);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // Signals workers: new batch or stop.
+  std::condition_variable done_cv_;   // Signals ParallelFor: batch finished.
+  const std::function<void(size_t)>* task_ = nullptr;  // Null = no batch.
+  size_t next_index_ = 0;     // Next task index to hand out.
+  size_t num_tasks_ = 0;      // Size of the current batch.
+  size_t completed_ = 0;      // Tasks finished in the current batch.
+  uint64_t batch_id_ = 0;     // Bumped per batch so workers detect new work.
+  bool stop_ = false;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_COMMON_THREAD_POOL_H_

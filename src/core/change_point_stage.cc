@@ -1,6 +1,7 @@
 #include "src/core/change_point_stage.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "src/stats/descriptive.h"
@@ -8,43 +9,25 @@
 
 namespace fbdetect {
 
-std::optional<Regression> ChangePointStage::Detect(const MetricId& metric,
-                                                   const WindowExtract& windows) const {
+std::optional<ScanCandidate> ChangePointStage::DetectCandidate(const ScanView& view) const {
   // Minimum data requirements: the statistics below need a meaningful
   // baseline and enough analysis points to host a split.
   const size_t min_analysis = std::max<size_t>(2 * config_.min_segment, 8);
-  if (windows.analysis.size() + windows.extended.size() < min_analysis ||
-      windows.historical.size() < min_analysis) {
+  if (view.analysis_size + view.extended_size < min_analysis ||
+      view.historical_size < min_analysis) {
     return std::nullopt;
   }
   // Corrupt input (NaN/inf from a broken exporter) must not poison the
   // statistics; skip the series for this run.
-  if (HasNonFinite(windows.historical) || HasNonFinite(windows.analysis) ||
-      HasNonFinite(windows.extended)) {
+  if (HasNonFinite(view.full)) {
     return std::nullopt;
   }
 
-  // Regression-positive orientation: for throughput-like metrics a drop is
-  // the regression, so the detector works on negated values.
-  const double sign = LowerIsRegression(metric.kind) ? -1.0 : 1.0;
-
   // Context: a tail of the historical window equal to the analysis window, so
   // a step at the historical/analysis boundary is visible to the detector.
-  const size_t analysis_size = windows.analysis.size();
-  const size_t extended_size = windows.extended.size();
-  const size_t context = std::min(windows.historical.size(), analysis_size);
-
-  std::vector<double> scan;
-  scan.reserve(context + analysis_size + extended_size);
-  for (size_t i = windows.historical.size() - context; i < windows.historical.size(); ++i) {
-    scan.push_back(sign * windows.historical[i]);
-  }
-  for (double v : windows.analysis) {
-    scan.push_back(sign * v);
-  }
-  for (double v : windows.extended) {
-    scan.push_back(sign * v);
-  }
+  // The view is contiguous, so the scan range is a subspan — no copy.
+  const size_t context = std::min(view.historical_size, view.analysis_size);
+  const std::span<const double> scan = view.full.subspan(view.historical_size - context);
 
   ChangePointConfig cp_config;
   cp_config.min_segment = config_.min_segment;
@@ -56,7 +39,7 @@ std::optional<Regression> ChangePointStage::Detect(const MetricId& metric,
   }
   // The change must fall inside the analysis window proper (not the context
   // tail, not the extended window).
-  if (cp.index < context || cp.index >= context + analysis_size) {
+  if (cp.index < context || cp.index >= context + view.analysis_size) {
     return std::nullopt;
   }
   // Only regressions (increases in the oriented series) are reported.
@@ -64,41 +47,38 @@ std::optional<Regression> ChangePointStage::Detect(const MetricId& metric,
     return std::nullopt;
   }
 
-  Regression regression;
-  regression.metric = metric;
-  regression.detected_at = windows.as_of;
-  regression.change_index = cp.index - context;
-  if (regression.change_index < windows.analysis_timestamps.size()) {
-    regression.change_time = windows.analysis_timestamps[regression.change_index];
-  } else {
-    regression.change_time = windows.as_of;
-  }
-  regression.extended_size = extended_size;
-  regression.p_value = cp.p_value;
-
+  ScanCandidate candidate;
+  candidate.change_index = cp.index - context;
+  candidate.p_value = cp.p_value;
   // Baseline from the FULL historical window (oriented), not just the scan
   // context — the historical window is the comparison baseline (Fig. 4).
-  regression.historical.reserve(windows.historical.size());
-  for (double v : windows.historical) {
-    regression.historical.push_back(sign * v);
-  }
-  regression.analysis.assign(scan.begin() + static_cast<long>(context), scan.end());
-  regression.analysis_timestamps = windows.analysis_timestamps;
-
-  regression.baseline_mean = Mean(regression.historical);
-  regression.regressed_mean =
-      Mean(std::span<const double>(regression.analysis)
-               .subspan(regression.change_index));
-  regression.delta = regression.regressed_mean - regression.baseline_mean;
-  regression.relative_delta = regression.baseline_mean != 0.0
-                                  ? regression.delta / std::abs(regression.baseline_mean)
-                                  : 0.0;
-  if (regression.delta <= 0.0) {
+  candidate.baseline_mean = Mean(view.historical());
+  candidate.regressed_mean =
+      Mean(view.analysis_plus_extended().subspan(candidate.change_index));
+  candidate.delta = candidate.regressed_mean - candidate.baseline_mean;
+  candidate.relative_delta = candidate.baseline_mean != 0.0
+                                 ? candidate.delta / std::abs(candidate.baseline_mean)
+                                 : 0.0;
+  if (candidate.delta <= 0.0) {
     // The split was significant locally but the level is not above the
     // historical baseline — not a regression against the baseline.
     return std::nullopt;
   }
-  return regression;
+  return candidate;
+}
+
+std::optional<Regression> ChangePointStage::Detect(const MetricId& metric,
+                                                   const WindowExtract& windows) const {
+  // Regression-positive orientation: for throughput-like metrics a drop is
+  // the regression, so the detector works on negated values.
+  const double sign = LowerIsRegression(metric.kind) ? -1.0 : 1.0;
+  std::vector<double> scratch;
+  const ScanView view = OrientWindows(windows, sign, scratch);
+  const std::optional<ScanCandidate> candidate = DetectCandidate(view);
+  if (!candidate) {
+    return std::nullopt;
+  }
+  return MaterializeRegression(metric, view, *candidate);
 }
 
 }  // namespace fbdetect

@@ -4,8 +4,12 @@
 // recent data (a one-analysis-window tail of the historical window for
 // context, plus the analysis and extended windows), validates the candidate
 // with the likelihood-ratio test, and — when the change point falls inside
-// the analysis window — emits a Regression candidate with all window data
-// attached in regression-positive orientation.
+// the analysis window — emits a candidate.
+//
+// The hot path (DetectCandidate) consumes a pre-oriented ScanView and emits
+// only scalars; window data is copied into a Regression exclusively for
+// candidates that survive the downstream filters. The Regression-returning
+// Detect overload is the convenience form for tests and benches.
 #ifndef FBDETECT_SRC_CORE_CHANGE_POINT_STAGE_H_
 #define FBDETECT_SRC_CORE_CHANGE_POINT_STAGE_H_
 
@@ -13,6 +17,7 @@
 
 #include "src/common/sim_time.h"
 #include "src/core/regression.h"
+#include "src/core/scan_view.h"
 #include "src/core/workload_config.h"
 #include "src/tsdb/metric_id.h"
 #include "src/tsdb/window.h"
@@ -23,9 +28,14 @@ class ChangePointStage {
  public:
   explicit ChangePointStage(const DetectionConfig& config) : config_(config) {}
 
-  // Returns a candidate regression, or nullopt when no significant change
-  // point lies in the analysis window. `windows` must come from
-  // ExtractWindows with the same config's WindowSpec.
+  // Zero-copy core: returns candidate scalars, or nullopt when no
+  // significant change point lies in the analysis window. `view` must be
+  // oriented (regression-positive) and built with the same config's
+  // WindowSpec.
+  std::optional<ScanCandidate> DetectCandidate(const ScanView& view) const;
+
+  // Convenience: orients `windows` by the metric's kind and materializes a
+  // full Regression for the candidate.
   std::optional<Regression> Detect(const MetricId& metric, const WindowExtract& windows) const;
 
  private:

@@ -14,29 +14,19 @@
 namespace fbdetect {
 
 std::optional<Regression> LongTermDetector::Detect(const MetricId& metric,
-                                                   const WindowExtract& windows) const {
-  const size_t analysis_size = windows.analysis.size();
-  if (analysis_size < 16 || windows.historical.size() < 16) {
+                                                   const ScanView& view) const {
+  const size_t analysis_size = view.analysis_size;
+  const size_t hist_size = view.historical_size;
+  if (analysis_size < 16 || hist_size < 16) {
     return std::nullopt;
   }
-  if (HasNonFinite(windows.historical) || HasNonFinite(windows.analysis) ||
-      HasNonFinite(windows.extended)) {
+  if (HasNonFinite(view.full)) {
     return std::nullopt;  // Corrupt exporter data: skip this run.
   }
-  const double sign = LowerIsRegression(metric.kind) ? -1.0 : 1.0;
 
-  // Full oriented series: historical + analysis + extended.
-  std::vector<double> full;
-  full.reserve(windows.historical.size() + analysis_size + windows.extended.size());
-  for (double v : windows.historical) {
-    full.push_back(sign * v);
-  }
-  for (double v : windows.analysis) {
-    full.push_back(sign * v);
-  }
-  for (double v : windows.extended) {
-    full.push_back(sign * v);
-  }
+  // Full oriented series: historical + analysis + extended — view.full,
+  // contiguous, already regression-positive. Nothing copied here.
+  const std::span<const double> full = view.full;
 
   // Step 1: seasonality decomposition. When seasonality is present, work on
   // the trend alone; otherwise smooth with STL's trend extraction anyway
@@ -45,12 +35,11 @@ std::optional<Regression> LongTermDetector::Detect(const MetricId& metric,
       DetectSeasonality(full, 4, full.size() / 3, config_.seasonality_min_correlation);
   const size_t period = season.present ? season.period : std::max<size_t>(4, full.size() / 20);
   const Decomposition stl = StlDecompose(full, period);
-  const std::vector<double>& trend = stl.valid ? stl.trend : full;
+  const std::span<const double> trend_span =
+      stl.valid ? std::span<const double>(stl.trend) : full;
 
   // Step 2: regression detection on the trend.
-  const size_t hist_size = windows.historical.size();
   const size_t edge = std::max<size_t>(4, analysis_size / 8);
-  const std::span<const double> trend_span(trend);
   const std::span<const double> analysis_trend = trend_span.subspan(hist_size, analysis_size);
   const std::span<const double> extended_trend =
       trend_span.subspan(hist_size + analysis_size);
@@ -92,12 +81,12 @@ std::optional<Regression> LongTermDetector::Detect(const MetricId& metric,
   Regression regression;
   regression.metric = metric;
   regression.long_term = true;
-  regression.detected_at = windows.as_of;
+  regression.detected_at = view.as_of;
   regression.change_index = change_index;
-  regression.change_time = change_index < windows.analysis_timestamps.size()
-                               ? windows.analysis_timestamps[change_index]
-                               : windows.analysis_begin;
-  regression.extended_size = windows.extended.size();
+  regression.change_time = change_index < view.analysis_timestamps.size()
+                               ? view.analysis_timestamps[change_index]
+                               : view.analysis_begin;
+  regression.extended_size = view.extended_size;
   regression.baseline_mean = baseline;
   regression.regressed_mean = current;
   regression.delta = delta;
@@ -107,8 +96,17 @@ std::optional<Regression> LongTermDetector::Detect(const MetricId& metric,
                                trend_span.begin() + static_cast<long>(hist_size));
   regression.analysis.assign(trend_span.begin() + static_cast<long>(hist_size),
                              trend_span.end());
-  regression.analysis_timestamps = windows.analysis_timestamps;
+  regression.analysis_timestamps.assign(view.analysis_timestamps.begin(),
+                                        view.analysis_timestamps.end());
   return regression;
+}
+
+std::optional<Regression> LongTermDetector::Detect(const MetricId& metric,
+                                                   const WindowExtract& windows) const {
+  const double sign = LowerIsRegression(metric.kind) ? -1.0 : 1.0;
+  std::vector<double> scratch;
+  const ScanView view = OrientWindows(windows, sign, scratch);
+  return Detect(metric, view);
 }
 
 }  // namespace fbdetect

@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "src/core/regression.h"
+#include "src/core/scan_view.h"
 #include "src/core/workload_config.h"
 #include "src/tsdb/metric_id.h"
 #include "src/tsdb/window.h"
@@ -29,6 +30,13 @@ class LongTermDetector {
  public:
   explicit LongTermDetector(const DetectionConfig& config) : config_(config) {}
 
+  // Zero-copy core: consumes a pre-oriented ScanView (no window copies are
+  // made on the non-detecting path; the returned Regression stores the STL
+  // trend, as before). DetectSeasonality underneath runs the O(n log n) FFT
+  // autocorrelation for the long windows this path sees.
+  std::optional<Regression> Detect(const MetricId& metric, const ScanView& view) const;
+
+  // Convenience: orients `windows` by the metric's kind first.
   std::optional<Regression> Detect(const MetricId& metric, const WindowExtract& windows) const;
 
  private:

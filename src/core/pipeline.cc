@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <thread>
+#include <span>
 
 #include "src/common/check.h"
 #include "src/tsdb/window.h"
@@ -31,7 +31,7 @@ Duration MergerTolerance(const PipelineOptions& options) {
 
 // Points per day at the metric's native resolution, for the went-away
 // detector's previous-day percentile.
-size_t PointsPerDay(const std::vector<TimePoint>& timestamps) {
+size_t PointsPerDay(std::span<const TimePoint> timestamps) {
   if (timestamps.size() < 2) {
     return 0;
   }
@@ -40,6 +40,20 @@ size_t PointsPerDay(const std::vector<TimePoint>& timestamps) {
     return 0;
   }
   return static_cast<size_t>(kDay / dt);
+}
+
+// Canonical survivor order: MetricId's field-wise ordering, short-term before
+// long-term within a metric. (metric, long_term) is unique — each path emits
+// at most one candidate per metric — so the order is total and the sort is
+// deterministic. The serial scan emits survivors in exactly this order
+// (CachedMetrics is sorted with the same comparator; the short-term push
+// precedes the long-term push in ScanMetric), which is what makes threaded
+// and single-threaded runs byte-identical.
+bool CanonicalSurvivorOrder(const Regression& a, const Regression& b) {
+  if (a.metric != b.metric) {
+    return a.metric < b.metric;
+  }
+  return a.long_term < b.long_term;
 }
 
 }  // namespace
@@ -56,7 +70,9 @@ Pipeline::Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
       merger_(MergerTolerance(options_)),
       som_dedup_(options_.som_dedup),
       cost_shift_(db, options_.cost_shift),
-      pairwise_(options_.pairwise_rule) {
+      pairwise_(options_.pairwise_rule),
+      pool_(static_cast<size_t>(std::max(1, options_.scan_threads) - 1)),
+      worker_scratch_(static_cast<size_t>(std::max(1, options_.scan_threads))) {
   FBD_CHECK(db_ != nullptr);
   cost_shift_.AddDefaultDetectors(code_info, change_log_);
   if (change_log_ != nullptr) {
@@ -72,29 +88,35 @@ void Pipeline::set_stack_overlap(StackOverlapFn overlap) {
 
 void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
                           std::vector<Regression>& survivors, FunnelStats& short_funnel,
-                          FunnelStats& long_funnel) const {
+                          FunnelStats& long_funnel, std::vector<double>& scratch) const {
   const TimeSeries* series = db_->Find(id);
   if (series == nullptr) {
     return;
   }
-  const WindowExtract windows = ExtractWindows(*series, as_of, options_.detection.windows);
+  // Zero-copy windows + one orientation pass shared by both paths. For
+  // higher-is-worse kinds the view aliases the series' storage directly.
+  const WindowView windows = ExtractWindowView(*series, as_of, options_.detection.windows);
+  const double sign = LowerIsRegression(id.kind) ? -1.0 : 1.0;
+  const ScanView view = OrientWindows(windows, sign, scratch);
 
   // ---- Short-term path ----
-  if (std::optional<Regression> candidate = change_point_stage_.Detect(id, windows)) {
+  if (const std::optional<ScanCandidate> candidate = change_point_stage_.DetectCandidate(view)) {
     ++short_funnel.change_points;
-    const size_t points_per_day = PointsPerDay(candidate->analysis_timestamps);
-    const WentAwayVerdict went_away = went_away_.Evaluate(*candidate, points_per_day);
+    const size_t points_per_day = PointsPerDay(view.analysis_timestamps);
+    const WentAwayVerdict went_away = went_away_.Evaluate(view, *candidate, points_per_day);
     if (went_away.keep) {
       ++short_funnel.after_went_away;
-      const SeasonalityVerdict seasonal = seasonality_.Evaluate(*candidate);
+      const SeasonalityVerdict seasonal = seasonality_.Evaluate(view, *candidate);
       if (!seasonal.seasonal_filtered) {
         ++short_funnel.after_seasonality;
         if (PassesThreshold(*candidate, options_.detection)) {
           ++short_funnel.after_threshold;
+          // First (and only) copy of window data on this path: the survivor.
+          Regression regression = MaterializeRegression(id, view, *candidate);
           if (root_cause_ != nullptr) {
-            candidate->candidate_root_causes = root_cause_->QuickCandidates(*candidate);
+            regression.candidate_root_causes = root_cause_->QuickCandidates(regression);
           }
-          survivors.push_back(std::move(*candidate));
+          survivors.push_back(std::move(regression));
         }
       }
     }
@@ -102,7 +124,7 @@ void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
 
   // ---- Long-term path ----
   if (options_.detection.enable_long_term) {
-    if (std::optional<Regression> candidate = long_term_.Detect(id, windows)) {
+    if (std::optional<Regression> candidate = long_term_.Detect(id, view)) {
       ++long_funnel.change_points;
       // The long-term detector applies the threshold internally; recheck for
       // the funnel row (Table 3 shows ~1/1.03 here).
@@ -117,38 +139,39 @@ void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
   }
 }
 
+const std::vector<MetricId>& Pipeline::CachedMetrics(const std::string& service) {
+  const uint64_t generation = db_->generation();
+  if (!cache_valid_ || cached_service_ != service || cached_generation_ != generation) {
+    cached_ids_ = db_->ListMetrics(service);
+    cached_service_ = service;
+    cached_generation_ = generation;
+    cache_valid_ = true;
+  }
+  return cached_ids_;
+}
+
 std::vector<Regression> Pipeline::ScanAllMetrics(const std::string& service, TimePoint as_of) {
-  const std::vector<MetricId> ids = db_->ListMetrics(service);
+  const std::vector<MetricId>& ids = CachedMetrics(service);
   const int threads = std::max(1, options_.scan_threads);
   if (threads == 1 || ids.size() < 2) {
     std::vector<Regression> survivors;
     for (const MetricId& id : ids) {
-      ScanMetric(id, as_of, survivors, short_funnel_, long_funnel_);
+      ScanMetric(id, as_of, survivors, short_funnel_, long_funnel_, worker_scratch_[0]);
     }
     return survivors;
   }
   // Static partition by stride; each worker keeps private survivors and
-  // funnel counters, merged afterwards in metric order for determinism.
+  // funnel counters, merged afterwards in canonical order for determinism.
   const size_t num_workers = std::min<size_t>(static_cast<size_t>(threads), ids.size());
   std::vector<std::vector<Regression>> worker_survivors(num_workers);
   std::vector<FunnelStats> worker_short(num_workers);
   std::vector<FunnelStats> worker_long(num_workers);
-  std::vector<std::thread> workers;
-  workers.reserve(num_workers);
-  for (size_t w = 0; w < num_workers; ++w) {
-    workers.emplace_back([this, &ids, as_of, w, num_workers, &worker_survivors, &worker_short,
-                          &worker_long]() {
-      for (size_t i = w; i < ids.size(); i += num_workers) {
-        ScanMetric(ids[i], as_of, worker_survivors[w], worker_short[w], worker_long[w]);
-      }
-    });
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
-  // Deterministic merge: interleave back into original id order. Each
-  // worker's survivors are already ordered by its stride positions; a simple
-  // ordered merge by (metric, long_term) restores a canonical order.
+  pool_.ParallelFor(num_workers, [&](size_t w) {
+    for (size_t i = w; i < ids.size(); i += num_workers) {
+      ScanMetric(ids[i], as_of, worker_survivors[w], worker_short[w], worker_long[w],
+                 worker_scratch_[w]);
+    }
+  });
   std::vector<Regression> survivors;
   for (size_t w = 0; w < num_workers; ++w) {
     short_funnel_.Accumulate(worker_short[w]);
@@ -156,14 +179,7 @@ std::vector<Regression> Pipeline::ScanAllMetrics(const std::string& service, Tim
     survivors.insert(survivors.end(), std::make_move_iterator(worker_survivors[w].begin()),
                      std::make_move_iterator(worker_survivors[w].end()));
   }
-  std::sort(survivors.begin(), survivors.end(), [](const Regression& a, const Regression& b) {
-    const std::string ka = a.metric.ToString();
-    const std::string kb = b.metric.ToString();
-    if (ka != kb) {
-      return ka < kb;
-    }
-    return a.long_term < b.long_term;
-  });
+  std::sort(survivors.begin(), survivors.end(), CanonicalSurvivorOrder);
   return survivors;
 }
 

@@ -9,15 +9,26 @@
 // SOMDedup -> cost-shift detector -> PairwiseDedup -> root-cause analysis.
 // Faster filters run first to starve the expensive later stages (§5.1).
 //
+// Scan path: per series, windows are extracted as zero-copy spans
+// (ExtractWindowView) and oriented regression-positive once into a per-worker
+// scratch buffer (a no-op for higher-is-worse metrics); candidates flow
+// through the filter stages as scalars and are materialized into Regression
+// objects only when they survive the threshold. Scans are fanned out over a
+// persistent ThreadPool with a deterministic stride partition; per-worker
+// survivors and funnel counters are merged in canonical (MetricId, path)
+// order, so the output is byte-identical for any scan_threads value.
+//
 // FunnelStats mirror Table 3: the count of surviving anomalies after each
 // stage, kept separately for the short-term and long-term paths.
 #ifndef FBDETECT_SRC_CORE_PIPELINE_H_
 #define FBDETECT_SRC_CORE_PIPELINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/change_point_stage.h"
 #include "src/core/code_info.h"
 #include "src/core/cost_shift.h"
@@ -26,6 +37,7 @@
 #include "src/core/regression.h"
 #include "src/core/root_cause.h"
 #include "src/core/same_regression_merger.h"
+#include "src/core/scan_view.h"
 #include "src/core/seasonality_stage.h"
 #include "src/core/som_dedup.h"
 #include "src/core/threshold_filter.h"
@@ -61,8 +73,9 @@ struct PipelineOptions {
   Duration same_regression_tolerance = 0;
   // Per-series detection (stages 1-3 + threshold) is embarrassingly
   // parallel; production FBDetect fans it out across a serverless platform
-  // (§5.1). >1 scans series on that many threads; results are merged in
-  // deterministic metric order, so outputs are identical for any value.
+  // (§5.1). >1 scans series on that many threads (a persistent pool, spawned
+  // once at construction); results are merged in deterministic metric order,
+  // so outputs are identical for any value.
   int scan_threads = 1;
 };
 
@@ -93,14 +106,21 @@ class Pipeline {
 
  private:
   // Runs detection stages 1-3 + threshold for one metric; appends survivors
-  // and counts into the provided funnel accumulators. Thread-safe: only
-  // reads shared state.
+  // and counts into the provided funnel accumulators. `scratch` is the
+  // caller's orientation buffer (reused across metrics; untouched for
+  // higher-is-worse kinds). Thread-safe: only reads shared state.
   void ScanMetric(const MetricId& id, TimePoint as_of, std::vector<Regression>& survivors,
-                  FunnelStats& short_funnel, FunnelStats& long_funnel) const;
+                  FunnelStats& short_funnel, FunnelStats& long_funnel,
+                  std::vector<double>& scratch) const;
 
   // Scans all metrics of a service, optionally on several threads; returns
   // survivors in deterministic metric order.
   std::vector<Regression> ScanAllMetrics(const std::string& service, TimePoint as_of);
+
+  // The service's metric list, sorted canonically. Cached across re-runs and
+  // invalidated by the database's generation counter, so steady-state scans
+  // skip the per-run enumerate-and-sort.
+  const std::vector<MetricId>& CachedMetrics(const std::string& service);
 
   const TimeSeriesDatabase* db_;
   const ChangeLog* change_log_;
@@ -115,6 +135,18 @@ class Pipeline {
   CostShiftDetector cost_shift_;
   PairwiseDedup pairwise_;
   std::unique_ptr<RootCauseAnalyzer> root_cause_;  // Null without a change log.
+
+  // Persistent workers; scan_threads - 1 of them, the caller thread is the
+  // Nth. Empty (serial) when scan_threads <= 1.
+  ThreadPool pool_;
+  // Per-worker orientation scratch, reused across metrics and re-runs.
+  std::vector<std::vector<double>> worker_scratch_;
+
+  // CachedMetrics state.
+  std::string cached_service_;
+  std::vector<MetricId> cached_ids_;
+  uint64_t cached_generation_ = 0;
+  bool cache_valid_ = false;
 
   FunnelStats short_funnel_;
   FunnelStats long_funnel_;

@@ -11,18 +11,18 @@
 
 namespace fbdetect {
 
-SeasonalityVerdict SeasonalityStage::Evaluate(const Regression& regression) const {
+SeasonalityVerdict SeasonalityStage::Evaluate(const ScanView& view,
+                                              const ScanCandidate& candidate) const {
   SeasonalityVerdict verdict;
-  const std::vector<double>& historical = regression.historical;
-  const std::vector<double>& analysis = regression.analysis;
-  if (historical.size() < 16 || analysis.empty()) {
+  const size_t analysis_total = view.analysis_size + view.extended_size;
+  if (view.historical_size < 16 || analysis_total == 0) {
     return verdict;
   }
 
   // Seasonality is estimated over historical + analysis so the period seen in
-  // the baseline can be projected into the analysis window.
-  std::vector<double> combined(historical.begin(), historical.end());
-  combined.insert(combined.end(), analysis.begin(), analysis.end());
+  // the baseline can be projected into the analysis window. view.full IS that
+  // combined range — contiguous, already oriented, nothing materialized.
+  const std::span<const double> combined = view.full;
 
   const SeasonalityEstimate season = DetectSeasonality(
       combined, /*min_period=*/4, /*max_period=*/combined.size() / 3,
@@ -44,8 +44,8 @@ SeasonalityVerdict SeasonalityStage::Evaluate(const Regression& regression) cons
   }
 
   // Index of the change point within `combined`.
-  const size_t change = historical.size() + regression.change_index;
-  const size_t analysis_end = combined.size() - regression.extended_size;
+  const size_t change = view.historical_size + candidate.change_index;
+  const size_t analysis_end = combined.size() - view.extended_size;
   if (change >= combined.size()) {
     return verdict;
   }
@@ -59,7 +59,7 @@ SeasonalityVerdict SeasonalityStage::Evaluate(const Regression& regression) cons
     verdict.analysis_zscore = (median_after - median_before) / residual_sd;
   }
   // z-score over the extended window (when present).
-  if (regression.extended_size > 0 && analysis_end < combined.size()) {
+  if (view.extended_size > 0 && analysis_end < combined.size()) {
     const double median_ext = Median(cleaned.subspan(analysis_end));
     verdict.extended_zscore = (median_ext - median_before) / residual_sd;
   } else {
@@ -72,6 +72,12 @@ SeasonalityVerdict SeasonalityStage::Evaluate(const Regression& regression) cons
       verdict.analysis_zscore < config_.seasonality_zscore_threshold &&
       verdict.extended_zscore < config_.seasonality_zscore_threshold;
   return verdict;
+}
+
+SeasonalityVerdict SeasonalityStage::Evaluate(const Regression& regression) const {
+  std::vector<double> scratch;
+  const ScanView view = ViewOfRegression(regression, scratch);
+  return Evaluate(view, CandidateOfRegression(regression));
 }
 
 }  // namespace fbdetect

@@ -6,10 +6,14 @@
 // z-score (median shift normalized by residual stddev). The regression is
 // filtered as seasonal when the z-score stays below the threshold in BOTH
 // the analysis window and the extended window.
+//
+// The ACF underneath DetectSeasonality runs in O(n log n) via the FFT path
+// in src/stats/correlation.h, so this stage is cheap even for long windows.
 #ifndef FBDETECT_SRC_CORE_SEASONALITY_STAGE_H_
 #define FBDETECT_SRC_CORE_SEASONALITY_STAGE_H_
 
 #include "src/core/regression.h"
+#include "src/core/scan_view.h"
 #include "src/core/workload_config.h"
 
 namespace fbdetect {
@@ -26,6 +30,11 @@ class SeasonalityStage {
  public:
   explicit SeasonalityStage(const DetectionConfig& config) : config_(config) {}
 
+  // Zero-copy core: seasonality is estimated over view.full (historical +
+  // analysis + extended, contiguous and oriented) with no concatenation.
+  SeasonalityVerdict Evaluate(const ScanView& view, const ScanCandidate& candidate) const;
+
+  // Convenience: re-evaluates a stored Regression.
   SeasonalityVerdict Evaluate(const Regression& regression) const;
 
  private:

@@ -4,14 +4,22 @@
 
 namespace fbdetect {
 
-bool PassesThreshold(const Regression& regression, const DetectionConfig& config) {
+bool PassesThreshold(double delta, double relative_delta, const DetectionConfig& config) {
   switch (config.threshold_mode) {
     case ThresholdMode::kAbsolute:
-      return regression.delta >= config.threshold;
+      return delta >= config.threshold;
     case ThresholdMode::kRelative:
-      return regression.relative_delta >= config.threshold;
+      return relative_delta >= config.threshold;
   }
   return false;
+}
+
+bool PassesThreshold(const ScanCandidate& candidate, const DetectionConfig& config) {
+  return PassesThreshold(candidate.delta, candidate.relative_delta, config);
+}
+
+bool PassesThreshold(const Regression& regression, const DetectionConfig& config) {
+  return PassesThreshold(regression.delta, regression.relative_delta, config);
 }
 
 }  // namespace fbdetect

@@ -6,9 +6,16 @@
 #define FBDETECT_SRC_CORE_THRESHOLD_FILTER_H_
 
 #include "src/core/regression.h"
+#include "src/core/scan_view.h"
 #include "src/core/workload_config.h"
 
 namespace fbdetect {
+
+// Scalar core — usable on a ScanCandidate before any Regression exists.
+bool PassesThreshold(double delta, double relative_delta, const DetectionConfig& config);
+
+// True when the candidate clears the configured threshold.
+bool PassesThreshold(const ScanCandidate& candidate, const DetectionConfig& config);
 
 // True when the regression clears the configured threshold.
 bool PassesThreshold(const Regression& regression, const DetectionConfig& config);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/stats/descriptive.h"
 #include "src/stats/trend.h"
@@ -11,30 +12,29 @@
 
 namespace fbdetect {
 
-WentAwayVerdict WentAwayDetector::Evaluate(const Regression& regression,
+WentAwayVerdict WentAwayDetector::Evaluate(const ScanView& view,
+                                           const ScanCandidate& candidate,
                                            size_t points_per_day) const {
   WentAwayVerdict verdict;
-  const std::span<const double> historical(regression.historical);
-  const std::span<const double> analysis(regression.analysis);
+  const std::span<const double> historical = view.historical();
+  const std::span<const double> analysis = view.analysis_plus_extended();
   if (historical.empty() || analysis.empty() ||
-      regression.change_index >= analysis.size()) {
+      candidate.change_index >= analysis.size()) {
     return verdict;
   }
-  const std::span<const double> post = analysis.subspan(regression.change_index);
+  const std::span<const double> post = analysis.subspan(candidate.change_index);
 
   // SAX over the combined range so historical and post share bucket
-  // boundaries. The encoder's validity is computed from the historical
-  // distribution only.
-  std::vector<double> combined(historical.begin(), historical.end());
-  combined.insert(combined.end(), analysis.begin(), analysis.end());
+  // boundaries — view.full IS that combined range, contiguous and already
+  // oriented, so no concatenation is materialized. The encoder's validity is
+  // computed from the historical distribution only.
   SaxConfig sax_config;
   sax_config.num_buckets = config_.sax_buckets;
   sax_config.min_bucket_fraction = config_.sax_min_bucket_fraction;
   // Bucket boundaries from the combined span; validity recomputed over the
-  // historical span by a second encoder sharing the range via the combined
-  // reference trick: we encode historically-valid letters by building the
-  // encoder on combined but counting validity on historical encodings.
-  const SaxEncoder range_encoder(combined, sax_config);
+  // historical span by counting historical encodings against the combined
+  // range encoder.
+  const SaxEncoder range_encoder(view.full, sax_config);
   // Validity per letter over the HISTORICAL window.
   std::vector<size_t> hist_counts(static_cast<size_t>(range_encoder.num_buckets()), 0);
   for (double v : historical) {
@@ -139,12 +139,19 @@ WentAwayVerdict WentAwayDetector::Evaluate(const Regression& regression,
                                        post.size());
   const double tail_mean = Mean(post.subspan(post.size() - tail));
   verdict.gone_away =
-      tail_mean <= regression.baseline_mean +
-                       config_.gone_away_recovery_fraction * regression.delta;
+      tail_mean <= candidate.baseline_mean +
+                       config_.gone_away_recovery_fraction * candidate.delta;
 
   verdict.keep = verdict.new_pattern ||
                  (verdict.significant && verdict.lasting_trend && !verdict.gone_away);
   return verdict;
+}
+
+WentAwayVerdict WentAwayDetector::Evaluate(const Regression& regression,
+                                           size_t points_per_day) const {
+  std::vector<double> scratch;
+  const ScanView view = ViewOfRegression(regression, scratch);
+  return Evaluate(view, CandidateOfRegression(regression), points_per_day);
 }
 
 }  // namespace fbdetect

@@ -26,6 +26,7 @@
 #define FBDETECT_SRC_CORE_WENT_AWAY_H_
 
 #include "src/core/regression.h"
+#include "src/core/scan_view.h"
 #include "src/core/workload_config.h"
 
 namespace fbdetect {
@@ -43,10 +44,17 @@ class WentAwayDetector {
  public:
   explicit WentAwayDetector(const DetectionConfig& config) : config_(config) {}
 
-  // `regression` must carry historical/analysis data and a change_index from
-  // ChangePointStage. A points-per-day hint (from the metric's resolution)
-  // lets the previous-day percentile term pick the right slice; pass 0 when
-  // unknown to fall back to the last quarter of the historical window.
+  // Zero-copy core: evaluates `candidate` against the oriented windows of
+  // `view` (the SAX range reference is view.full — historical + analysis +
+  // extended — with no materialization). A points-per-day hint (from the
+  // metric's resolution) lets the previous-day percentile term pick the
+  // right slice; pass 0 when unknown to fall back to the last quarter of the
+  // historical window.
+  WentAwayVerdict Evaluate(const ScanView& view, const ScanCandidate& candidate,
+                           size_t points_per_day) const;
+
+  // Convenience: re-evaluates a stored Regression (copies its windows into a
+  // contiguous scratch first).
   WentAwayVerdict Evaluate(const Regression& regression, size_t points_per_day) const;
 
  private:

@@ -4,8 +4,17 @@
 #include <cmath>
 
 #include "src/stats/descriptive.h"
+#include "src/stats/fourier.h"
 
 namespace fbdetect {
+
+namespace {
+
+// Below this size the direct ACF beats the FFT's constant factor (complex
+// buffers, two transforms over >= 2n padded points).
+constexpr size_t kFftAcfMinSize = 64;
+
+}  // namespace
 
 double PearsonCorrelation(std::span<const double> x, std::span<const double> y) {
   const size_t n = std::min(x.size(), y.size());
@@ -51,12 +60,54 @@ double Autocorrelation(std::span<const double> values, size_t lag) {
   return num / denom;
 }
 
-std::vector<double> AutocorrelationFunction(std::span<const double> values, size_t max_lag) {
-  const size_t limit = values.empty() ? 0 : std::min(max_lag, values.size() - 1);
-  std::vector<double> acf;
-  acf.reserve(limit);
+std::vector<double> AutocorrelationFunctionBruteForce(std::span<const double> values,
+                                                      size_t max_lag) {
+  const size_t n = values.size();
+  const size_t limit = n == 0 ? 0 : std::min(max_lag, n - 1);
+  std::vector<double> acf(limit, 0.0);
+  if (limit == 0) {
+    return acf;
+  }
+  // Mean and denominator are lag-independent; computing them once instead of
+  // per lag halves the direct path's work.
+  const double mean = Mean(values);
+  double denom = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    denom += d * d;
+  }
+  if (denom <= 0.0) {
+    return acf;  // Constant series: all zeros, matching Autocorrelation().
+  }
   for (size_t lag = 1; lag <= limit; ++lag) {
-    acf.push_back(Autocorrelation(values, lag));
+    double num = 0.0;
+    for (size_t i = 0; i + lag < n; ++i) {
+      num += (values[i] - mean) * (values[i + lag] - mean);
+    }
+    acf[lag - 1] = num / denom;
+  }
+  return acf;
+}
+
+std::vector<double> AutocorrelationFunction(std::span<const double> values, size_t max_lag) {
+  const size_t n = values.size();
+  if (n < kFftAcfMinSize) {
+    return AutocorrelationFunctionBruteForce(values, max_lag);
+  }
+  const size_t limit = std::min(max_lag, n - 1);
+  std::vector<double> acf(limit, 0.0);
+  if (limit == 0) {
+    return acf;
+  }
+  // Wiener–Khinchin: FFT -> power spectrum -> inverse FFT yields every
+  // lagged product sum in one O(n log n) pass; sums[0] is the denominator.
+  const std::vector<double> sums = AutocovarianceSumsFft(values, limit);
+  const double denom = sums[0];
+  if (denom <= 0.0) {
+    return acf;  // Constant series.
+  }
+  for (size_t lag = 1; lag <= limit; ++lag) {
+    acf[lag - 1] = sums[lag] / denom;
   }
   return acf;
 }

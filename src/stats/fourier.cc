@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/check.h"
 #include "src/stats/descriptive.h"
 
 namespace fbdetect {
@@ -53,6 +54,81 @@ size_t DominantFrequency(std::span<const double> values) {
     }
   }
   return best_mag > 1e-12 ? best_k : 0;
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t power = 1;
+  while (power < n) {
+    power <<= 1;
+  }
+  return power;
+}
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  FBD_CHECK(n > 0 && (n & (n - 1)) == 0);
+  if (n == 1) {
+    return;
+  }
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Butterflies. Twiddle factors come from std::polar per stage (not a
+  // running product) so round-off stays bounded and runs are deterministic.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen = std::polar(1.0, angle);
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> even = data[i + k];
+        const std::complex<double> odd = data[i + k + len / 2] * w;
+        data[i + k] = even + odd;
+        data[i + k + len / 2] = even - odd;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::complex<double>& value : data) {
+      value *= scale;
+    }
+  }
+}
+
+std::vector<double> AutocovarianceSumsFft(std::span<const double> values, size_t max_lag) {
+  const size_t n = values.size();
+  if (n == 0) {
+    return {};
+  }
+  const size_t limit = std::min(max_lag, n - 1);
+  const double mean = Mean(values);
+  // Pad to >= 2n so the circular autocorrelation of the padded signal equals
+  // the linear autocorrelation of the original.
+  const size_t padded = NextPowerOfTwo(2 * n);
+  std::vector<std::complex<double>> buffer(padded, std::complex<double>(0.0, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    buffer[i] = std::complex<double>(values[i] - mean, 0.0);
+  }
+  Fft(buffer, /*inverse=*/false);
+  for (std::complex<double>& value : buffer) {
+    value = std::complex<double>(std::norm(value), 0.0);
+  }
+  Fft(buffer, /*inverse=*/true);
+  std::vector<double> sums(limit + 1, 0.0);
+  for (size_t lag = 0; lag <= limit; ++lag) {
+    sums[lag] = buffer[lag].real();
+  }
+  return sums;
 }
 
 }  // namespace fbdetect

@@ -21,6 +21,11 @@ std::vector<double> CenteredMovingAverage(std::span<const double> values, size_t
   if (width == 0 || n == 0) {
     return out;
   }
+  // Window sums via a prefix-sum table: O(n) total instead of O(n * width).
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
   for (size_t i = 0; i < n; ++i) {
     const size_t half = width / 2;
     size_t lo = i >= half ? i - half : 0;
@@ -31,11 +36,7 @@ std::vector<double> CenteredMovingAverage(std::span<const double> values, size_t
         hi = lo + 1;
       }
     }
-    double sum = 0.0;
-    for (size_t j = lo; j < hi; ++j) {
-      sum += values[j];
-    }
-    out[i] = sum / static_cast<double>(hi - lo);
+    out[i] = (prefix[hi] - prefix[lo]) / static_cast<double>(hi - lo);
   }
   return out;
 }

@@ -5,10 +5,12 @@
 namespace fbdetect {
 
 void TimeSeriesDatabase::Write(const MetricId& id, TimePoint timestamp, double value) {
+  ++generation_;
   series_[id].Append(timestamp, value);
 }
 
 void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
+  ++generation_;
   auto it = series_.find(id);
   if (it == series_.end()) {
     series_.emplace(id, std::move(series));
@@ -33,10 +35,9 @@ std::vector<MetricId> TimeSeriesDatabase::ListMetrics(const std::string& service
       ids.push_back(id);
     }
   }
-  // Deterministic order for reproducible pipeline runs.
-  std::sort(ids.begin(), ids.end(), [](const MetricId& a, const MetricId& b) {
-    return a.ToString() < b.ToString();
-  });
+  // Deterministic order for reproducible pipeline runs; MetricId's
+  // field-wise operator< avoids two ToString() allocations per comparison.
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
@@ -60,6 +61,7 @@ size_t TimeSeriesDatabase::total_points() const {
 }
 
 void TimeSeriesDatabase::Expire(TimePoint cutoff) {
+  ++generation_;
   for (auto it = series_.begin(); it != series_.end();) {
     it->second.DropBefore(cutoff);
     if (it->second.empty()) {

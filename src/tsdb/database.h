@@ -6,6 +6,7 @@
 #ifndef FBDETECT_SRC_TSDB_DATABASE_H_
 #define FBDETECT_SRC_TSDB_DATABASE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,8 +43,15 @@ class TimeSeriesDatabase {
   // that become empty.
   void Expire(TimePoint cutoff);
 
+  // Bumped on every mutation (Write/WriteSeries/Expire). Readers that cache
+  // derived data — e.g. the pipeline's sorted per-service metric list — or
+  // that hold zero-copy spans into series storage compare generations to
+  // decide whether their view is still valid.
+  uint64_t generation() const { return generation_; }
+
  private:
   std::unordered_map<MetricId, TimeSeries, MetricIdHash> series_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace fbdetect

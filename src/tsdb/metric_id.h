@@ -6,6 +6,7 @@
 #ifndef FBDETECT_SRC_TSDB_METRIC_ID_H_
 #define FBDETECT_SRC_TSDB_METRIC_ID_H_
 
+#include <compare>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -36,6 +37,11 @@ struct MetricId {
   std::string entity;    // Subroutine / endpoint / data type; may be empty.
   std::string metadata;  // SetFrameMetadata annotation; may be empty.
 
+  // Allocation-free total order over (service, kind, entity, metadata) —
+  // the canonical metric order used by ListMetrics and the pipeline's
+  // deterministic survivor merge. (Sorting by ToString() would allocate two
+  // strings per comparison.)
+  auto operator<=>(const MetricId& other) const = default;
   bool operator==(const MetricId& other) const = default;
 
   // Canonical string form "service/kind/entity[@metadata]" — this is the

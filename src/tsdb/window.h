@@ -5,11 +5,19 @@
 //   * extended window — used to evaluate whether a regression persists
 //     (went-away detection); optional (N/A rows in Table 1).
 //
-// WindowSpec holds durations; WindowExtract materializes value spans of one
-// series relative to an as-of time.
+// WindowSpec holds durations. Two extraction forms exist:
+//   * WindowView (ExtractWindowView) — zero-copy spans into the series'
+//     internal storage, the pipeline's hot path. Spans are invalidated by
+//     any mutation of the series (TimeSeriesDatabase::Write / WriteSeries /
+//     Expire, TimeSeries::Append / DropBefore), so scans must not
+//     interleave with ingestion.
+//   * WindowExtract (ExtractWindows) — materialized copies that own their
+//     data; the reference implementation, kept for callers that outlive the
+//     series or mutate the values.
 #ifndef FBDETECT_SRC_TSDB_WINDOW_H_
 #define FBDETECT_SRC_TSDB_WINDOW_H_
 
+#include <span>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -44,11 +52,39 @@ struct WindowExtract {
   }
 };
 
+// Zero-copy equivalent of WindowExtract: spans into the series' internal
+// storage (see the lifetime rules in the file comment). Because the three
+// windows are adjacent index ranges of one series, `full` and
+// `analysis_plus_extended` are single contiguous spans — detectors can scan
+// across window boundaries without re-materializing anything.
+struct WindowView {
+  std::span<const double> historical;
+  std::span<const double> analysis;
+  std::span<const double> extended;
+  std::span<const double> analysis_plus_extended;
+  // historical + analysis + extended as one contiguous span.
+  std::span<const double> full;
+  TimePoint historical_begin = 0;
+  TimePoint analysis_begin = 0;
+  TimePoint extended_begin = 0;
+  TimePoint as_of = 0;
+  // Timestamps aligned with analysis_plus_extended.
+  std::span<const TimePoint> analysis_timestamps;
+
+  bool HasEnoughData(size_t min_historical, size_t min_analysis) const {
+    return historical.size() >= min_historical && analysis.size() >= min_analysis;
+  }
+};
+
 // Splits `series` at `as_of` (exclusive upper bound) into the three windows:
 //   [as_of - total, as_of - analysis - extended) -> historical
 //   [as_of - analysis - extended, as_of - extended) -> analysis
 //   [as_of - extended, as_of)                     -> extended
 WindowExtract ExtractWindows(const TimeSeries& series, TimePoint as_of, const WindowSpec& spec);
+
+// Same split, but as spans into `series`' storage (no copies). Built on
+// TimeSeries::SliceIndices; O(log n) and allocation-free.
+WindowView ExtractWindowView(const TimeSeries& series, TimePoint as_of, const WindowSpec& spec);
 
 }  // namespace fbdetect
 
