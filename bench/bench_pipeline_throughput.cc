@@ -428,10 +428,18 @@ std::optional<Regression> DetectLongTerm(const DetectionConfig& config, const Me
 struct BenchWorld {
   FleetSimulator fleet;
   ServiceSimulator* service = nullptr;
-  // Long enough to fill a Table-1-style 10-day historical window.
-  static constexpr Duration kDuration = Days(12);
+  // Full mode is long enough to fill a Table-1-style 10-day historical
+  // window; smoke mode shrinks the world so CI can exercise the harness.
+  Duration duration = Days(12);
+  Duration historical = Days(10);
+  TimePoint run_begin = Days(11);
 
-  BenchWorld() {
+  explicit BenchWorld(bool smoke) {
+    if (smoke) {
+      duration = Days(3);
+      historical = Days(2);
+      run_begin = Days(2);
+    }
     ServiceConfig config;
     config.name = "svc";
     config.num_servers = 100;
@@ -448,17 +456,17 @@ struct BenchWorld {
     regression.kind = EventKind::kStepRegression;
     regression.service = "svc";
     regression.subroutine = service->graph().node(5).name;
-    regression.start = Days(11) + Hours(3);
+    regression.start = run_begin + Hours(3);
     regression.magnitude = 0.5;
     fleet.InjectEvent(regression);
 
-    fleet.Run(0, kDuration);
+    fleet.Run(0, duration);
   }
 
   PipelineOptions Options(int scan_threads) const {
     PipelineOptions options;
     options.detection.threshold = 0.0005;
-    options.detection.windows.historical = Days(10);
+    options.detection.windows.historical = historical;
     options.detection.windows.analysis = Hours(4);
     options.detection.windows.extended = Hours(2);
     options.detection.rerun_interval = Hours(4);
@@ -527,11 +535,19 @@ size_t ViewScanMetric(const TimeSeriesDatabase& db, const MetricId& id, TimePoin
 }  // namespace
 }  // namespace fbdetect
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fbdetect;
   using Clock = std::chrono::steady_clock;
 
-  PrintHeader("Scan-path throughput: zero-copy windows, FFT ACF, thread pool");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
+  }
+
+  PrintHeader(std::string("Scan-path throughput: zero-copy windows, FFT ACF, thread pool") +
+              (smoke ? " [smoke]" : ""));
   const unsigned hw_cores = std::thread::hardware_concurrency();
   std::printf("hardware cores: %u\n", hw_cores);
 
@@ -547,7 +563,7 @@ int main() {
   wide.extended = Hours(2);
   const TimePoint wide_as_of = long_series.end_time() + Minutes(10);
 
-  constexpr int kExtractIters = 20000;
+  const int kExtractIters = smoke ? 500 : 20000;
   auto t0 = Clock::now();
   double copy_checksum = 0.0;
   for (int i = 0; i < kExtractIters; ++i) {
@@ -582,7 +598,7 @@ int main() {
                        0.3 * std::cos(static_cast<double>(i) / 5.0));
     }
     const size_t max_lag = n / 3;
-    const int iters = n <= 500 ? 200 : 40;
+    const int iters = smoke ? 4 : (n <= 500 ? 200 : 40);
     t0 = Clock::now();
     for (int i = 0; i < iters; ++i) {
       legacy::Acf(values, max_lag);
@@ -609,7 +625,7 @@ int main() {
     stl_input.push_back(1.0 + 0.2 * std::sin(static_cast<double>(i) / 11.6) +
                         0.05 * std::cos(static_cast<double>(i) / 3.0));
   }
-  constexpr int kStlIters = 20;
+  const int kStlIters = smoke ? 2 : 20;
   t0 = Clock::now();
   for (int i = 0; i < kStlIters; ++i) {
     legacy::StlDecompose(stl_input, 73);
@@ -625,7 +641,7 @@ int main() {
               stl_speedup);
 
   // --- 4. Per-series scan: legacy flow vs ScanView flow -----------------
-  BenchWorld world;
+  BenchWorld world(smoke);
   const TimeSeriesDatabase& db = world.fleet.db();
   const PipelineOptions options = world.Options(1);
   const DetectionConfig& detection = options.detection;
@@ -634,9 +650,9 @@ int main() {
   const SeasonalityStage seasonality(detection);
   const LongTermDetector long_term(detection);
   const std::vector<MetricId> ids = db.ListMetrics("svc");
-  const TimePoint scan_as_of = Days(11) + Hours(8);
+  const TimePoint scan_as_of = world.run_begin + Hours(8);
 
-  constexpr int kScanIters = 3;
+  const int kScanIters = smoke ? 1 : 3;
   size_t legacy_survivors = 0;
   t0 = Clock::now();
   for (int iter = 0; iter < kScanIters; ++iter) {
@@ -674,9 +690,9 @@ int main() {
     Pipeline pipeline(&world.fleet.db(), &world.fleet.change_log(), nullptr,
                       world.Options(threads));
     t0 = Clock::now();
-    pipeline.RunPeriod("svc", Days(11), BenchWorld::kDuration);
+    pipeline.RunPeriod("svc", world.run_begin, world.duration);
     const double ms = MillisSince(t0);
-    reruns = static_cast<size_t>((BenchWorld::kDuration - Days(11)) /
+    reruns = static_cast<size_t>((world.duration - world.run_begin) /
                                  pipeline.options().detection.rerun_interval);
     const double scans = static_cast<double>(ids.size() * reruns);
     std::printf("    threads=%d: %8.1f ms  (%.0f series-scans/sec)\n", threads, ms,

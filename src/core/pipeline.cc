@@ -72,7 +72,8 @@ Pipeline::Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
       cost_shift_(db, options_.cost_shift),
       pairwise_(options_.pairwise_rule),
       pool_(static_cast<size_t>(std::max(1, options_.scan_threads) - 1)),
-      worker_scratch_(static_cast<size_t>(std::max(1, options_.scan_threads))) {
+      worker_scratch_(static_cast<size_t>(std::max(1, options_.scan_threads))),
+      worker_series_scratch_(static_cast<size_t>(std::max(1, options_.scan_threads))) {
   FBD_CHECK(db_ != nullptr);
   cost_shift_.AddDefaultDetectors(code_info, change_log_);
   if (change_log_ != nullptr) {
@@ -88,8 +89,14 @@ void Pipeline::set_stack_overlap(StackOverlapFn overlap) {
 
 void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
                           std::vector<Regression>& survivors, FunnelStats& short_funnel,
-                          FunnelStats& long_funnel, std::vector<double>& scratch) const {
-  const TimeSeries* series = db_->Find(id);
+                          FunnelStats& long_funnel, std::vector<double>& scratch,
+                          TimeSeries& series_scratch) const {
+  // Points before the detection windows are irrelevant, so the lookup only
+  // needs [as_of - total, inf): when those live in the raw tail this is the
+  // PR 1 zero-copy path; otherwise sealed chunks decode into the worker's
+  // scratch buffer.
+  const TimePoint scan_begin = as_of - options_.detection.windows.Total();
+  const TimeSeries* series = db_->SeriesForScan(id, scan_begin, series_scratch);
   if (series == nullptr) {
     return;
   }
@@ -156,7 +163,8 @@ std::vector<Regression> Pipeline::ScanAllMetrics(const std::string& service, Tim
   if (threads == 1 || ids.size() < 2) {
     std::vector<Regression> survivors;
     for (const MetricId& id : ids) {
-      ScanMetric(id, as_of, survivors, short_funnel_, long_funnel_, worker_scratch_[0]);
+      ScanMetric(id, as_of, survivors, short_funnel_, long_funnel_, worker_scratch_[0],
+                 worker_series_scratch_[0]);
     }
     return survivors;
   }
@@ -169,7 +177,7 @@ std::vector<Regression> Pipeline::ScanAllMetrics(const std::string& service, Tim
   pool_.ParallelFor(num_workers, [&](size_t w) {
     for (size_t i = w; i < ids.size(); i += num_workers) {
       ScanMetric(ids[i], as_of, worker_survivors[w], worker_short[w], worker_long[w],
-                 worker_scratch_[w]);
+                 worker_scratch_[w], worker_series_scratch_[w]);
     }
   });
   std::vector<Regression> survivors;

@@ -108,10 +108,13 @@ class Pipeline {
   // Runs detection stages 1-3 + threshold for one metric; appends survivors
   // and counts into the provided funnel accumulators. `scratch` is the
   // caller's orientation buffer (reused across metrics; untouched for
-  // higher-is-worse kinds). Thread-safe: only reads shared state.
+  // higher-is-worse kinds); `series_scratch` is the caller's decode buffer
+  // for series whose scan range extends into Gorilla-sealed history
+  // (untouched when the raw tail covers the detection windows — the common
+  // case, which stays zero-copy). Thread-safe: only reads shared state.
   void ScanMetric(const MetricId& id, TimePoint as_of, std::vector<Regression>& survivors,
                   FunnelStats& short_funnel, FunnelStats& long_funnel,
-                  std::vector<double>& scratch) const;
+                  std::vector<double>& scratch, TimeSeries& series_scratch) const;
 
   // Scans all metrics of a service, optionally on several threads; returns
   // survivors in deterministic metric order.
@@ -141,6 +144,8 @@ class Pipeline {
   ThreadPool pool_;
   // Per-worker orientation scratch, reused across metrics and re-runs.
   std::vector<std::vector<double>> worker_scratch_;
+  // Per-worker decode buffers for scans that reach into sealed history.
+  std::vector<TimeSeries> worker_series_scratch_;
 
   // CachedMetrics state.
   std::string cached_service_;

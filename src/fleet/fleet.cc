@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace fbdetect {
 
@@ -34,15 +35,29 @@ int64_t FleetSimulator::InjectEvent(InjectedEvent event, Commit* commit) {
   return event.event_id;
 }
 
-void FleetSimulator::Run(TimePoint begin, TimePoint end) {
+void FleetSimulator::Run(TimePoint begin, TimePoint end,
+                         const FleetIngestOptions& options) {
   FBD_CHECK(end >= begin);
-  // Services may use different tick widths; fire each on its own schedule.
-  for (const auto& service : services_) {
-    const Duration tick = service->config().tick;
+  FBD_CHECK(options.threads >= 1);
+  // One task per service: services are independent RNG streams writing
+  // disjoint series, so per-series content is independent of how tasks are
+  // scheduled across threads. Each worker stages points into its own
+  // WriteBatch and commits at the flush threshold, so shard locks are taken
+  // per batch, not per point. Services may use different tick widths; fire
+  // each on its own schedule.
+  ThreadPool pool(static_cast<size_t>(options.threads - 1));
+  pool.ParallelFor(services_.size(), [&](size_t index) {
+    ServiceSimulator& service = *services_[index];
+    const Duration tick = service.config().tick;
+    WriteBatch batch(&db_);
     for (TimePoint t = begin + tick; t <= end; t += tick) {
-      service->Tick(t, db_);
+      service.Tick(t, batch);
+      if (batch.point_count() >= options.flush_points) {
+        batch.Commit();
+      }
     }
-  }
+    batch.Commit();
+  });
 }
 
 }  // namespace fbdetect

@@ -16,9 +16,22 @@
 
 namespace fbdetect {
 
+// Controls one Run() ingestion pass.
+struct FleetIngestOptions {
+  // Worker threads ticking services in parallel. Services are independent
+  // RNG streams writing disjoint series, so results are byte-identical for
+  // any thread count.
+  int threads = 1;
+  // Each worker commits its WriteBatch once it has staged this many points
+  // (and at the end of its service's schedule).
+  size_t flush_points = 4096;
+};
+
 class FleetSimulator {
  public:
   FleetSimulator() = default;
+  // Configures the backing database (shard count, chunk sealing).
+  explicit FleetSimulator(const TsdbOptions& tsdb_options) : db_(tsdb_options) {}
   FleetSimulator(const FleetSimulator&) = delete;
   FleetSimulator& operator=(const FleetSimulator&) = delete;
 
@@ -34,7 +47,11 @@ class FleetSimulator {
 
   // Runs all services from `begin` (exclusive of begin itself: the first tick
   // fires at begin + tick) through `end` inclusive, writing into db().
-  void Run(TimePoint begin, TimePoint end);
+  void Run(TimePoint begin, TimePoint end) { Run(begin, end, FleetIngestOptions{}); }
+
+  // As above, with batched ingestion across `options.threads` workers (one
+  // task per service). Database content is identical for any thread count.
+  void Run(TimePoint begin, TimePoint end, const FleetIngestOptions& options);
 
   TimeSeriesDatabase& db() { return db_; }
   const TimeSeriesDatabase& db() const { return db_; }

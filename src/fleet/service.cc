@@ -80,6 +80,38 @@ ServiceSimulator::ServiceSimulator(const ServiceConfig& config)
   for (const std::string& data_type : config_.io_data_types) {
     io_factor_[data_type] = 1.0;
   }
+
+  endpoint_names_.reserve(endpoint_weights_.size());
+  for (size_t e = 0; e < endpoint_weights_.size(); ++e) {
+    endpoint_names_.push_back("endpoint_" + std::to_string(e));
+  }
+}
+
+void ServiceSimulator::EnsureHandles(TimeSeriesDatabase& db) {
+  if (handles_db_ == &db) {
+    return;
+  }
+  handles_db_ = &db;
+  handles_ = MetricHandles{};
+  handles_.process_cpu = db.Intern(MetricId{config_.name, MetricKind::kCpu, {}, {}});
+  handles_.service_throughput =
+      db.Intern(MetricId{config_.name, MetricKind::kThroughput, {}, {}});
+  handles_.ct_supply = db.Intern(MetricId{config_.name, MetricKind::kMaxThroughput, {}, {}});
+  handles_.ct_demand = db.Intern(MetricId{config_.name, MetricKind::kPeakDemand, {}, {}});
+  for (const std::string& endpoint : endpoint_names_) {
+    handles_.endpoint_throughput.push_back(
+        db.Intern(MetricId{config_.name, MetricKind::kThroughput, endpoint, {}}));
+    handles_.endpoint_latency.push_back(
+        db.Intern(MetricId{config_.name, MetricKind::kLatency, endpoint, {}}));
+    handles_.endpoint_error.push_back(
+        db.Intern(MetricId{config_.name, MetricKind::kErrorRate, endpoint, {}}));
+    handles_.endpoint_cost.push_back(
+        db.Intern(MetricId{config_.name, MetricKind::kEndpointCost, endpoint, {}}));
+  }
+  for (const std::string& data_type : config_.io_data_types) {
+    handles_.io.push_back(
+        db.Intern(MetricId{config_.name, MetricKind::kIoPerDataType, data_type, {}}));
+  }
 }
 
 void ServiceSimulator::ScheduleEvent(const InjectedEvent& event) {
@@ -243,11 +275,11 @@ void ServiceSimulator::RefreshGraphCosts(TimePoint t) {
   }
 }
 
-void ServiceSimulator::EmitGcpu(TimePoint t, TimeSeriesDatabase& db) {
-  profiler_.WriteGcpuBucket(graph_, t, rng_, db);
+void ServiceSimulator::EmitGcpu(TimePoint t, WriteBatch& batch) {
+  profiler_.WriteGcpuBucket(graph_, t, rng_, batch);
 }
 
-void ServiceSimulator::EmitProcessCpu(TimePoint t, TimeSeriesDatabase& db) {
+void ServiceSimulator::EmitProcessCpu(TimePoint t, WriteBatch& batch) {
   // Fleet-average CPU: weighted across generations; the average of m clipped
   // normals is approximated by Normal(mu, sigma^2/m) (Law of Large Numbers,
   // Appendix A.1).
@@ -264,63 +296,51 @@ void ServiceSimulator::EmitProcessCpu(TimePoint t, TimeSeriesDatabase& db) {
     const double sd = std::sqrt(generation.cpu_variance / servers);
     average += generation.fraction * std::clamp(rng_.Normal(mean, sd), 0.0, 1.0);
   }
-  MetricId id;
-  id.service = config_.name;
-  id.kind = MetricKind::kCpu;
-  db.Write(id, t, average);
+  batch.Add(handles_.process_cpu, t, average);
 }
 
-void ServiceSimulator::EmitEndpointMetrics(TimePoint t, TimeSeriesDatabase& db) {
+void ServiceSimulator::EmitEndpointMetrics(TimePoint t, WriteBatch& batch) {
   const double load = LoadFactor(t);
   const double total_throughput = config_.base_throughput_per_server *
                                   static_cast<double>(config_.num_servers) * load *
                                   throughput_factor_;
-  MetricId service_tp;
-  service_tp.service = config_.name;
-  service_tp.kind = MetricKind::kThroughput;
-  db.Write(service_tp, t,
-           std::max(0.0, rng_.Normal(total_throughput,
-                                     total_throughput * config_.throughput_noise)));
+  batch.Add(handles_.service_throughput, t,
+            std::max(0.0, rng_.Normal(total_throughput,
+                                      total_throughput * config_.throughput_noise)));
 
   for (size_t e = 0; e < endpoint_weights_.size(); ++e) {
-    const std::string endpoint = "endpoint_" + std::to_string(e);
     const double tp = total_throughput * endpoint_weights_[e];
+    batch.Add(handles_.endpoint_throughput[e], t,
+              std::max(0.0, rng_.Normal(tp, tp * config_.throughput_noise)));
 
-    MetricId tp_id{config_.name, MetricKind::kThroughput, endpoint, {}};
-    db.Write(tp_id, t, std::max(0.0, rng_.Normal(tp, tp * config_.throughput_noise)));
-
-    MetricId latency_id{config_.name, MetricKind::kLatency, endpoint, {}};
     const double latency = config_.base_latency_ms * latency_factor_ *
                            (1.0 + 0.2 * (load - 1.0));
-    db.Write(latency_id, t,
-             std::max(0.0, rng_.Normal(latency, latency * config_.latency_noise)));
+    batch.Add(handles_.endpoint_latency[e], t,
+              std::max(0.0, rng_.Normal(latency, latency * config_.latency_noise)));
 
-    MetricId error_id{config_.name, MetricKind::kErrorRate, endpoint, {}};
     const double errors = config_.base_error_rate * error_factor_;
-    db.Write(error_id, t,
-             std::max(0.0, rng_.Normal(errors, errors * config_.error_rate_noise)));
+    batch.Add(handles_.endpoint_error[e], t,
+              std::max(0.0, rng_.Normal(errors, errors * config_.error_rate_noise)));
   }
 }
 
-void ServiceSimulator::EmitCtMetrics(TimePoint t, TimeSeriesDatabase& db) {
+void ServiceSimulator::EmitCtMetrics(TimePoint t, WriteBatch& batch) {
   // CT-supply: per-server maximum throughput from periodic load tests. It is
   // inversely proportional to per-request CPU cost.
   const double graph_ratio =
       baseline_total_cost_ > 0.0 ? graph_.TotalCost() / baseline_total_cost_ : 1.0;
   const double max_tp =
       config_.base_throughput_per_server * 1.5 / (cpu_factor_ * graph_ratio);
-  MetricId supply{config_.name, MetricKind::kMaxThroughput, {}, {}};
-  db.Write(supply, t, std::max(0.0, rng_.Normal(max_tp, max_tp * 0.03)));
+  batch.Add(handles_.ct_supply, t, std::max(0.0, rng_.Normal(max_tp, max_tp * 0.03)));
 
   // CT-demand: total peak requests across all servers.
   const double demand = config_.base_throughput_per_server *
                         static_cast<double>(config_.num_servers) * LoadFactor(t) *
                         throughput_factor_;
-  MetricId demand_id{config_.name, MetricKind::kPeakDemand, {}, {}};
-  db.Write(demand_id, t, std::max(0.0, rng_.Normal(demand, demand * 0.03)));
+  batch.Add(handles_.ct_demand, t, std::max(0.0, rng_.Normal(demand, demand * 0.03)));
 }
 
-void ServiceSimulator::EmitEndpointCost(TimePoint t, TimeSeriesDatabase& db) {
+void ServiceSimulator::EmitEndpointCost(TimePoint t, WriteBatch& batch) {
   TraceGeneratorOptions options;
   options.async_probability = config_.trace_async_probability;
   const TraceGenerator generator(&graph_, options);
@@ -329,49 +349,54 @@ void ServiceSimulator::EmitEndpointCost(TimePoint t, TimeSeriesDatabase& db) {
     if (endpoint_entries_[e] == kInvalidNode) {
       continue;
     }
-    const std::string endpoint = "endpoint_" + std::to_string(e);
-    const double cost = generator.MeanEndpointCost(endpoint, endpoint_entries_[e], traces, rng_);
-    MetricId id{config_.name, MetricKind::kEndpointCost, endpoint, {}};
-    db.Write(id, t, cost);
+    const double cost =
+        generator.MeanEndpointCost(endpoint_names_[e], endpoint_entries_[e], traces, rng_);
+    batch.Add(handles_.endpoint_cost[e], t, cost);
   }
 }
 
-void ServiceSimulator::EmitIoMetrics(TimePoint t, TimeSeriesDatabase& db) {
+void ServiceSimulator::EmitIoMetrics(TimePoint t, WriteBatch& batch) {
   const double load = LoadFactor(t);
-  for (const std::string& data_type : config_.io_data_types) {
+  for (size_t i = 0; i < config_.io_data_types.size(); ++i) {
     const double rate = config_.base_io_per_server * static_cast<double>(config_.num_servers) *
-                        load * io_factor_[data_type];
-    MetricId id{config_.name, MetricKind::kIoPerDataType, data_type, {}};
-    db.Write(id, t, std::max(0.0, rng_.Normal(rate, rate * config_.io_noise)));
+                        load * io_factor_[config_.io_data_types[i]];
+    batch.Add(handles_.io[i], t, std::max(0.0, rng_.Normal(rate, rate * config_.io_noise)));
   }
 }
 
-void ServiceSimulator::Tick(TimePoint t, TimeSeriesDatabase& db) {
+void ServiceSimulator::Tick(TimePoint t, WriteBatch& batch) {
   FBD_CHECK(t > last_tick_);
+  EnsureHandles(*batch.db());
   ApplyEventTransitions(t);
   RefreshGraphCosts(t);
   if (config_.emit_gcpu) {
-    EmitGcpu(t, db);
+    EmitGcpu(t, batch);
   }
   if (config_.emit_metadata_gcpu) {
-    profiler_.WriteMetadataGcpuBucket(graph_, t, rng_, db);
+    profiler_.WriteMetadataGcpuBucket(graph_, t, rng_, batch);
   }
   if (config_.emit_process_cpu) {
-    EmitProcessCpu(t, db);
+    EmitProcessCpu(t, batch);
   }
   if (config_.emit_endpoint_metrics) {
-    EmitEndpointMetrics(t, db);
+    EmitEndpointMetrics(t, batch);
   }
   if (config_.emit_ct_metrics) {
-    EmitCtMetrics(t, db);
+    EmitCtMetrics(t, batch);
   }
   if (config_.emit_endpoint_cost) {
-    EmitEndpointCost(t, db);
+    EmitEndpointCost(t, batch);
   }
   if (!config_.io_data_types.empty()) {
-    EmitIoMetrics(t, db);
+    EmitIoMetrics(t, batch);
   }
   last_tick_ = t;
+}
+
+void ServiceSimulator::Tick(TimePoint t, TimeSeriesDatabase& db) {
+  WriteBatch batch(&db);
+  Tick(t, batch);
+  batch.Commit();
 }
 
 double ServiceSimulator::ExpectedGcpu(const std::string& subroutine) const {

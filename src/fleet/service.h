@@ -102,7 +102,13 @@ class ServiceSimulator {
   // transitions are applied as tick time crosses them.
   void ScheduleEvent(const InjectedEvent& event);
 
-  // Advances to time `t` (one bucket) and writes all metrics into `db`.
+  // Advances to time `t` (one bucket) and stages all metrics into `batch`
+  // (which the caller commits). The batched form is the ingestion hot path:
+  // metric identities are interned once and reused, so each tick stages
+  // packed integer keys without constructing MetricId strings.
+  void Tick(TimePoint t, WriteBatch& batch);
+
+  // Convenience form: one-shot batch committed before returning.
   void Tick(TimePoint t, TimeSeriesDatabase& db);
 
   const ServiceConfig& config() const { return config_; }
@@ -128,12 +134,15 @@ class ServiceSimulator {
   // Recomputes effective self costs = base * event factor * seasonal mix.
   void RefreshGraphCosts(TimePoint t);
 
-  void EmitGcpu(TimePoint t, TimeSeriesDatabase& db);
-  void EmitProcessCpu(TimePoint t, TimeSeriesDatabase& db);
-  void EmitEndpointMetrics(TimePoint t, TimeSeriesDatabase& db);
-  void EmitCtMetrics(TimePoint t, TimeSeriesDatabase& db);
-  void EmitEndpointCost(TimePoint t, TimeSeriesDatabase& db);
-  void EmitIoMetrics(TimePoint t, TimeSeriesDatabase& db);
+  // (Re)builds cached interned metric handles for `db`.
+  void EnsureHandles(TimeSeriesDatabase& db);
+
+  void EmitGcpu(TimePoint t, WriteBatch& batch);
+  void EmitProcessCpu(TimePoint t, WriteBatch& batch);
+  void EmitEndpointMetrics(TimePoint t, WriteBatch& batch);
+  void EmitCtMetrics(TimePoint t, WriteBatch& batch);
+  void EmitEndpointCost(TimePoint t, WriteBatch& batch);
+  void EmitIoMetrics(TimePoint t, WriteBatch& batch);
 
   ServiceConfig config_;
   Rng rng_;
@@ -162,7 +171,24 @@ class ServiceSimulator {
 
   std::vector<double> endpoint_weights_;
   std::vector<NodeId> endpoint_entries_;  // Entry subroutine per endpoint.
+  std::vector<std::string> endpoint_names_;  // "endpoint_<i>", built once.
   TimePoint last_tick_ = -1;
+
+  // Interned metric handles, valid for `handles_db_` only; built lazily on
+  // the first tick against a database so each tick stages integer keys.
+  struct MetricHandles {
+    InternedMetricId process_cpu;
+    InternedMetricId service_throughput;
+    InternedMetricId ct_supply;
+    InternedMetricId ct_demand;
+    std::vector<InternedMetricId> endpoint_throughput;
+    std::vector<InternedMetricId> endpoint_latency;
+    std::vector<InternedMetricId> endpoint_error;
+    std::vector<InternedMetricId> endpoint_cost;
+    std::vector<InternedMetricId> io;  // Parallel to config().io_data_types.
+  };
+  TimeSeriesDatabase* handles_db_ = nullptr;
+  MetricHandles handles_;
 };
 
 }  // namespace fbdetect

@@ -3,6 +3,17 @@
 #include "src/common/check.h"
 
 namespace fbdetect {
+namespace {
+
+// Floor division (C++ integer division truncates toward zero, which rounds
+// the wrong way for negative numerators — and naive "subtract width, add 1"
+// adjustments round the wrong way for positive ones).
+TimePoint FloorDiv(TimePoint value, Duration width) {
+  const TimePoint quotient = value / width;
+  return (value % width != 0 && (value < 0) != (width < 0)) ? quotient - 1 : quotient;
+}
+
+}  // namespace
 
 ProfileStore::ProfileStore(Duration bucket_width) : bucket_width_(bucket_width) {
   FBD_CHECK(bucket_width_ > 0);
@@ -11,8 +22,8 @@ ProfileStore::ProfileStore(Duration bucket_width) : bucket_width_(bucket_width) 
 void ProfileStore::Ingest(const std::string& service, TimePoint timestamp,
                           const CallGraph* graph, const ProfileAggregate& aggregate) {
   FBD_CHECK(graph != nullptr);
-  const TimePoint bucket_start = timestamp / bucket_width_ * bucket_width_;
-  Bucket& bucket = buckets_[service][bucket_start];
+  const TimePoint bucket_start = FloorDiv(timestamp, bucket_width_) * bucket_width_;
+  Bucket& bucket = buckets_[services_.Intern(service)][bucket_start];
   FBD_CHECK(bucket.graph == nullptr || bucket.graph == graph);
   bucket.graph = graph;
   bucket.aggregate.Merge(aggregate);
@@ -21,12 +32,20 @@ void ProfileStore::Ingest(const std::string& service, TimePoint timestamp,
 template <typename Fn>
 void ProfileStore::ForEachBucket(const std::string& service, TimePoint begin, TimePoint end,
                                  Fn&& fn) const {
-  const auto service_it = buckets_.find(service);
+  const auto symbol = services_.Find(service);
+  if (!symbol) {
+    return;
+  }
+  const auto service_it = buckets_.find(*symbol);
   if (service_it == buckets_.end()) {
     return;
   }
-  // First bucket whose range [start, start + width) intersects [begin, end).
-  const TimePoint first_start = (begin - bucket_width_ + 1) / bucket_width_ * bucket_width_;
+  // First bucket whose range [start, start + width) intersects [begin, end):
+  // the bucket containing `begin`. The previous truncation-toward-zero
+  // arithmetic here also admitted the bucket ENDING at `begin` whenever
+  // begin > bucket_width_, silently mixing one stale bucket into every
+  // overlap/gCPU query.
+  const TimePoint first_start = FloorDiv(begin, bucket_width_) * bucket_width_;
   for (auto it = service_it->second.lower_bound(first_start);
        it != service_it->second.end() && it->first < end; ++it) {
     fn(it->second);

@@ -9,6 +9,7 @@
 #ifndef FBDETECT_SRC_PROFILING_PROFILE_STORE_H_
 #define FBDETECT_SRC_PROFILING_PROFILE_STORE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -16,6 +17,7 @@
 #include "src/common/sim_time.h"
 #include "src/profiling/call_graph.h"
 #include "src/profiling/profile.h"
+#include "src/tsdb/symbol_table.h"
 
 namespace fbdetect {
 
@@ -55,8 +57,11 @@ class ProfileStore {
                      Fn&& fn) const;
 
   Duration bucket_width_;
-  // service -> bucket start -> aggregate.
-  std::unordered_map<std::string, std::map<TimePoint, Bucket>> buckets_;
+  // Service names are interned so the per-ingest key is a dense integer;
+  // queries resolve names without creating symbols.
+  SymbolTable services_;
+  // service symbol -> bucket start -> aggregate.
+  std::unordered_map<uint32_t, std::map<TimePoint, Bucket>> buckets_;
 };
 
 }  // namespace fbdetect

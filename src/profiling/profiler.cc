@@ -62,25 +62,54 @@ std::vector<uint64_t> SamplingProfiler::AnalyticBucket(const CallGraph& graph, R
   return counts;
 }
 
-void SamplingProfiler::WriteGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
-                                       TimeSeriesDatabase& db) const {
-  const std::vector<uint64_t> counts = AnalyticBucket(graph, rng);
-  const double denom = static_cast<double>(config_.samples_per_bucket);
-  for (size_t i = 0; i < counts.size(); ++i) {
-    const double gcpu = static_cast<double>(counts[i]) / denom;
+void SamplingProfiler::EnsureHandles(const CallGraph& graph, TimeSeriesDatabase& db) {
+  if (handles_db_ == &db && gcpu_ids_.size() == graph.node_count()) {
+    return;
+  }
+  handles_db_ = &db;
+  const size_t n = graph.node_count();
+  gcpu_ids_.clear();
+  gcpu_ids_.reserve(n);
+  gcpu_recorded_.assign(n, false);
+  metadata_ids_.clear();
+  for (size_t i = 0; i < n; ++i) {
     MetricId id;
     id.service = service_;
     id.kind = MetricKind::kGcpu;
     id.entity = graph.node(static_cast<NodeId>(i)).name;
-    if (gcpu < config_.min_gcpu_to_record && !db.Contains(id)) {
-      continue;
-    }
-    db.Write(id, bucket_start, gcpu);
+    gcpu_ids_.push_back(db.Intern(id));
   }
 }
 
+void SamplingProfiler::WriteGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
+                                       WriteBatch& batch) {
+  EnsureHandles(graph, *batch.db());
+  const std::vector<uint64_t> counts = AnalyticBucket(graph, rng);
+  const double denom = static_cast<double>(config_.samples_per_bucket);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double gcpu = static_cast<double>(counts[i]) / denom;
+    // A subroutine counts as recorded once it has ever been staged (a point
+    // staged in an uncommitted batch is not yet visible to Contains), so a
+    // collapsing subroutine keeps getting points regardless of batching.
+    if (gcpu < config_.min_gcpu_to_record && !gcpu_recorded_[i] &&
+        !batch.db()->Contains(gcpu_ids_[i])) {
+      continue;
+    }
+    gcpu_recorded_[i] = true;
+    batch.Add(gcpu_ids_[i], bucket_start, gcpu);
+  }
+}
+
+void SamplingProfiler::WriteGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
+                                       TimeSeriesDatabase& db) {
+  WriteBatch batch(&db);
+  WriteGcpuBucket(graph, bucket_start, rng, batch);
+  batch.Commit();
+}
+
 void SamplingProfiler::WriteMetadataGcpuBucket(const CallGraph& graph, TimePoint bucket_start,
-                                               Rng& rng, TimeSeriesDatabase& db) const {
+                                               Rng& rng, WriteBatch& batch) {
+  EnsureHandles(graph, *batch.db());
   const std::vector<double> reach = graph.ReachProbabilities();
   std::unordered_map<std::string, double> reach_by_metadata;
   for (size_t i = 0; i < graph.node_count(); ++i) {
@@ -93,12 +122,23 @@ void SamplingProfiler::WriteMetadataGcpuBucket(const CallGraph& graph, TimePoint
   for (const auto& [metadata, total_reach] : reach_by_metadata) {
     const double p = std::min(1.0, total_reach);
     const uint64_t count = SampleBinomial(config_.samples_per_bucket, p, rng);
-    MetricId id;
-    id.service = service_;
-    id.kind = MetricKind::kGcpu;
-    id.metadata = metadata;
-    db.Write(id, bucket_start, static_cast<double>(count) / denom);
+    auto it = metadata_ids_.find(metadata);
+    if (it == metadata_ids_.end()) {
+      MetricId id;
+      id.service = service_;
+      id.kind = MetricKind::kGcpu;
+      id.metadata = metadata;
+      it = metadata_ids_.emplace(metadata, batch.db()->Intern(id)).first;
+    }
+    batch.Add(it->second, bucket_start, static_cast<double>(count) / denom);
   }
+}
+
+void SamplingProfiler::WriteMetadataGcpuBucket(const CallGraph& graph, TimePoint bucket_start,
+                                               Rng& rng, TimeSeriesDatabase& db) {
+  WriteBatch batch(&db);
+  WriteMetadataGcpuBucket(graph, bucket_start, rng, batch);
+  batch.Commit();
 }
 
 }  // namespace fbdetect

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/random.h"
@@ -48,12 +49,18 @@ class SamplingProfiler {
   // using a normal approximation when n*p is large.
   std::vector<uint64_t> AnalyticBucket(const CallGraph& graph, Rng& rng) const;
 
-  // Runs AnalyticBucket and writes gCPU points (count / samples_per_bucket)
-  // for every recorded subroutine into `db` at time `bucket_start`.
-  // Subroutines below min_gcpu_to_record are skipped unless already present
-  // in the database (so a collapsing subroutine still gets points).
+  // Runs AnalyticBucket and stages gCPU points (count / samples_per_bucket)
+  // for every recorded subroutine into `batch` at time `bucket_start`.
+  // Subroutines below min_gcpu_to_record are skipped unless recorded before
+  // (so a collapsing subroutine still gets points). Interned metric handles
+  // are cached across buckets, keyed on the batch's database, so the steady
+  // state stages packed integer keys without touching identity strings.
   void WriteGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
-                       TimeSeriesDatabase& db) const;
+                       WriteBatch& batch);
+
+  // Convenience form: one-shot batch committed before returning.
+  void WriteGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
+                       TimeSeriesDatabase& db);
 
   // Metadata-annotated gCPU (§3): subroutines can annotate their stack
   // frames via SetFrameMetadata; FBDetect then monitors one gCPU series per
@@ -63,14 +70,26 @@ class SamplingProfiler {
   // annotations mark disjoint leaf features. Series are written as
   // MetricId{service, kGcpu, entity="", metadata=value}.
   void WriteMetadataGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
-                               TimeSeriesDatabase& db) const;
+                               WriteBatch& batch);
+  void WriteMetadataGcpuBucket(const CallGraph& graph, TimePoint bucket_start, Rng& rng,
+                               TimeSeriesDatabase& db);
 
   const std::string& service() const { return service_; }
   const SamplingConfig& config() const { return config_; }
 
  private:
+  // (Re)builds the cached interned handles when the target database or the
+  // graph shape changed.
+  void EnsureHandles(const CallGraph& graph, TimeSeriesDatabase& db);
+
   std::string service_;
   SamplingConfig config_;
+
+  // Cached interned handles, valid for `handles_db_` only.
+  TimeSeriesDatabase* handles_db_ = nullptr;
+  std::vector<InternedMetricId> gcpu_ids_;          // Per graph node.
+  std::vector<bool> gcpu_recorded_;                 // Node ever written?
+  std::unordered_map<std::string, InternedMetricId> metadata_ids_;
 };
 
 // Draws from Binomial(n, p) with a normal approximation when n*p*(1-p) > 100

@@ -2,43 +2,245 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+
 namespace fbdetect {
+namespace {
+
+size_t RoundUpPow2(size_t value) {
+  size_t pow2 = 1;
+  while (pow2 < value) {
+    pow2 <<= 1;
+  }
+  return pow2;
+}
+
+}  // namespace
+
+// --- WriteBatch ---
+
+WriteBatch::WriteBatch(TimeSeriesDatabase* db)
+    : db_(db), per_shard_(db->shard_count()) {}
+
+void WriteBatch::Add(const InternedMetricId& id, TimePoint timestamp, double value) {
+  const auto [it, inserted] =
+      column_index_.try_emplace(id, static_cast<uint32_t>(columns_.size()));
+  if (inserted) {
+    columns_.push_back(Column{id, {}, {}});
+    per_shard_[db_->ShardIndex(id)].push_back(it->second);
+  }
+  Column& column = columns_[it->second];
+  column.timestamps.push_back(timestamp);
+  column.values.push_back(value);
+  ++point_count_;
+}
+
+void WriteBatch::Add(const MetricId& id, TimePoint timestamp, double value) {
+  Add(db_->Intern(id), timestamp, value);
+}
+
+void WriteBatch::Commit() {
+  if (point_count_ > 0) {
+    db_->Apply(*this);
+  }
+  for (Column& column : columns_) {
+    column.timestamps.clear();  // Keeps capacity (and the id mapping) for
+    column.values.clear();      // the next fill.
+  }
+  point_count_ = 0;
+}
+
+// --- TimeSeriesDatabase ---
+
+TimeSeriesDatabase::TimeSeriesDatabase(const TsdbOptions& options)
+    : options_(options),
+      shards_(RoundUpPow2(std::max<size_t>(1, options.shard_count))) {
+  shard_mask_ = shards_.size() - 1;
+}
+
+InternedMetricId TimeSeriesDatabase::Intern(const MetricId& id) {
+  return InternedMetricId{symbols_.Intern(id.service), id.kind,
+                          symbols_.Intern(id.entity), symbols_.Intern(id.metadata)};
+}
+
+MetricId TimeSeriesDatabase::Resolve(const InternedMetricId& id) const {
+  return MetricId{symbols_.Name(id.service), id.kind, symbols_.Name(id.entity),
+                  symbols_.Name(id.metadata)};
+}
+
+TimeSeriesDatabase::SeriesEntry& TimeSeriesDatabase::EntryLocked(
+    Shard& shard, const InternedMetricId& id) {
+  auto it = shard.series.find(id);
+  if (it == shard.series.end()) {
+    it = shard.series.emplace(id, SeriesEntry(options_.seal_chunk_points)).first;
+  }
+  return it->second;
+}
 
 void TimeSeriesDatabase::Write(const MetricId& id, TimePoint timestamp, double value) {
-  ++generation_;
-  series_[id].Append(timestamp, value);
+  Write(Intern(id), timestamp, value);
+}
+
+void TimeSeriesDatabase::Write(const InternedMetricId& id, TimePoint timestamp,
+                               double value) {
+  Shard& shard = shards_[ShardIndex(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  SeriesEntry& entry = EntryLocked(shard, id);
+  entry.data.Append(timestamp, value);
+  ++entry.version;
+  shard.generation.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
-  ++generation_;
-  auto it = series_.find(id);
-  if (it == series_.end()) {
-    series_.emplace(id, std::move(series));
-    return;
-  }
+  const InternedMetricId interned = Intern(id);
+  Shard& shard = shards_[ShardIndex(interned)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  SeriesEntry& entry = EntryLocked(shard, interned);
   for (size_t i = 0; i < series.size(); ++i) {
-    it->second.Append(series.timestamps()[i], series.values()[i]);
+    entry.data.Append(series.timestamps()[i], series.values()[i]);
   }
+  ++entry.version;
+  shard.generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TimeSeriesDatabase::Apply(WriteBatch& batch) {
+  FBD_CHECK(batch.db_ == this);
+  for (size_t shard_index = 0; shard_index < batch.per_shard_.size(); ++shard_index) {
+    const std::vector<uint32_t>& column_indices = batch.per_shard_[shard_index];
+    if (column_indices.empty()) {
+      continue;
+    }
+    Shard& shard = shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    bool changed = false;
+    for (const uint32_t column_index : column_indices) {
+      const WriteBatch::Column& column = batch.columns_[column_index];
+      if (column.timestamps.empty()) {
+        continue;  // Staged in an earlier fill of this batch, idle since.
+      }
+      SeriesEntry& entry = EntryLocked(shard, column.id);
+      for (size_t i = 0; i < column.timestamps.size(); ++i) {
+        entry.data.Append(column.timestamps[i], column.values[i]);
+      }
+      ++entry.version;
+      changed = true;
+    }
+    if (changed) {
+      shard.generation.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+const TimeSeries* TimeSeriesDatabase::MaterializedLocked(const SeriesEntry& entry) const {
+  if (!entry.materialized) {
+    entry.materialized = std::make_unique<TimeSeries>();
+  }
+  if (entry.materialized_version != entry.version) {
+    entry.materialized->Clear();
+    entry.data.MaterializeAll(*entry.materialized);
+    entry.materialized_version = entry.version;
+  }
+  return entry.materialized.get();
 }
 
 const TimeSeries* TimeSeriesDatabase::Find(const MetricId& id) const {
-  const auto it = series_.find(id);
-  return it == series_.end() ? nullptr : &it->second;
+  const auto service = symbols_.Find(id.service);
+  const auto entity = symbols_.Find(id.entity);
+  const auto metadata = symbols_.Find(id.metadata);
+  if (!service || !entity || !metadata) {
+    return nullptr;
+  }
+  return Find(InternedMetricId{*service, id.kind, *entity, *metadata});
 }
 
-bool TimeSeriesDatabase::Contains(const MetricId& id) const { return series_.contains(id); }
+const TimeSeries* TimeSeriesDatabase::Find(const InternedMetricId& id) const {
+  const Shard& shard = shards_[ShardIndex(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.series.find(id);
+  if (it == shard.series.end()) {
+    return nullptr;
+  }
+  if (it->second.data.chunk_count() == 0) {
+    return &it->second.data.tail();  // Zero-copy: no sealed history.
+  }
+  return MaterializedLocked(it->second);
+}
+
+bool TimeSeriesDatabase::Contains(const MetricId& id) const {
+  const auto service = symbols_.Find(id.service);
+  const auto entity = symbols_.Find(id.entity);
+  const auto metadata = symbols_.Find(id.metadata);
+  if (!service || !entity || !metadata) {
+    return false;
+  }
+  return Contains(InternedMetricId{*service, id.kind, *entity, *metadata});
+}
+
+bool TimeSeriesDatabase::Contains(const InternedMetricId& id) const {
+  const Shard& shard = shards_[ShardIndex(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.series.contains(id);
+}
+
+const TimeSeries* TimeSeriesDatabase::SeriesForScan(const MetricId& id, TimePoint begin,
+                                                    TimeSeries& scratch) const {
+  const auto service = symbols_.Find(id.service);
+  const auto entity = symbols_.Find(id.entity);
+  const auto metadata = symbols_.Find(id.metadata);
+  if (!service || !entity || !metadata) {
+    return nullptr;
+  }
+  return SeriesForScan(InternedMetricId{*service, id.kind, *entity, *metadata}, begin,
+                       scratch);
+}
+
+const TimeSeries* TimeSeriesDatabase::SeriesForScan(const InternedMetricId& id,
+                                                    TimePoint begin,
+                                                    TimeSeries& scratch) const {
+  const Shard& shard = shards_[ShardIndex(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.series.find(id);
+  if (it == shard.series.end()) {
+    return nullptr;
+  }
+  const TieredSeries& data = it->second.data;
+  if (data.TailCovers(begin)) {
+    return &data.tail();  // Zero-copy hot path: the scan range is all raw.
+  }
+  scratch.Clear();
+  data.MaterializeFrom(begin, scratch);
+  return &scratch;
+}
 
 std::vector<MetricId> TimeSeriesDatabase::ListMetrics(const std::string& service) const {
-  std::vector<MetricId> ids;
-  for (const auto& [id, unused] : series_) {
-    if (service.empty() || id.service == service) {
-      ids.push_back(id);
-    }
+  std::lock_guard<std::mutex> cache_lock(list_cache_mutex_);
+  ListCacheEntry& cached = list_cache_[service];
+  std::vector<uint64_t> generations(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    generations[i] = shards_[i].generation.load(std::memory_order_relaxed);
   }
-  // Deterministic order for reproducible pipeline runs; MetricId's
-  // field-wise operator< avoids two ToString() allocations per comparison.
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  if (cached.shard_generations == generations) {
+    return cached.ids;
+  }
+  cached.ids.clear();
+  const auto service_symbol =
+      service.empty() ? std::optional<uint32_t>(SymbolTable::kEmptySymbol)
+                      : symbols_.Find(service);
+  if (service_symbol) {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [id, unused] : shard.series) {
+        if (service.empty() || id.service == *service_symbol) {
+          cached.ids.push_back(Resolve(id));
+        }
+      }
+    }
+    // Deterministic canonical order for reproducible pipeline runs;
+    // MetricId's field-wise operator< avoids ToString() allocations.
+    std::sort(cached.ids.begin(), cached.ids.end());
+  }
+  cached.shard_generations = std::move(generations);
+  return cached.ids;
 }
 
 std::vector<MetricId> TimeSeriesDatabase::ListMetricsOfKind(const std::string& service,
@@ -52,24 +254,79 @@ std::vector<MetricId> TimeSeriesDatabase::ListMetricsOfKind(const std::string& s
   return ids;
 }
 
+size_t TimeSeriesDatabase::metric_count() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.series.size();
+  }
+  return count;
+}
+
 size_t TimeSeriesDatabase::total_points() const {
   size_t total = 0;
-  for (const auto& [unused, series] : series_) {
-    total += series.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [unused, entry] : shard.series) {
+      total += entry.data.size();
+    }
   }
   return total;
 }
 
-void TimeSeriesDatabase::Expire(TimePoint cutoff) {
-  ++generation_;
-  for (auto it = series_.begin(); it != series_.end();) {
-    it->second.DropBefore(cutoff);
-    if (it->second.empty()) {
-      it = series_.erase(it);
-    } else {
-      ++it;
+TimeSeriesDatabase::MemoryStats TimeSeriesDatabase::memory_stats() const {
+  MemoryStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [unused, entry] : shard.series) {
+      stats.raw_points += entry.data.tail().size();
+      stats.sealed_points += entry.data.sealed_points();
+      stats.sealed_bytes += entry.data.sealed_bytes();
     }
   }
+  return stats;
+}
+
+void TimeSeriesDatabase::SealBefore(TimePoint boundary) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    bool changed = false;
+    for (auto& [unused, entry] : shard.series) {
+      const size_t sealed_before = entry.data.sealed_points();
+      entry.data.SealBefore(boundary);
+      if (entry.data.sealed_points() != sealed_before) {
+        ++entry.version;
+        changed = true;
+      }
+    }
+    if (changed) {
+      shard.generation.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void TimeSeriesDatabase::Expire(TimePoint cutoff) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.series.begin(); it != shard.series.end();) {
+      it->second.data.DropBefore(cutoff);
+      ++it->second.version;
+      if (it->second.data.empty()) {
+        it = shard.series.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    shard.generation.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t TimeSeriesDatabase::generation() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.generation.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace fbdetect

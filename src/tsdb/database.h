@@ -3,55 +3,220 @@
 // service. A real deployment would back this with a distributed TSDB (Meta
 // uses ODS/Gorilla-class storage); the interface is deliberately the subset
 // the detectors need.
+//
+// Storage layout (PR 2): metric identity strings are interned into a
+// SymbolTable so the hot write path keys on a 16-byte InternedMetricId; the
+// series map is split into lock-striped shards so fleet ingestion scales
+// across threads; and each series is a TieredSeries — Gorilla-compressed
+// sealed history plus a raw mutable tail that preserves the zero-copy
+// ScanView contract for the detection windows.
+//
+// Thread-safety: concurrent writers are safe (per-shard mutexes; the symbol
+// table has its own lock). Readers that hold raw pointers or spans into
+// series storage (Find, SeriesForScan, ScanView) must not run concurrently
+// with writers — same single-writer-or-many-readers phase discipline as
+// PR 1, now enforced per scan phase rather than per call.
 #ifndef FBDETECT_SRC_TSDB_DATABASE_H_
 #define FBDETECT_SRC_TSDB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/sim_time.h"
 #include "src/tsdb/metric_id.h"
+#include "src/tsdb/symbol_table.h"
+#include "src/tsdb/tiered_series.h"
 #include "src/tsdb/timeseries.h"
 
 namespace fbdetect {
 
+class TimeSeriesDatabase;
+
+struct TsdbOptions {
+  // Number of lock-striped shards; rounded up to a power of two. 1 gives the
+  // unsharded behavior (useful for baselines and small tests).
+  size_t shard_count = 16;
+  // Target points per sealed Gorilla chunk.
+  size_t seal_chunk_points = 1024;
+};
+
+// A batch of points staged for one Commit() into the database. Points are
+// staged into one column per metric; the id -> column index survives Commit,
+// so a long-lived batch (one ingest worker ticking a service) pays the
+// id lookup against a small hot map and the database-side hash lookup only
+// once per series per flush. Columns are grouped by destination shard, so
+// Commit locks each touched shard exactly once regardless of batch size.
+// Per-metric timestamps must be added in increasing order (the fleet
+// simulator's tick loop does this naturally). Not thread-safe; each ingest
+// worker owns its own batch.
+class WriteBatch {
+ public:
+  explicit WriteBatch(TimeSeriesDatabase* db);
+
+  // Stages one point. The MetricId form interns the identity first; callers
+  // on the hot path should intern once and use the InternedMetricId form.
+  void Add(const InternedMetricId& id, TimePoint timestamp, double value);
+  void Add(const MetricId& id, TimePoint timestamp, double value);
+
+  // Applies all staged points and clears the staged data (the id -> column
+  // mapping and vector capacities are retained for the next fill).
+  void Commit();
+
+  size_t point_count() const { return point_count_; }
+  bool empty() const { return point_count_ == 0; }
+  TimeSeriesDatabase* db() const { return db_; }
+
+ private:
+  friend class TimeSeriesDatabase;
+
+  struct Column {
+    InternedMetricId id;
+    std::vector<TimePoint> timestamps;
+    std::vector<double> values;
+  };
+
+  TimeSeriesDatabase* db_;
+  std::vector<Column> columns_;
+  // Column indices grouped by destination shard.
+  std::vector<std::vector<uint32_t>> per_shard_;
+  std::unordered_map<InternedMetricId, uint32_t, InternedMetricIdHash> column_index_;
+  size_t point_count_ = 0;
+};
+
 class TimeSeriesDatabase {
  public:
+  struct MemoryStats {
+    size_t raw_points = 0;     // Points in mutable tails.
+    size_t sealed_points = 0;  // Points in Gorilla chunks.
+    size_t sealed_bytes = 0;   // Compressed bytes of sealed history.
+    // What the sealed points would occupy as raw (timestamp, value) pairs.
+    size_t sealed_raw_bytes() const { return sealed_points * 16; }
+  };
+
+  TimeSeriesDatabase() : TimeSeriesDatabase(TsdbOptions{}) {}
+  explicit TimeSeriesDatabase(const TsdbOptions& options);
+  TimeSeriesDatabase(const TimeSeriesDatabase&) = delete;
+  TimeSeriesDatabase& operator=(const TimeSeriesDatabase&) = delete;
+
+  // --- Identity interning ---
+
+  // Interns all string components of `id` (creating symbols on first sight).
+  InternedMetricId Intern(const MetricId& id);
+  // Recovers the canonical MetricId of an interned key.
+  MetricId Resolve(const InternedMetricId& id) const;
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // --- Ingestion ---
+
   // Appends one point; timestamps per metric must be strictly increasing.
   void Write(const MetricId& id, TimePoint timestamp, double value);
+  void Write(const InternedMetricId& id, TimePoint timestamp, double value);
 
-  // Bulk-appends a series (moves it in when the metric is new).
+  // Bulk-appends a series.
   void WriteSeries(const MetricId& id, TimeSeries series);
 
-  // nullptr when absent.
+  // Applies a staged batch: each touched shard is locked once and its
+  // generation bumped once. Called by WriteBatch::Commit.
+  void Apply(WriteBatch& batch);
+
+  // --- Lookup ---
+
+  // nullptr when absent. For a series with sealed history this returns a
+  // lazily materialized (decoded) full series, rebuilt only after mutations;
+  // for a tail-only series it returns the tail storage directly (zero-copy).
+  // The pointer stays valid until the metric is erased by Expire.
   const TimeSeries* Find(const MetricId& id) const;
+  const TimeSeries* Find(const InternedMetricId& id) const;
 
   bool Contains(const MetricId& id) const;
+  bool Contains(const InternedMetricId& id) const;
 
-  // All metric IDs, optionally filtered by service (empty = all).
+  // Scan-path lookup for points in [begin, inf). If the raw tail covers the
+  // range, returns the tail directly — zero-copy, identical to the PR 1 fast
+  // path. Otherwise decodes the overlapping sealed chunks into `scratch`
+  // (clearing it first; chunk-granular, so the result may extend earlier
+  // than `begin`) and returns &scratch.
+  const TimeSeries* SeriesForScan(const MetricId& id, TimePoint begin,
+                                  TimeSeries& scratch) const;
+  const TimeSeries* SeriesForScan(const InternedMetricId& id, TimePoint begin,
+                                  TimeSeries& scratch) const;
+
+  // All metric IDs in canonical order, optionally filtered by service
+  // (empty = all). Cached per service behind the per-shard generation
+  // counters, so repeated calls between mutations are O(copy).
   std::vector<MetricId> ListMetrics(const std::string& service = {}) const;
 
   // All metric IDs of a given kind within a service.
   std::vector<MetricId> ListMetricsOfKind(const std::string& service, MetricKind kind) const;
 
-  size_t metric_count() const { return series_.size(); }
+  size_t metric_count() const;
   size_t total_points() const;
+  MemoryStats memory_stats() const;
+  size_t shard_count() const { return shards_.size(); }
+
+  // Seals all points strictly older than `boundary` into compressed chunks.
+  // Invalidates outstanding spans/pointers into the affected tails.
+  void SealBefore(TimePoint boundary);
 
   // Applies retention: drops points older than `cutoff` and removes metrics
   // that become empty.
   void Expire(TimePoint cutoff);
 
-  // Bumped on every mutation (Write/WriteSeries/Expire). Readers that cache
-  // derived data — e.g. the pipeline's sorted per-service metric list — or
-  // that hold zero-copy spans into series storage compare generations to
-  // decide whether their view is still valid.
-  uint64_t generation() const { return generation_; }
+  // Bumped on every mutation (Write/Apply/WriteSeries/SealBefore/Expire).
+  // Readers that cache derived data — e.g. the pipeline's sorted per-service
+  // metric list — or that hold zero-copy spans into series storage compare
+  // generations to decide whether their view is still valid. Monotonic
+  // (sum of per-shard counters); never changed by reads.
+  uint64_t generation() const;
 
  private:
-  std::unordered_map<MetricId, TimeSeries, MetricIdHash> series_;
-  uint64_t generation_ = 0;
+  friend class WriteBatch;
+
+  struct SeriesEntry {
+    explicit SeriesEntry(size_t seal_chunk_points) : data(seal_chunk_points) {}
+    TieredSeries data;
+    // Bumped on every mutation of `data`; invalidates `materialized`.
+    uint64_t version = 1;
+    // Lazily decoded full series for Find() on sealed entries. Guarded by
+    // the owning shard's mutex.
+    mutable std::unique_ptr<TimeSeries> materialized;
+    mutable uint64_t materialized_version = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::atomic<uint64_t> generation{0};
+    std::unordered_map<InternedMetricId, SeriesEntry, InternedMetricIdHash> series;
+  };
+
+  struct ListCacheEntry {
+    std::vector<uint64_t> shard_generations;
+    std::vector<MetricId> ids;
+  };
+
+  size_t ShardIndex(const InternedMetricId& id) const {
+    return InternedMetricIdHash{}(id) & shard_mask_;
+  }
+
+  // Returns the entry for `id` in `shard`, creating it if absent. Caller
+  // holds the shard mutex.
+  SeriesEntry& EntryLocked(Shard& shard, const InternedMetricId& id);
+
+  // Full decoded view of an entry (cached). Caller holds the shard mutex.
+  const TimeSeries* MaterializedLocked(const SeriesEntry& entry) const;
+
+  TsdbOptions options_;
+  size_t shard_mask_ = 0;
+  SymbolTable symbols_;
+  std::vector<Shard> shards_;
+
+  mutable std::mutex list_cache_mutex_;
+  mutable std::unordered_map<std::string, ListCacheEntry> list_cache_;
 };
 
 }  // namespace fbdetect

@@ -31,6 +31,11 @@ int64_t UnZigZag(uint64_t value) {
 
 }  // namespace
 
+BitWriter::BitWriter(std::vector<uint8_t> bytes, size_t bit_count)
+    : bytes_(std::move(bytes)), bit_count_(bit_count) {
+  FBD_CHECK(bit_count_ <= bytes_.size() * 8);
+}
+
 void BitWriter::WriteBit(bool bit) {
   const size_t byte_index = bit_count_ / 8;
   if (byte_index >= bytes_.size()) {
@@ -47,6 +52,13 @@ void BitWriter::WriteBits(uint64_t value, int bits) {
   for (int i = bits - 1; i >= 0; --i) {
     WriteBit(((value >> i) & 1) != 0);
   }
+}
+
+BitReader::BitReader(const std::vector<uint8_t>& bytes, size_t bit_count)
+    : bytes_(&bytes), bit_count_(bit_count) {
+  // A stream that claims more bits than its backing bytes is corrupt; abort
+  // here rather than index out of bounds in ReadBit.
+  FBD_CHECK(bit_count_ <= bytes.size() * 8);
 }
 
 bool BitReader::ReadBit() {
@@ -139,13 +151,18 @@ void CompressedTimeSeries::Append(TimePoint timestamp, double value) {
 
 TimeSeries CompressedTimeSeries::Decode() const {
   TimeSeries series;
+  DecodeInto(series);
+  return series;
+}
+
+void CompressedTimeSeries::DecodeInto(TimeSeries& out) const {
   if (count_ == 0) {
-    return series;
+    return;
   }
   BitReader reader(stream_.bytes(), stream_.bit_count());
   TimePoint timestamp = static_cast<TimePoint>(reader.ReadBits(64));
   uint64_t value_bits = reader.ReadBits(64);
-  series.Append(timestamp, BitsToDouble(value_bits));
+  out.Append(timestamp, BitsToDouble(value_bits));
 
   Duration delta = 0;
   int leading = 0;
@@ -181,9 +198,18 @@ TimeSeries CompressedTimeSeries::Decode() const {
         value_bits ^= reader.ReadBits(block_bits) << trailing;
       }
     }
-    series.Append(timestamp, BitsToDouble(value_bits));
+    out.Append(timestamp, BitsToDouble(value_bits));
   }
-  return series;
+}
+
+CompressedTimeSeries CompressedTimeSeries::FromRaw(std::vector<uint8_t> bytes,
+                                                   size_t bit_count, size_t count) {
+  CompressedTimeSeries chunk;
+  chunk.count_ = count;
+  chunk.stream_ = BitWriter(std::move(bytes), bit_count);
+  // Timestamp bookkeeping (first/last/delta, XOR block state) is unknown for
+  // a raw stream; the chunk supports decoding, not further appends.
+  return chunk;
 }
 
 }  // namespace fbdetect

@@ -24,6 +24,11 @@ namespace fbdetect {
 // Append-only bit stream.
 class BitWriter {
  public:
+  BitWriter() = default;
+  // Adopts an existing stream (deserialization); `bit_count` must fit in
+  // `bytes`, checked in the constructor.
+  BitWriter(std::vector<uint8_t> bytes, size_t bit_count);
+
   void WriteBit(bool bit);
   // Writes the low `bits` bits of `value`, most significant first.
   void WriteBits(uint64_t value, int bits);
@@ -38,8 +43,9 @@ class BitWriter {
 
 class BitReader {
  public:
-  BitReader(const std::vector<uint8_t>& bytes, size_t bit_count)
-      : bytes_(&bytes), bit_count_(bit_count) {}
+  // `bit_count` must fit in `bytes` — checked, so a truncated or corrupted
+  // stream fails loudly instead of reading out of bounds.
+  BitReader(const std::vector<uint8_t>& bytes, size_t bit_count);
 
   bool ReadBit();
   uint64_t ReadBits(int bits);
@@ -62,8 +68,26 @@ class CompressedTimeSeries {
   // Compressed size in bytes (for compression-ratio accounting).
   size_t byte_size() const { return stream_.bytes().size(); }
 
+  // Raw stream parts, the inverse of FromRaw (serialization, tests).
+  const std::vector<uint8_t>& bytes() const { return stream_.bytes(); }
+  size_t bit_count() const { return stream_.bit_count(); }
+
+  TimePoint first_timestamp() const { return first_timestamp_; }
+  TimePoint last_timestamp() const { return last_timestamp_; }
+
   // Decodes the full series. Exact round trip.
   TimeSeries Decode() const;
+
+  // Appends all points to `out` (which must end before first_timestamp()).
+  // The scratch-reuse form of Decode() for the tiered scan path. Decoding a
+  // truncated stream aborts via FBD_CHECK rather than reading past the end.
+  void DecodeInto(TimeSeries& out) const;
+
+  // Reconstructs a chunk from raw stream parts, e.g. deserialized storage.
+  // Checks that `bit_count` fits in `bytes`; a stream that still understates
+  // the data for `count` points fails loudly at Decode time.
+  static CompressedTimeSeries FromRaw(std::vector<uint8_t> bytes, size_t bit_count,
+                                      size_t count);
 
  private:
   size_t count_ = 0;

@@ -56,4 +56,17 @@ size_t MetricIdHash::operator()(const MetricId& id) const {
   return h;
 }
 
+size_t InternedMetricIdHash::operator()(const InternedMetricId& id) const {
+  // SplitMix64-style finalizer over the packed components; symbols are dense
+  // small integers, so raw mixing would cluster shards without it.
+  uint64_t h = (static_cast<uint64_t>(id.service) << 32) ^
+               (static_cast<uint64_t>(id.entity) << 8) ^
+               (static_cast<uint64_t>(id.metadata) << 40) ^
+               static_cast<uint64_t>(id.kind);
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<size_t>(h ^ (h >> 31));
+}
+
 }  // namespace fbdetect

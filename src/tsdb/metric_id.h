@@ -8,6 +8,7 @@
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -51,6 +52,24 @@ struct MetricId {
 
 struct MetricIdHash {
   size_t operator()(const MetricId& id) const;
+};
+
+// The interned form of a MetricId: each string component replaced by its
+// dense SymbolTable handle. This is the key of the sharded storage and the
+// currency of the hot write path — hashing it mixes three 32-bit integers
+// instead of three heap strings. Symbols are only meaningful relative to the
+// SymbolTable (in practice: the TimeSeriesDatabase) that produced them.
+struct InternedMetricId {
+  uint32_t service = 0;
+  MetricKind kind = MetricKind::kCpu;
+  uint32_t entity = 0;
+  uint32_t metadata = 0;
+
+  bool operator==(const InternedMetricId& other) const = default;
+};
+
+struct InternedMetricIdHash {
+  size_t operator()(const InternedMetricId& id) const;
 };
 
 }  // namespace fbdetect

@@ -1,0 +1,54 @@
+#include "src/tsdb/symbol_table.h"
+
+#include <mutex>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+SymbolTable::SymbolTable() {
+  names_.emplace_back();
+  index_.emplace(std::string_view(names_.back()), kEmptySymbol);
+}
+
+uint32_t SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  // Another writer may have interned it between the locks.
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const uint32_t symbol = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), symbol);
+  return symbol;
+}
+
+std::optional<uint32_t> SymbolTable::Find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& SymbolTable::Name(uint32_t symbol) const {
+  std::shared_lock lock(mutex_);
+  FBD_CHECK(symbol < names_.size());
+  return names_[symbol];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace fbdetect

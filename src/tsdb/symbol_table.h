@@ -1,0 +1,60 @@
+// String interning for metric identity components.
+//
+// FBDetect's ~800k series are keyed by (service, kind, entity, metadata)
+// strings; hashing three heap strings on every TSDB write is the dominant
+// ingestion cost at fleet scale. A SymbolTable maps each distinct component
+// string to a dense uint32_t handle so the hot write path and the sharded
+// storage operate on a 16-byte integer key (InternedMetricId) instead, while
+// the canonical strings stay recoverable for reports and dedup n-grams.
+//
+// Thread-safety: all methods are safe to call concurrently (shared_mutex;
+// lookups take the shared lock, first-time interns the exclusive lock). In
+// steady state every symbol already exists and Intern degenerates to one
+// shared-locked hash lookup. Symbols are never removed, so the references
+// returned by Name() stay valid for the table's lifetime.
+#ifndef FBDETECT_SRC_TSDB_SYMBOL_TABLE_H_
+#define FBDETECT_SRC_TSDB_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fbdetect {
+
+class SymbolTable {
+ public:
+  // The empty string is pre-interned as symbol 0, so "no entity" / "no
+  // metadata" costs nothing to encode and decodes back to "".
+  static constexpr uint32_t kEmptySymbol = 0;
+
+  SymbolTable();
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the symbol for `name`, creating it on first sight.
+  uint32_t Intern(std::string_view name);
+
+  // Returns the symbol for `name` if it was interned before; never creates.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  // The canonical string of a symbol. The reference is stable for the
+  // lifetime of the table (symbols are never removed).
+  const std::string& Name(uint32_t symbol) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  // deque: stable references across growth, so Name() results and the
+  // string_view keys in index_ survive later interns.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSDB_SYMBOL_TABLE_H_

@@ -1,0 +1,99 @@
+#include "src/tsdb/tiered_series.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace fbdetect {
+
+void TieredSeries::Append(TimePoint timestamp, double value) {
+  FBD_CHECK(chunks_.empty() || timestamp > chunks_.back().last);
+  tail_.Append(timestamp, value);  // Tail ordering checked by TimeSeries.
+}
+
+size_t TieredSeries::sealed_bytes() const {
+  size_t bytes = 0;
+  for (const Chunk& chunk : chunks_) {
+    bytes += chunk.data.byte_size();
+  }
+  return bytes;
+}
+
+bool TieredSeries::TailCovers(TimePoint begin) const {
+  return chunks_.empty() || chunks_.back().last < begin;
+}
+
+void TieredSeries::SealBefore(TimePoint boundary) {
+  const auto [first, split] = tail_.SliceIndices(tail_.start_time(), boundary);
+  (void)first;
+  if (tail_.empty() || split == 0) {
+    return;
+  }
+  const std::vector<TimePoint>& timestamps = tail_.timestamps();
+  const std::vector<double>& values = tail_.values();
+  for (size_t i = 0; i < split; ++i) {
+    if (chunks_.empty() || chunks_.back().data.size() >= seal_chunk_points_) {
+      chunks_.emplace_back();
+      chunks_.back().first = timestamps[i];
+    }
+    Chunk& chunk = chunks_.back();
+    chunk.data.Append(timestamps[i], values[i]);
+    chunk.last = timestamps[i];
+  }
+  sealed_points_ += split;
+  tail_.DropBefore(boundary);
+}
+
+void TieredSeries::MaterializeAll(TimeSeries& out) const {
+  for (const Chunk& chunk : chunks_) {
+    chunk.data.DecodeInto(out);
+  }
+  const std::vector<TimePoint>& timestamps = tail_.timestamps();
+  const std::vector<double>& values = tail_.values();
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    out.Append(timestamps[i], values[i]);
+  }
+}
+
+void TieredSeries::MaterializeFrom(TimePoint begin, TimeSeries& out) const {
+  for (const Chunk& chunk : chunks_) {
+    if (chunk.last < begin) {
+      continue;
+    }
+    chunk.data.DecodeInto(out);
+  }
+  const std::vector<TimePoint>& timestamps = tail_.timestamps();
+  const std::vector<double>& values = tail_.values();
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    out.Append(timestamps[i], values[i]);
+  }
+}
+
+void TieredSeries::DropBefore(TimePoint cutoff) {
+  size_t drop = 0;
+  while (drop < chunks_.size() && chunks_[drop].last < cutoff) {
+    sealed_points_ -= chunks_[drop].data.size();
+    ++drop;
+  }
+  if (drop > 0) {
+    chunks_.erase(chunks_.begin(), chunks_.begin() + static_cast<long>(drop));
+  }
+  if (!chunks_.empty() && chunks_.front().first < cutoff) {
+    // Straddling chunk: decode, trim, re-encode.
+    Chunk& chunk = chunks_.front();
+    TimeSeries decoded = chunk.data.Decode();
+    decoded.DropBefore(cutoff);
+    sealed_points_ -= chunk.data.size() - decoded.size();
+    CompressedTimeSeries reencoded;
+    const std::vector<TimePoint>& timestamps = decoded.timestamps();
+    const std::vector<double>& values = decoded.values();
+    for (size_t i = 0; i < timestamps.size(); ++i) {
+      reencoded.Append(timestamps[i], values[i]);
+    }
+    chunk.data = std::move(reencoded);
+    chunk.first = decoded.start_time();
+  }
+  tail_.DropBefore(cutoff);
+}
+
+}  // namespace fbdetect

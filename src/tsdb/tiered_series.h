@@ -1,0 +1,84 @@
+// Two-tier storage for one time series: cold history sealed into
+// Gorilla-compressed chunks, plus a raw mutable tail that recent writes and
+// the zero-copy scan path (ScanView / WindowView) operate on directly.
+//
+// Invariants:
+//   - Every sealed point is strictly older than every tail point.
+//   - Chunks are ordered; chunk timestamps never overlap.
+//   - Sealed chunks are immutable except for DropBefore (retention), which
+//     drops whole chunks and re-encodes at most the one straddling chunk.
+//   - Appends go to the tail only; SealBefore moves tail points into chunks.
+//
+// Because the Gorilla round trip is bit-exact, materializing a tiered series
+// yields the byte-identical TimeSeries the raw path would have produced —
+// tiering on/off cannot change detection output.
+#ifndef FBDETECT_SRC_TSDB_TIERED_SERIES_H_
+#define FBDETECT_SRC_TSDB_TIERED_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/tsdb/gorilla.h"
+#include "src/tsdb/timeseries.h"
+
+namespace fbdetect {
+
+class TieredSeries {
+ public:
+  // `seal_chunk_points`: target points per sealed chunk; SealBefore keeps
+  // appending to the newest chunk until it reaches this size.
+  explicit TieredSeries(size_t seal_chunk_points = 1024)
+      : seal_chunk_points_(seal_chunk_points) {}
+
+  // Appends to the tail; `timestamp` must be strictly after every stored
+  // point, sealed or not.
+  void Append(TimePoint timestamp, double value);
+
+  size_t size() const { return sealed_points_ + tail_.size(); }
+  bool empty() const { return size() == 0; }
+  size_t sealed_points() const { return sealed_points_; }
+  size_t sealed_bytes() const;
+  size_t chunk_count() const { return chunks_.size(); }
+
+  // The raw mutable tail. When TailCovers(begin) holds, scanning the tail
+  // alone is exact and zero-copy.
+  const TimeSeries& tail() const { return tail_; }
+
+  // True if every point at or after `begin` lives in the tail (no sealed
+  // chunk overlaps [begin, inf)).
+  bool TailCovers(TimePoint begin) const;
+
+  // Seals tail points strictly older than `boundary` into compressed chunks.
+  void SealBefore(TimePoint boundary);
+
+  // Appends every stored point in order into `out` (which the caller has
+  // Clear()ed or whose last point precedes this series).
+  void MaterializeAll(TimeSeries& out) const;
+
+  // Like MaterializeAll but skips chunks that end before `begin`. Decoding is
+  // chunk-granular: the result may start earlier than `begin` (never later),
+  // which window extraction tolerates.
+  void MaterializeFrom(TimePoint begin, TimeSeries& out) const;
+
+  // Retention: drops all points strictly older than `cutoff`. Whole chunks
+  // before the cutoff are freed; a chunk straddling it is decoded, trimmed,
+  // and re-encoded.
+  void DropBefore(TimePoint cutoff);
+
+ private:
+  struct Chunk {
+    CompressedTimeSeries data;
+    TimePoint first = 0;
+    TimePoint last = 0;
+  };
+
+  size_t seal_chunk_points_;
+  std::vector<Chunk> chunks_;
+  size_t sealed_points_ = 0;
+  TimeSeries tail_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSDB_TIERED_SERIES_H_

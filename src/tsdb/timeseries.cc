@@ -78,4 +78,14 @@ void TimeSeries::DropBefore(TimePoint cutoff) {
   values_.erase(values_.begin(), values_.begin() + static_cast<long>(keep_from));
 }
 
+void TimeSeries::Clear() {
+  timestamps_.clear();
+  values_.clear();
+}
+
+void TimeSeries::Reserve(size_t capacity) {
+  timestamps_.reserve(capacity);
+  values_.reserve(capacity);
+}
+
 }  // namespace fbdetect

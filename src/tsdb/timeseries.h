@@ -48,6 +48,12 @@ class TimeSeries {
   // Drops all points strictly older than `cutoff` (retention).
   void DropBefore(TimePoint cutoff);
 
+  // Removes all points; keeps capacity (scratch-buffer reuse on the tiered
+  // scan path).
+  void Clear();
+
+  void Reserve(size_t capacity);
+
  private:
   std::vector<TimePoint> timestamps_;
   std::vector<double> values_;

@@ -100,6 +100,40 @@ TEST(ProfileStoreTest, MultiBucketOverlapIsSampleWeighted) {
   EXPECT_NEAR(store.Overlap("svc", "root", "left", 0, Hours(2)), 0.5, 1e-12);
 }
 
+TEST(ProfileStoreTest, QueryAtEpochIncludesFirstBucket) {
+  // Regression test for the first-bucket computation: begin = 0 must select
+  // the epoch bucket, and a begin inside the first bucket must too.
+  StoreGraph g;
+  ProfileStore store(Hours(1));
+  ProfileAggregate aggregate;
+  aggregate.AddSample({g.root});
+  store.Ingest("svc", Minutes(10), &g.graph, aggregate);
+
+  EXPECT_DOUBLE_EQ(store.Gcpu("svc", "root", 0, Hours(1)), 1.0);
+  EXPECT_DOUBLE_EQ(store.Gcpu("svc", "root", Minutes(5), Hours(1)), 1.0);
+  EXPECT_DOUBLE_EQ(store.Gcpu("svc", "root", Minutes(59), Hours(1)), 1.0);
+}
+
+TEST(ProfileStoreTest, QueryExcludesBucketEndingAtBegin) {
+  // Regression test: the old first-bucket arithmetic truncated toward zero,
+  // which for begin > bucket_width admitted the bucket ENDING at/before
+  // `begin` — mixing one stale bucket into every query. A bucket whose range
+  // is [0, 1h) must not satisfy a query over [1h, 2h).
+  StoreGraph g;
+  ProfileStore store(Hours(1));
+  ProfileAggregate stale;
+  stale.AddSample({g.root, g.left});
+  store.Ingest("svc", Minutes(10), &g.graph, stale);  // Bucket [0, 1h).
+
+  // begin exactly at the boundary and begin just past it: both exclude it.
+  EXPECT_EQ(store.Gcpu("svc", "left", Hours(1), Hours(2)), 0.0);
+  EXPECT_EQ(store.Gcpu("svc", "left", Hours(1) + 1, Hours(2)), 0.0);
+  EXPECT_EQ(store.Overlap("svc", "root", "left", Hours(1), Hours(2)), 0.0);
+
+  // A begin strictly inside the bucket still selects it.
+  EXPECT_DOUBLE_EQ(store.Gcpu("svc", "left", Hours(1) - 1, Hours(2)), 1.0);
+}
+
 TEST(ProfileStoreTest, FeedsPairwiseDedupOverlapFeature) {
   // Wire the store into PairwiseDedup as the StackOverlapFn and check that
   // sample-sharing subroutines merge even with dissimilar names.
