@@ -57,6 +57,27 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// Convenience for the funnel's slot-indexed stages: runs fn(0) .. fn(n - 1)
+// on `pool` plus the calling thread in statically strided lanes, or serially
+// when `pool` is null/empty or n < 2. fn must write results only into
+// per-index slots, which makes the output byte-identical for any pool size.
+// Subject to ParallelFor's reentrancy rule: fn must not use the same pool.
+inline void ParallelIndexFor(size_t n, ThreadPool* pool,
+                             const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->size() == 0 || n < 2) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const size_t lanes = pool->size() + 1 < n ? pool->size() + 1 : n;
+  pool->ParallelFor(lanes, [&](size_t lane) {
+    for (size_t i = lane; i < n; i += lanes) {
+      fn(i);
+    }
+  });
+}
+
 }  // namespace fbdetect
 
 #endif  // FBDETECT_SRC_COMMON_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
@@ -46,8 +47,15 @@ DomainWindow MeasureDomain(const TimeSeriesDatabase& db, const CostDomain& domai
       continue;
     }
     any_series = true;
-    const std::vector<double> before = series->ValuesBetween(pre_begin, change);
-    const std::vector<double> after = series->ValuesBetween(change, post_end);
+    // Zero-copy: sum directly over spans into the series storage instead of
+    // materializing ValuesBetween copies (bit-identical sums — same values,
+    // same order).
+    const auto [before_first, before_last] = series->SliceIndices(pre_begin, change);
+    const auto [after_first, after_last] = series->SliceIndices(change, post_end);
+    const std::span<const double> before =
+        series->value_span().subspan(before_first, before_last - before_first);
+    const std::span<const double> after =
+        series->value_span().subspan(after_first, after_last - after_first);
     if (before.empty()) {
       all_existed_before = false;
     }

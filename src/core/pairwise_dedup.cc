@@ -1,44 +1,79 @@
 #include "src/core/pairwise_dedup.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cmath>
+#include <limits>
 
-#include "src/stats/correlation.h"
-#include "src/stats/text.h"
+#include "src/common/check.h"
 
 namespace fbdetect {
-namespace {
 
-// Pearson correlation over the timestamp-aligned overlap of two regressions'
-// analysis windows. Regressions observed in disjoint windows share no
-// co-movement evidence, so fewer than 8 aligned points yields 0 — merging
-// them must then be justified by the identity features instead.
 double AlignedPearson(const Regression& a, const Regression& b) {
+  // Documented invariant (regression.h): both detector paths fill
+  // analysis_timestamps over the exact analysis range. A mismatch would
+  // silently truncate the alignment, so fail loudly instead.
+  FBD_CHECK(a.analysis_timestamps.size() == a.analysis.size());
+  FBD_CHECK(b.analysis_timestamps.size() == b.analysis.size());
   if (a.analysis.empty() || b.analysis.empty()) {
     return 0.0;
   }
-  std::unordered_map<TimePoint, double> b_by_time;
-  const size_t bn = std::min(b.analysis.size(), b.analysis_timestamps.size());
-  for (size_t i = 0; i < bn; ++i) {
-    b_by_time.emplace(b.analysis_timestamps[i], b.analysis[i]);
-  }
-  std::vector<double> xs;
-  std::vector<double> ys;
-  const size_t an = std::min(a.analysis.size(), a.analysis_timestamps.size());
-  for (size_t i = 0; i < an; ++i) {
-    const auto it = b_by_time.find(a.analysis_timestamps[i]);
-    if (it != b_by_time.end()) {
-      xs.push_back(a.analysis[i]);
-      ys.push_back(it->second);
+  // Two-pointer merge over the sorted timestamp arrays. Pass 1: count the
+  // aligned pairs and take their sums; pass 2: the centered moments. The
+  // aligned values are visited in exactly the order the historical
+  // implementation materialized them (ascending a-index), and the
+  // mean/moment accumulation mirrors PearsonCorrelation, so the result is
+  // bit-exact with PearsonCorrelation(xs, ys) on the materialized arrays —
+  // without building a per-pair hash map or the xs/ys vectors.
+  const size_t an = a.analysis.size();
+  const size_t bn = b.analysis.size();
+  size_t n = 0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (size_t i = 0, j = 0; i < an && j < bn;) {
+    const TimePoint ta = a.analysis_timestamps[i];
+    const TimePoint tb = b.analysis_timestamps[j];
+    if (ta < tb) {
+      ++i;
+    } else if (tb < ta) {
+      ++j;
+    } else {
+      sum_x += a.analysis[i];
+      sum_y += b.analysis[j];
+      ++n;
+      ++i;
+      ++j;
     }
   }
-  if (xs.size() < 8) {
+  if (n < 8) {
     return 0.0;
   }
-  return PearsonCorrelation(xs, ys);
+  const double mean_x = sum_x / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0, j = 0; i < an && j < bn;) {
+    const TimePoint ta = a.analysis_timestamps[i];
+    const TimePoint tb = b.analysis_timestamps[j];
+    if (ta < tb) {
+      ++i;
+    } else if (tb < ta) {
+      ++j;
+    } else {
+      const double dx = a.analysis[i] - mean_x;
+      const double dy = b.analysis[j] - mean_y;
+      sxy += dx * dy;
+      sxx += dx * dx;
+      syy += dy * dy;
+      ++i;
+      ++j;
+    }
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
 }
-
-}  // namespace
 
 PairwiseScores PairwiseDedup::Score(const Regression& candidate,
                                     const RegressionGroup& group) const {
@@ -57,29 +92,151 @@ PairwiseScores PairwiseDedup::Score(const Regression& candidate,
   return scores;
 }
 
-std::vector<int> PairwiseDedup::Ingest(std::vector<Regression> regressions) {
+Regression& PairwiseDedup::GroupRepresentative(int group_id) {
+  FBD_CHECK(group_id >= 0 && static_cast<size_t>(group_id) < groups_.size());
+  FBD_CHECK(!groups_[static_cast<size_t>(group_id)].members.empty());
+  return groups_[static_cast<size_t>(group_id)].members.front();
+}
+
+void PairwiseDedup::CollectCandidateGroups(const FunnelCandidate& candidate) {
+  candidate_groups_.clear();
+  if (groups_.empty()) {
+    return;
+  }
+  // Index pruning is only conservative when both identity thresholds are
+  // exclusionary: with min_text <= 0 or min_stack_overlap <= 0 the merge
+  // rule can pass on Pearson alone, so every group must be scored.
+  if (rule_.min_text <= 0.0 || rule_.min_stack_overlap <= 0.0) {
+    candidate_groups_.resize(groups_.size());
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      candidate_groups_[g] = static_cast<int>(g);
+    }
+    return;
+  }
+  if (mark_stamp_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(group_mark_.begin(), group_mark_.end(), 0);
+    mark_stamp_ = 0;
+  }
+  ++mark_stamp_;
+  // Groups sharing at least one metric token (text > 0 is impossible
+  // otherwise).
+  for (const HashedGram& term : candidate.fingerprint.tokens.terms) {
+    const auto it = token_index_.find(term.hash);
+    if (it == token_index_.end()) {
+      continue;
+    }
+    for (int g : it->second) {
+      if (group_mark_[static_cast<size_t>(g)] != mark_stamp_) {
+        group_mark_[static_cast<size_t>(g)] = mark_stamp_;
+        candidate_groups_.push_back(g);
+      }
+    }
+  }
+  // Groups that can satisfy the stack-overlap clause: it is only evaluated
+  // for gCPU<->gCPU pairs with an overlap provider.
+  if (overlap_ != nullptr && candidate.regression.metric.kind == MetricKind::kGcpu) {
+    for (int g : gcpu_groups_) {
+      if (group_mark_[static_cast<size_t>(g)] != mark_stamp_) {
+        group_mark_[static_cast<size_t>(g)] = mark_stamp_;
+        candidate_groups_.push_back(g);
+      }
+    }
+  }
+  // Ascending ids restore the historical scan order for the argmax
+  // tie-break.
+  std::sort(candidate_groups_.begin(), candidate_groups_.end());
+}
+
+void PairwiseDedup::ScoreCandidate(const FunnelCandidate& candidate, ThreadPool* pool) {
+  aggregates_.assign(candidate_groups_.size(), 0.0);
+  eligible_.assign(candidate_groups_.size(), 0);
+  const bool candidate_gcpu = candidate.regression.metric.kind == MetricKind::kGcpu;
+  ParallelIndexFor(candidate_groups_.size(), pool, [&](size_t k) {
+    const size_t g = static_cast<size_t>(candidate_groups_[k]);
+    const RegressionGroup& group = groups_[g];
+    const GroupSummary& summary = summaries_[g];
+    PairwiseScores scores;
+    for (size_t m = 0; m < group.members.size(); ++m) {
+      const Regression& member = group.members[m];
+      scores.pearson = std::max(scores.pearson, AlignedPearson(candidate.regression, member));
+      scores.text = std::max(
+          scores.text, CosineSimilarity(candidate.fingerprint.tokens, summary.member_tokens[m]));
+      if (overlap_ != nullptr && candidate_gcpu && member.metric.kind == MetricKind::kGcpu) {
+        scores.stack_overlap = std::max(scores.stack_overlap,
+                                        overlap_(candidate.regression.metric, member.metric));
+      }
+    }
+    eligible_[k] = rule_.ShouldMerge(scores) ? 1 : 0;
+    aggregates_[k] = scores.Aggregate();
+  });
+}
+
+void PairwiseDedup::IndexTokens(const TokenVector& tokens, int group_id) {
+  for (const HashedGram& term : tokens.terms) {
+    std::vector<int>& list = token_index_[term.hash];
+    if (list.empty() || list.back() != group_id) {
+      list.push_back(group_id);
+    }
+  }
+}
+
+void PairwiseDedup::AppendMember(int group_id, FunnelCandidate candidate) {
+  const size_t g = static_cast<size_t>(group_id);
+  IndexTokens(candidate.fingerprint.tokens, group_id);
+  if (candidate.regression.metric.kind == MetricKind::kGcpu && !summaries_[g].has_gcpu) {
+    summaries_[g].has_gcpu = true;
+    gcpu_groups_.push_back(group_id);
+  }
+  summaries_[g].member_tokens.push_back(std::move(candidate.fingerprint.tokens));
+  groups_[g].members.push_back(std::move(candidate.regression));
+}
+
+int PairwiseDedup::OpenGroup(FunnelCandidate candidate) {
+  const int group_id = static_cast<int>(groups_.size());
+  groups_.emplace_back();
+  groups_.back().group_id = group_id;
+  summaries_.emplace_back();
+  group_mark_.push_back(0);
+  AppendMember(group_id, std::move(candidate));
+  return group_id;
+}
+
+std::vector<int> PairwiseDedup::Ingest(std::vector<FunnelCandidate> candidates,
+                                       ThreadPool* pool) {
   std::vector<int> new_groups;
-  for (Regression& regression : regressions) {
+  for (FunnelCandidate& candidate : candidates) {
+    FBD_CHECK(candidate.regression.analysis_timestamps.size() ==
+              candidate.regression.analysis.size());
+    CollectCandidateGroups(candidate);
+    ScoreCandidate(candidate, pool);
+    // Serial argmax in ascending group id: strict > keeps the first (lowest
+    // id) group on ties and rejects aggregates of exactly 0.0 — the same
+    // semantics as the historical all-pairs loop.
     int best_group = -1;
     double best_aggregate = 0.0;
-    for (size_t g = 0; g < groups_.size(); ++g) {
-      const PairwiseScores scores = Score(regression, groups_[g]);
-      if (rule_.ShouldMerge(scores) && scores.Aggregate() > best_aggregate) {
-        best_aggregate = scores.Aggregate();
-        best_group = static_cast<int>(g);
+    for (size_t k = 0; k < candidate_groups_.size(); ++k) {
+      if (eligible_[k] != 0 && aggregates_[k] > best_aggregate) {
+        best_aggregate = aggregates_[k];
+        best_group = candidate_groups_[k];
       }
     }
     if (best_group >= 0) {
-      groups_[static_cast<size_t>(best_group)].members.push_back(std::move(regression));
+      AppendMember(best_group, std::move(candidate));
       continue;
     }
-    RegressionGroup group;
-    group.group_id = static_cast<int>(groups_.size());
-    group.members.push_back(std::move(regression));
-    groups_.push_back(std::move(group));
-    new_groups.push_back(groups_.back().group_id);
+    new_groups.push_back(OpenGroup(std::move(candidate)));
   }
   return new_groups;
+}
+
+std::vector<int> PairwiseDedup::Ingest(std::vector<Regression> regressions) {
+  const FingerprintConfig fp_config{0, 0, /*som_features=*/false};
+  std::vector<FunnelCandidate> candidates(regressions.size());
+  for (size_t i = 0; i < regressions.size(); ++i) {
+    candidates[i].fingerprint = ComputeFingerprint(regressions[i], fp_config);
+    candidates[i].regression = std::move(regressions[i]);
+  }
+  return Ingest(std::move(candidates), nullptr);
 }
 
 }  // namespace fbdetect

@@ -191,13 +191,17 @@ std::vector<Regression> Pipeline::ScanAllMetrics(const std::string& service, Tim
   return survivors;
 }
 
+ThreadPool* Pipeline::FunnelPool() {
+  return options_.scan_threads > 1 ? &pool_ : nullptr;
+}
+
 std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as_of) {
   std::vector<Regression> survivors = ScanAllMetrics(service, as_of);
 
-  auto count_paths = [](const std::vector<Regression>& regressions, uint64_t& short_count,
-                        uint64_t& long_count) {
-    for (const Regression& regression : regressions) {
-      if (regression.long_term) {
+  auto count_candidate_paths = [](const std::vector<FunnelCandidate>& candidates,
+                                  uint64_t& short_count, uint64_t& long_count) {
+    for (const FunnelCandidate& candidate : candidates) {
+      if (candidate.regression.long_term) {
         ++long_count;
       } else {
         ++short_count;
@@ -205,53 +209,99 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
     }
   };
 
-  // Stage: SameRegressionMerger.
-  std::vector<Regression> fresh = merger_.Filter(std::move(survivors));
-  count_paths(fresh, short_funnel_.after_same_merger, long_funnel_.after_same_merger);
+  // Stage: fingerprints — the text/shape artifacts every later stage reuses,
+  // computed exactly once per survivor, in parallel into per-index slots.
+  const FingerprintConfig fp_config{options_.som_dedup.fourier_coefficients,
+                                    options_.som_dedup.root_cause_bitmap_dims,
+                                    /*som_features=*/true};
+  std::vector<FunnelCandidate> candidates(survivors.size());
+  ParallelIndexFor(survivors.size(), FunnelPool(), [&](size_t i) {
+    candidates[i].fingerprint = ComputeFingerprint(survivors[i], fp_config);
+    candidates[i].regression = std::move(survivors[i]);
+  });
+  survivors.clear();
+
+  // Stage: SameRegressionMerger (stateful and order-dependent: serial).
+  std::vector<FunnelCandidate> fresh = merger_.Filter(std::move(candidates));
+  count_candidate_paths(fresh, short_funnel_.after_same_merger, long_funnel_.after_same_merger);
 
   // Stage: SOMDedup — clusters metrics of the SAME type within this run's
   // analysis window (§5.5.1); cross-type merging is PairwiseDedup's job.
-  std::vector<Regression> representatives;
+  // A single cohort parallelizes internally; multiple cohorts run
+  // concurrently with serial internals (the pool is not reentrant). Either
+  // way results land in kind-ascending slots, independent of scheduling.
+  std::vector<FunnelCandidate> representatives;
   {
-    std::map<MetricKind, std::vector<Regression>> by_kind;
-    for (Regression& regression : fresh) {
-      by_kind[regression.metric.kind].push_back(std::move(regression));
+    std::map<MetricKind, std::vector<FunnelCandidate>> by_kind;
+    for (FunnelCandidate& candidate : fresh) {
+      by_kind[candidate.regression.metric.kind].push_back(std::move(candidate));
     }
-    for (auto& [kind, cohort] : by_kind) {
-      std::vector<Regression> cohort_reps = som_dedup_.Deduplicate(std::move(cohort));
-      representatives.insert(representatives.end(),
-                             std::make_move_iterator(cohort_reps.begin()),
-                             std::make_move_iterator(cohort_reps.end()));
+    if (by_kind.size() <= 1) {
+      for (auto& [kind, cohort] : by_kind) {
+        representatives = som_dedup_.Deduplicate(std::move(cohort), FunnelPool());
+      }
+    } else {
+      std::vector<std::vector<FunnelCandidate>*> cohorts;
+      cohorts.reserve(by_kind.size());
+      for (auto& [kind, cohort] : by_kind) {
+        cohorts.push_back(&cohort);
+      }
+      std::vector<std::vector<FunnelCandidate>> cohort_reps(cohorts.size());
+      ParallelIndexFor(cohorts.size(), FunnelPool(), [&](size_t i) {
+        cohort_reps[i] = som_dedup_.Deduplicate(std::move(*cohorts[i]), nullptr);
+      });
+      for (std::vector<FunnelCandidate>& reps : cohort_reps) {
+        representatives.insert(representatives.end(), std::make_move_iterator(reps.begin()),
+                               std::make_move_iterator(reps.end()));
+      }
     }
   }
-  count_paths(representatives, short_funnel_.after_som_dedup, long_funnel_.after_som_dedup);
+  count_candidate_paths(representatives, short_funnel_.after_som_dedup,
+                        long_funnel_.after_som_dedup);
 
-  // Stage: cost-shift filtering.
-  std::vector<Regression> shift_free;
+  // Stage: cost-shift filtering — verdicts in parallel into per-index slots,
+  // then a serial in-order sweep keeps the survivors.
+  std::vector<FunnelCandidate> shift_free;
   if (options_.enable_cost_shift) {
-    for (Regression& regression : representatives) {
-      if (!cost_shift_.Evaluate(regression).is_cost_shift) {
-        shift_free.push_back(std::move(regression));
+    std::vector<uint8_t> is_shift(representatives.size(), 0);
+    ParallelIndexFor(representatives.size(), FunnelPool(), [&](size_t i) {
+      is_shift[i] = cost_shift_.Evaluate(representatives[i].regression).is_cost_shift ? 1 : 0;
+    });
+    shift_free.reserve(representatives.size());
+    for (size_t i = 0; i < representatives.size(); ++i) {
+      if (is_shift[i] == 0) {
+        shift_free.push_back(std::move(representatives[i]));
       }
     }
   } else {
     shift_free = std::move(representatives);
   }
-  count_paths(shift_free, short_funnel_.after_cost_shift, long_funnel_.after_cost_shift);
+  count_candidate_paths(shift_free, short_funnel_.after_cost_shift,
+                        long_funnel_.after_cost_shift);
 
-  // Stage: PairwiseDedup.
-  const std::vector<int> new_groups = pairwise_.Ingest(std::move(shift_free));
+  // Stage: PairwiseDedup (per-candidate group scoring fans over the pool).
+  const std::vector<int> new_groups = pairwise_.Ingest(std::move(shift_free), FunnelPool());
 
-  // Stage: root-cause analysis on the new groups' representatives.
-  std::vector<Regression> reported;
-  for (int group_id : new_groups) {
-    Regression representative = pairwise_.groups()[static_cast<size_t>(group_id)].members[0];
-    if (root_cause_ != nullptr) {
-      root_cause_->Analyze(representative);
-    }
-    reported.push_back(std::move(representative));
+  // Stage: root-cause analysis on the new groups' representatives, analyzed
+  // IN PLACE inside their groups (distinct groups, so the parallel writes
+  // never alias) and copied once into the report.
+  if (root_cause_ != nullptr) {
+    ParallelIndexFor(new_groups.size(), FunnelPool(), [&](size_t i) {
+      root_cause_->Analyze(pairwise_.GroupRepresentative(new_groups[i]));
+    });
   }
-  count_paths(reported, short_funnel_.after_pairwise, long_funnel_.after_pairwise);
+  std::vector<Regression> reported;
+  reported.reserve(new_groups.size());
+  for (int group_id : new_groups) {
+    reported.push_back(pairwise_.GroupRepresentative(group_id));
+  }
+  for (const Regression& regression : reported) {
+    if (regression.long_term) {
+      ++long_funnel_.after_pairwise;
+    } else {
+      ++short_funnel_.after_pairwise;
+    }
+  }
   return reported;
 }
 

@@ -18,6 +18,16 @@
 // survivors and funnel counters are merged in canonical (MetricId, path)
 // order, so the output is byte-identical for any scan_threads value.
 //
+// Funnel path (PR 3): survivors are fingerprinted once (RegressionFingerprint
+// — metric string, token vector, hashed grams, SOM shape features) right
+// after the scan, in parallel, and the FunnelCandidate bundles flow through
+// SameRegressionMerger -> SOMDedup -> cost-shift -> PairwiseDedup -> root
+// cause without re-deriving any of those artifacts. Every parallel stage
+// writes per-index slots and merges in a canonical order (SOM cohorts by
+// kind, cost-shift verdicts by representative index, pairwise scores by
+// group id, root cause by new-group index), so funnel output and counters
+// are byte-identical for any scan_threads value.
+//
 // FunnelStats mirror Table 3: the count of surviving anomalies after each
 // stage, kept separately for the short-term and long-term paths.
 #ifndef FBDETECT_SRC_CORE_PIPELINE_H_
@@ -88,7 +98,8 @@ class Pipeline {
            const CodeInfoProvider* code_info, PipelineOptions options);
 
   // Supplies the stack-trace-overlap feature to PairwiseDedup. Must be called
-  // before the first run to take effect.
+  // before the first run to take effect. The function must be thread-safe
+  // when scan_threads > 1 (pairwise scoring fans over the pool).
   void set_stack_overlap(StackOverlapFn overlap);
 
   // One re-run at `as_of`: scans every series of `service` and returns the
@@ -124,6 +135,11 @@ class Pipeline {
   // invalidated by the database's generation counter, so steady-state scans
   // skip the per-run enumerate-and-sort.
   const std::vector<MetricId>& CachedMetrics(const std::string& service);
+
+  // The pool the funnel stages fan out on; null (serial) when scan_threads
+  // <= 1. Funnel stages call this between ParallelIndexFor batches only —
+  // never from inside one (the pool is not reentrant).
+  ThreadPool* FunnelPool();
 
   const TimeSeriesDatabase* db_;
   const ChangeLog* change_log_;

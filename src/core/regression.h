@@ -39,7 +39,10 @@ struct Regression {
 
   // Window data carried for the dedup and root-cause stages. `analysis`
   // includes the extended window when one is configured; values are in
-  // regression-positive orientation.
+  // regression-positive orientation. Invariant: `analysis_timestamps` has
+  // exactly one (strictly increasing) timestamp per `analysis` value — both
+  // detector paths fill the two from the same window — and PairwiseDedup's
+  // timestamp alignment checks this rather than silently truncating.
   std::vector<double> historical;
   std::vector<double> analysis;
   std::vector<TimePoint> analysis_timestamps;

@@ -5,7 +5,12 @@
 namespace fbdetect {
 
 bool SameRegressionMerger::Admit(const Regression& regression) {
-  std::vector<TimePoint>& times = seen_[regression.metric.ToString()];
+  return Admit(regression, regression.metric.ToString());
+}
+
+bool SameRegressionMerger::Admit(const Regression& regression,
+                                 const std::string& metric_string) {
+  std::vector<TimePoint>& times = seen_[metric_string];
   for (TimePoint t : times) {
     if (std::llabs(static_cast<long long>(t - regression.change_time)) <=
         static_cast<long long>(tolerance_)) {
@@ -21,6 +26,17 @@ std::vector<Regression> SameRegressionMerger::Filter(std::vector<Regression> reg
   for (Regression& regression : regressions) {
     if (Admit(regression)) {
       admitted.push_back(std::move(regression));
+    }
+  }
+  return admitted;
+}
+
+std::vector<FunnelCandidate> SameRegressionMerger::Filter(
+    std::vector<FunnelCandidate> candidates) {
+  std::vector<FunnelCandidate> admitted;
+  for (FunnelCandidate& candidate : candidates) {
+    if (Admit(candidate.regression, candidate.fingerprint.metric_string)) {
+      admitted.push_back(std::move(candidate));
     }
   }
   return admitted;

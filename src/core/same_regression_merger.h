@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/fingerprint.h"
 #include "src/core/regression.h"
 
 namespace fbdetect {
@@ -18,11 +19,16 @@ class SameRegressionMerger {
   explicit SameRegressionMerger(Duration tolerance) : tolerance_(tolerance) {}
 
   // Returns true (and records the regression) when it is NEW; false when it
-  // duplicates an already-seen one.
+  // duplicates an already-seen one. The second form takes the precomputed
+  // metric string (fingerprint path) instead of calling ToString().
   bool Admit(const Regression& regression);
+  bool Admit(const Regression& regression, const std::string& metric_string);
 
   // Filters a batch, keeping only new regressions.
   std::vector<Regression> Filter(std::vector<Regression> regressions);
+
+  // Funnel form: keys on the candidates' cached metric strings.
+  std::vector<FunnelCandidate> Filter(std::vector<FunnelCandidate> candidates);
 
   size_t seen_count() const { return seen_.size(); }
 

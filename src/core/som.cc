@@ -7,6 +7,17 @@
 #include "src/common/random.h"
 
 namespace fbdetect {
+namespace {
+
+std::span<const double> NestedRow(const void* items, size_t index) {
+  return (*static_cast<const std::vector<std::vector<double>>*>(items))[index];
+}
+
+std::span<const double> FlatRow(const void* items, size_t index) {
+  return static_cast<const FlatMatrix*>(items)->row(index);
+}
+
+}  // namespace
 
 int SomGridSize(size_t num_items) {
   if (num_items == 0) {
@@ -19,17 +30,14 @@ SelfOrganizingMap::SelfOrganizingMap(size_t dimensions, int grid, uint64_t seed)
     : dimensions_(dimensions), grid_(std::max(1, grid)) {
   FBD_CHECK(dimensions > 0);
   Rng rng(seed);
-  cells_.resize(static_cast<size_t>(grid_) * static_cast<size_t>(grid_));
-  for (auto& cell : cells_) {
-    cell.resize(dimensions_);
-    for (double& w : cell) {
-      w = rng.Uniform(-0.1, 0.1);
-    }
+  weights_.resize(cell_count() * dimensions_);
+  for (double& w : weights_) {  // Same fill order as the nested layout.
+    w = rng.Uniform(-0.1, 0.1);
   }
 }
 
-double SelfOrganizingMap::Distance2(const std::vector<double>& weights,
-                                    const std::vector<double>& item) const {
+double SelfOrganizingMap::Distance2(std::span<const double> weights,
+                                    std::span<const double> item) const {
   double d2 = 0.0;
   for (size_t i = 0; i < dimensions_; ++i) {
     const double d = weights[i] - item[i];
@@ -38,12 +46,13 @@ double SelfOrganizingMap::Distance2(const std::vector<double>& weights,
   return d2;
 }
 
-int SelfOrganizingMap::BestMatchingUnit(const std::vector<double>& item) const {
+int SelfOrganizingMap::BestMatchingUnit(std::span<const double> item) const {
   FBD_CHECK(item.size() == dimensions_);
   int best = 0;
-  double best_d2 = Distance2(cells_[0], item);
-  for (size_t c = 1; c < cells_.size(); ++c) {
-    const double d2 = Distance2(cells_[c], item);
+  double best_d2 = Distance2(Cell(0), item);
+  const size_t cells = cell_count();
+  for (size_t c = 1; c < cells; ++c) {
+    const double d2 = Distance2(Cell(c), item);
     if (d2 < best_d2) {
       best_d2 = d2;
       best = static_cast<int>(c);
@@ -52,16 +61,22 @@ int SelfOrganizingMap::BestMatchingUnit(const std::vector<double>& item) const {
   return best;
 }
 
-void SelfOrganizingMap::Train(const std::vector<std::vector<double>>& items,
-                              const SomTrainConfig& config) {
-  if (items.empty()) {
-    return;
-  }
-  Rng rng(config.seed);
+void SelfOrganizingMap::InitCellsFromItems(const void* items, size_t num_items, RowFn row,
+                                           uint64_t seed) {
   // Initialize cells from random items so the map starts in-distribution.
-  for (auto& cell : cells_) {
-    cell = items[rng.NextUint64(items.size())];
+  // Same RNG stream and assignment order as the historical implementation.
+  Rng rng(seed);
+  const size_t cells = cell_count();
+  for (size_t c = 0; c < cells; ++c) {
+    const std::span<const double> item = row(items, rng.NextUint64(num_items));
+    FBD_CHECK(item.size() == dimensions_);
+    std::copy(item.begin(), item.end(), Cell(c).begin());
   }
+}
+
+void SelfOrganizingMap::TrainOnline(const void* items, size_t num_items, RowFn row,
+                                    const SomTrainConfig& config) {
+  InitCellsFromItems(items, num_items, row, config.seed);
   const int epochs = std::max(1, config.epochs);
   const double initial_radius = std::max(1.0, static_cast<double>(grid_) / 2.0);
   for (int epoch = 0; epoch < epochs; ++epoch) {
@@ -70,26 +85,105 @@ void SelfOrganizingMap::Train(const std::vector<std::vector<double>>& items,
                       (config.final_learning_rate - config.initial_learning_rate) * progress;
     const double radius = std::max(0.5, initial_radius * (1.0 - progress));
     const double radius2 = radius * radius;
-    for (const std::vector<double>& item : items) {
+    for (size_t index = 0; index < num_items; ++index) {
+      const std::span<const double> item = row(items, index);
       const int bmu = BestMatchingUnit(item);
       const int bmu_row = bmu / grid_;
       const int bmu_col = bmu % grid_;
-      for (int row = 0; row < grid_; ++row) {
-        for (int col = 0; col < grid_; ++col) {
-          const double dr = static_cast<double>(row - bmu_row);
-          const double dc = static_cast<double>(col - bmu_col);
+      for (int r = 0; r < grid_; ++r) {
+        for (int c = 0; c < grid_; ++c) {
+          const double dr = static_cast<double>(r - bmu_row);
+          const double dc = static_cast<double>(c - bmu_col);
           const double grid_d2 = dr * dr + dc * dc;
           if (grid_d2 > radius2) {
             continue;
           }
           const double influence = std::exp(-grid_d2 / (2.0 * radius2));
-          std::vector<double>& cell = cells_[static_cast<size_t>(row * grid_ + col)];
+          const std::span<double> cell = Cell(static_cast<size_t>(r * grid_ + c));
           for (size_t i = 0; i < dimensions_; ++i) {
             cell[i] += lr * influence * (item[i] - cell[i]);
           }
         }
       }
     }
+  }
+}
+
+void SelfOrganizingMap::TrainBatch(const void* items, size_t num_items, RowFn row,
+                                   const SomTrainConfig& config, ThreadPool* pool) {
+  InitCellsFromItems(items, num_items, row, config.seed);
+  const int epochs = std::max(1, config.epochs);
+  const double initial_radius = std::max(1.0, static_cast<double>(grid_) / 2.0);
+  const size_t cells = cell_count();
+  std::vector<int> bmu(num_items);
+  // Per-cell accumulator rows (numerator vectors); written by one task each.
+  FlatMatrix numerators;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const double progress = static_cast<double>(epoch) / static_cast<double>(epochs);
+    const double lr = config.initial_learning_rate +
+                      (config.final_learning_rate - config.initial_learning_rate) * progress;
+    const double radius = std::max(0.5, initial_radius * (1.0 - progress));
+    const double radius2 = radius * radius;
+    // Phase 1: all BMU searches against the epoch-start weights, in parallel
+    // into per-item slots.
+    ParallelIndexFor(num_items, pool, [&](size_t index) { bmu[index] = BestMatchingUnit(row(items, index)); });
+    // Phase 2: per-cell reduction. Each cell sums its neighborhood-weighted
+    // items in ascending item order — the result depends only on the bmu
+    // slots, never on task scheduling.
+    numerators.Resize(cells, dimensions_);
+    ParallelIndexFor(cells, pool, [&](size_t cell_index) {
+      const int cell_row = static_cast<int>(cell_index) / grid_;
+      const int cell_col = static_cast<int>(cell_index) % grid_;
+      const std::span<double> numerator = numerators.mutable_row(cell_index);
+      double denominator = 0.0;
+      for (size_t index = 0; index < num_items; ++index) {
+        const int bmu_row = bmu[index] / grid_;
+        const int bmu_col = bmu[index] % grid_;
+        const double dr = static_cast<double>(cell_row - bmu_row);
+        const double dc = static_cast<double>(cell_col - bmu_col);
+        const double grid_d2 = dr * dr + dc * dc;
+        if (grid_d2 > radius2) {
+          continue;
+        }
+        const double influence = std::exp(-grid_d2 / (2.0 * radius2));
+        denominator += influence;
+        const std::span<const double> item = row(items, index);
+        for (size_t i = 0; i < dimensions_; ++i) {
+          numerator[i] += influence * item[i];
+        }
+      }
+      if (denominator > 0.0) {
+        const std::span<double> cell = Cell(cell_index);
+        for (size_t i = 0; i < dimensions_; ++i) {
+          cell[i] += lr * (numerator[i] / denominator - cell[i]);
+        }
+      }
+    });
+  }
+}
+
+void SelfOrganizingMap::Train(const std::vector<std::vector<double>>& items,
+                              const SomTrainConfig& config, ThreadPool* pool) {
+  if (items.empty()) {
+    return;
+  }
+  if (config.batch) {
+    TrainBatch(&items, items.size(), &NestedRow, config, pool);
+  } else {
+    TrainOnline(&items, items.size(), &NestedRow, config);
+  }
+}
+
+void SelfOrganizingMap::Train(const FlatMatrix& items, const SomTrainConfig& config,
+                              ThreadPool* pool) {
+  if (items.rows == 0) {
+    return;
+  }
+  FBD_CHECK(items.cols == dimensions_);
+  if (config.batch) {
+    TrainBatch(&items, items.rows, &FlatRow, config, pool);
+  } else {
+    TrainOnline(&items, items.rows, &FlatRow, config);
   }
 }
 
@@ -100,6 +194,13 @@ std::vector<int> SelfOrganizingMap::Assign(const std::vector<std::vector<double>
     assignment.push_back(BestMatchingUnit(item));
   }
   return assignment;
+}
+
+void SelfOrganizingMap::Assign(const FlatMatrix& items, std::span<int> out,
+                               ThreadPool* pool) const {
+  FBD_CHECK(out.size() == items.rows);
+  FBD_CHECK(items.rows == 0 || items.cols == dimensions_);
+  ParallelIndexFor(items.rows, pool, [&](size_t index) { out[index] = BestMatchingUnit(items.row(index)); });
 }
 
 }  // namespace fbdetect

@@ -4,68 +4,34 @@
 #include <cmath>
 #include <string>
 
-#include "src/common/random.h"
-#include "src/stats/descriptive.h"
-#include "src/stats/fourier.h"
+#include "src/common/check.h"
 #include "src/stats/text.h"
 
 namespace fbdetect {
 namespace {
 
-// Stable 64-bit hash for commit-id bitmap bucketing.
-uint64_t MixCommitId(int64_t id) {
-  uint64_t state = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
-  return SplitMix64(state);
-}
-
-std::vector<double> BuildFeatureVector(const Regression& regression,
-                                       const SomDedupConfig& config,
-                                       const TfIdfHasher& hasher) {
-  std::vector<double> features;
-  // Shape features.
-  const std::vector<double> fourier =
-      FourierMagnitudes(regression.analysis, config.fourier_coefficients);
-  features.insert(features.end(), fourier.begin(), fourier.end());
-  features.push_back(SampleVariance(regression.analysis));
-  features.push_back(regression.analysis.empty()
-                         ? 0.0
-                         : static_cast<double>(regression.change_index) /
-                               static_cast<double>(regression.analysis.size()));
-  features.push_back(regression.delta);
-  features.push_back(regression.relative_delta);
-  // Candidate-root-cause bitmap (hashed to a fixed width).
-  std::vector<double> bitmap(config.root_cause_bitmap_dims, 0.0);
-  for (int64_t commit : regression.candidate_root_causes) {
-    bitmap[MixCommitId(commit) % config.root_cause_bitmap_dims] = 1.0;
-  }
-  features.insert(features.end(), bitmap.begin(), bitmap.end());
-  // Metric-ID TF-IDF embedding.
-  const std::vector<double> metric_embedding = hasher.Embed(regression.metric.ToString());
-  features.insert(features.end(), metric_embedding.begin(), metric_embedding.end());
-  return features;
-}
-
 // Z-score normalization per dimension (constant dimensions collapse to 0).
-void NormalizeColumns(std::vector<std::vector<double>>& rows) {
-  if (rows.empty()) {
+// Same summation order as the historical nested-vector version.
+void NormalizeColumns(FlatMatrix& rows) {
+  if (rows.rows == 0) {
     return;
   }
-  const size_t dims = rows[0].size();
-  for (size_t d = 0; d < dims; ++d) {
+  for (size_t d = 0; d < rows.cols; ++d) {
     double mean = 0.0;
-    for (const auto& row : rows) {
-      mean += row[d];
+    for (size_t r = 0; r < rows.rows; ++r) {
+      mean += rows.row(r)[d];
     }
-    mean /= static_cast<double>(rows.size());
+    mean /= static_cast<double>(rows.rows);
     double var = 0.0;
-    for (const auto& row : rows) {
-      const double diff = row[d] - mean;
+    for (size_t r = 0; r < rows.rows; ++r) {
+      const double diff = rows.row(r)[d] - mean;
       var += diff * diff;
     }
-    var /= static_cast<double>(rows.size());
+    var /= static_cast<double>(rows.rows);
     const double sd = std::sqrt(var);
-    for (auto& row : rows) {
-      row[d] = sd > 0.0 ? (row[d] - mean) / sd : 0.0;
+    for (size_t r = 0; r < rows.rows; ++r) {
+      double& value = rows.mutable_row(r)[d];
+      value = sd > 0.0 ? (value - mean) / sd : 0.0;
     }
   }
 }
@@ -89,72 +55,104 @@ double SomDedup::ImportanceScore(const Regression& regression, double max_abs_de
 }
 
 std::vector<Regression> SomDedup::Deduplicate(std::vector<Regression> regressions) const {
-  if (regressions.size() <= 1) {
-    for (Regression& regression : regressions) {
-      regression.som_cluster = 0;
-      regression.importance = ImportanceScore(regression, std::fabs(regression.delta),
-                                              std::fabs(regression.relative_delta));
+  const FingerprintConfig fp_config{config_.fourier_coefficients, config_.root_cause_bitmap_dims,
+                                    /*som_features=*/true};
+  std::vector<FunnelCandidate> candidates(regressions.size());
+  for (size_t i = 0; i < regressions.size(); ++i) {
+    candidates[i].fingerprint = ComputeFingerprint(regressions[i], fp_config);
+    candidates[i].regression = std::move(regressions[i]);
+  }
+  std::vector<FunnelCandidate> representatives = Deduplicate(std::move(candidates), nullptr);
+  std::vector<Regression> out;
+  out.reserve(representatives.size());
+  for (FunnelCandidate& representative : representatives) {
+    out.push_back(std::move(representative.regression));
+  }
+  return out;
+}
+
+std::vector<FunnelCandidate> SomDedup::Deduplicate(std::vector<FunnelCandidate> candidates,
+                                                   ThreadPool* pool) const {
+  if (candidates.size() <= 1) {
+    for (FunnelCandidate& candidate : candidates) {
+      candidate.regression.som_cluster = 0;
+      candidate.regression.importance =
+          ImportanceScore(candidate.regression, std::fabs(candidate.regression.delta),
+                          std::fabs(candidate.regression.relative_delta));
     }
-    return regressions;
+    return candidates;
   }
 
-  // Fit the metric-ID TF-IDF model on this cohort.
-  std::vector<std::string> corpus;
-  corpus.reserve(regressions.size());
-  for (const Regression& regression : regressions) {
-    corpus.push_back(regression.metric.ToString());
+  // Fit the metric-ID TF-IDF model on this cohort's cached gram sets — the
+  // metric strings are never re-tokenized here.
+  std::vector<const HashedGrams*> corpus;
+  corpus.reserve(candidates.size());
+  for (const FunnelCandidate& candidate : candidates) {
+    corpus.push_back(&candidate.fingerprint.grams);
   }
   TfIdfHasher hasher(config_.metric_id_dims);
-  hasher.Fit(corpus);
+  hasher.FitHashed(corpus);
 
-  std::vector<std::vector<double>> features;
-  features.reserve(regressions.size());
-  for (const Regression& regression : regressions) {
-    features.push_back(BuildFeatureVector(regression, config_, hasher));
-  }
+  // Assemble the flat feature matrix: cached shape block + cohort-fitted
+  // metric embedding, one row per candidate, filled in parallel.
+  const size_t base_dims = candidates[0].fingerprint.som_base.size();
+  FBD_CHECK(base_dims > 0);  // Fingerprints must carry som_features.
+  FlatMatrix features;
+  features.Resize(candidates.size(), base_dims + config_.metric_id_dims);
+  ParallelIndexFor(candidates.size(), pool, [&](size_t i) {
+    const RegressionFingerprint& fingerprint = candidates[i].fingerprint;
+    FBD_CHECK(fingerprint.som_base.size() == base_dims);
+    const std::span<double> row = features.mutable_row(i);
+    std::copy(fingerprint.som_base.begin(), fingerprint.som_base.end(), row.begin());
+    hasher.EmbedHashed(fingerprint.grams, row.subspan(base_dims));
+  });
   NormalizeColumns(features);
 
-  const int grid = SomGridSize(regressions.size());
-  SelfOrganizingMap som(features[0].size(), grid, config_.training.seed);
-  som.Train(features, config_.training);
-  const std::vector<int> assignment = som.Assign(features);
+  const int grid = SomGridSize(candidates.size());
+  SelfOrganizingMap som(features.cols, grid, config_.training.seed);
+  som.Train(features, config_.training, pool);
+  std::vector<int> assignment(candidates.size());
+  som.Assign(features, assignment, pool);
 
   // Cohort normalization bounds for ImportanceScore.
   double max_abs = 0.0;
   double max_rel = 0.0;
-  for (const Regression& regression : regressions) {
-    max_abs = std::max(max_abs, std::fabs(regression.delta));
-    max_rel = std::max(max_rel, std::fabs(regression.relative_delta));
+  for (const FunnelCandidate& candidate : candidates) {
+    max_abs = std::max(max_abs, std::fabs(candidate.regression.delta));
+    max_rel = std::max(max_rel, std::fabs(candidate.regression.relative_delta));
   }
 
-  // Pick the max-importance member per cluster.
+  // Pick the max-importance member per cluster (ties break on the cached
+  // metric string).
   std::vector<int> best_index(static_cast<size_t>(grid) * static_cast<size_t>(grid), -1);
   std::vector<size_t> cluster_sizes(best_index.size(), 0);
-  for (size_t i = 0; i < regressions.size(); ++i) {
-    regressions[i].som_cluster = assignment[i];
-    regressions[i].importance = ImportanceScore(regressions[i], max_abs, max_rel);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Regression& regression = candidates[i].regression;
+    regression.som_cluster = assignment[i];
+    regression.importance = ImportanceScore(regression, max_abs, max_rel);
     const size_t cell = static_cast<size_t>(assignment[i]);
     ++cluster_sizes[cell];
     if (best_index[cell] < 0) {
       best_index[cell] = static_cast<int>(i);
       continue;
     }
-    const Regression& incumbent = regressions[static_cast<size_t>(best_index[cell])];
-    const Regression& challenger = regressions[i];
+    const FunnelCandidate& incumbent = candidates[static_cast<size_t>(best_index[cell])];
+    const FunnelCandidate& challenger = candidates[i];
     const bool better =
-        challenger.importance > incumbent.importance ||
-        (challenger.importance == incumbent.importance &&
-         challenger.metric.ToString() < incumbent.metric.ToString());
+        challenger.regression.importance > incumbent.regression.importance ||
+        (challenger.regression.importance == incumbent.regression.importance &&
+         challenger.fingerprint.metric_string < incumbent.fingerprint.metric_string);
     if (better) {
       best_index[cell] = static_cast<int>(i);
     }
   }
 
-  std::vector<Regression> representatives;
+  std::vector<FunnelCandidate> representatives;
   for (size_t cell = 0; cell < best_index.size(); ++cell) {
     if (best_index[cell] >= 0) {
-      Regression representative = std::move(regressions[static_cast<size_t>(best_index[cell])]);
-      representative.merged_count = cluster_sizes[cell];
+      FunnelCandidate representative =
+          std::move(candidates[static_cast<size_t>(best_index[cell])]);
+      representative.regression.merged_count = cluster_sizes[cell];
       representatives.push_back(std::move(representative));
     }
   }

@@ -12,11 +12,20 @@
 // the highest ImportanceScore:
 //   0.2*RelativeCostChange + 0.6*AbsoluteCostChange +
 //   0.1*(1 - PopularityScore) + 0.1*PotentialRootCauseFound.
+//
+// Funnel path (PR 3): the shape block and the hashed gram set come
+// precomputed in each candidate's RegressionFingerprint, so Deduplicate only
+// fits the cohort TF-IDF model on cached grams, appends the embeddings into
+// a flat feature matrix (in parallel), and runs the SOM. BMU assignment fans
+// over the pool; training stays the sequential online algorithm so results
+// are byte-identical with the historical implementation.
 #ifndef FBDETECT_SRC_CORE_SOM_DEDUP_H_
 #define FBDETECT_SRC_CORE_SOM_DEDUP_H_
 
 #include <vector>
 
+#include "src/common/thread_pool.h"
+#include "src/core/fingerprint.h"
 #include "src/core/regression.h"
 #include "src/core/som.h"
 
@@ -42,8 +51,16 @@ class SomDedup {
   // Clusters `regressions` and returns one representative per cluster (the
   // max-ImportanceScore member), with `som_cluster`, `importance`, and
   // `merged_count` filled in. Input order does not affect the set of
-  // representatives chosen (ties break on metric ID).
+  // representatives chosen (ties break on metric ID). Convenience wrapper
+  // that computes fingerprints itself.
   std::vector<Regression> Deduplicate(std::vector<Regression> regressions) const;
+
+  // Funnel form: candidates arrive with fingerprints (whose som_base must
+  // have been built with this config's fourier_coefficients /
+  // root_cause_bitmap_dims). `pool` may be null (serial); results are
+  // byte-identical for any pool size.
+  std::vector<FunnelCandidate> Deduplicate(std::vector<FunnelCandidate> candidates,
+                                           ThreadPool* pool) const;
 
   // The ImportanceScore of one regression given cohort-normalization bounds.
   double ImportanceScore(const Regression& regression, double max_abs_delta,
