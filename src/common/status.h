@@ -1,0 +1,104 @@
+// Recoverable-error type for data-dependent failures.
+//
+// FBD_CHECK stays the right tool for programmer errors (broken invariants,
+// out-of-contract arguments): those abort in every build mode. Data errors —
+// corrupt Gorilla streams, out-of-order telemetry from a misbehaving host,
+// decode failures on deserialized storage — must NOT abort a fleet-wide scan,
+// so the APIs on those paths return a Status and let the caller quarantine
+// the offending series instead (DESIGN.md §11).
+//
+// Status is cheap in the success case: StatusCode::kOk carries an empty
+// message and no allocation happens until an error is constructed.
+#ifndef FBDETECT_SRC_COMMON_STATUS_H_
+#define FBDETECT_SRC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fbdetect {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,   // Malformed request or configuration.
+  kOutOfOrder,        // Timestamp at or before an already-stored point.
+  kDataLoss,          // Corrupt or truncated stored data (e.g. Gorilla chunk).
+  kFailedPrecondition,  // Operation not valid in the current state.
+  kInternal,          // Caught exception or invariant salvage on a data path.
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfOrder(std::string message) {
+    return Status(StatusCode::kOutOfOrder, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfOrder:
+      return "OUT_OF_ORDER";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// Early-returns the enclosing function with the error when `expr` is not OK.
+#define FBD_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::fbdetect::Status fbd_status_ = (expr);   \
+    if (!fbd_status_.ok()) {                   \
+      return fbd_status_;                      \
+    }                                          \
+  } while (0)
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_COMMON_STATUS_H_

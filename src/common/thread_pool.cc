@@ -1,5 +1,7 @@
 #include "src/common/thread_pool.h"
 
+#include <utility>
+
 namespace fbdetect {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -32,7 +34,16 @@ void ThreadPool::DrainBatch(uint64_t batch, const std::function<void(size_t)>& t
       }
       index = next_index_++;
     }
-    task(index);
+    try {
+      task(index);
+    } catch (...) {
+      // Keep the first exception; later ones of the same batch are dropped.
+      // The index still counts as completed so the join never deadlocks.
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (batch_id_ == batch && batch_exception_ == nullptr) {
+        batch_exception_ = std::current_exception();
+      }
+    }
     bool last = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -70,8 +81,21 @@ void ThreadPool::ParallelFor(size_t num_tasks, const std::function<void(size_t)>
     return;
   }
   if (workers_.empty() || num_tasks == 1) {
+    // Same exception contract as the threaded path: the first throw is
+    // captured, every other index still runs, and the exception surfaces at
+    // the end of the batch.
+    std::exception_ptr exception;
     for (size_t i = 0; i < num_tasks; ++i) {
-      task(i);
+      try {
+        task(i);
+      } catch (...) {
+        if (exception == nullptr) {
+          exception = std::current_exception();
+        }
+      }
+    }
+    if (exception != nullptr) {
+      std::rethrow_exception(exception);
     }
     return;
   }
@@ -82,15 +106,23 @@ void ThreadPool::ParallelFor(size_t num_tasks, const std::function<void(size_t)>
     next_index_ = 0;
     num_tasks_ = num_tasks;
     completed_ = 0;
+    batch_exception_ = nullptr;
     batch = ++batch_id_;
   }
   work_cv_.notify_all();
   // The caller participates, so a batch always makes progress even while the
   // workers are still waking up.
   DrainBatch(batch, task);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this]() { return completed_ == num_tasks_; });
-  task_ = nullptr;
+  std::exception_ptr exception;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this]() { return completed_ == num_tasks_; });
+    task_ = nullptr;
+    exception = std::exchange(batch_exception_, nullptr);
+  }
+  if (exception != nullptr) {
+    std::rethrow_exception(exception);
+  }
 }
 
 }  // namespace fbdetect

@@ -7,12 +7,19 @@
 //
 // ParallelFor is synchronous and not reentrant: one batch runs at a time,
 // and tasks must not call ParallelFor on the same pool.
+//
+// Exception contract: a task that throws does not abort the process, deadlock
+// the batch, or poison the pool. The first exception of a batch is captured;
+// the remaining task indices still run to completion (tasks are independent),
+// and the captured exception is rethrown on the calling thread when
+// ParallelFor joins. The pool is reusable afterwards.
 #ifndef FBDETECT_SRC_COMMON_THREAD_POOL_H_
 #define FBDETECT_SRC_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,6 +43,8 @@ class ThreadPool {
   // calling thread; returns once all have completed. Task indices are handed
   // out dynamically, so callers that need determinism must make each task's
   // RESULT depend only on its index (e.g. write into a per-index slot).
+  // If any task throws, the batch still completes and the FIRST captured
+  // exception is rethrown here.
   void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task);
 
  private:
@@ -54,6 +63,9 @@ class ThreadPool {
   size_t num_tasks_ = 0;      // Size of the current batch.
   size_t completed_ = 0;      // Tasks finished in the current batch.
   uint64_t batch_id_ = 0;     // Bumped per batch so workers detect new work.
+  // First exception thrown by a task of the current batch; rethrown at the
+  // ParallelFor join point. Guarded by mutex_.
+  std::exception_ptr batch_exception_;
   bool stop_ = false;
 };
 

@@ -68,6 +68,7 @@ Pipeline::Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
       seasonality_(options_.detection),
       long_term_(options_.detection),
       merger_(MergerTolerance(options_)),
+      sanitizer_(options_.sanitizer),
       som_dedup_(options_.som_dedup),
       cost_shift_(db, options_.cost_shift),
       pairwise_(options_.pairwise_rule),
@@ -90,59 +91,110 @@ void Pipeline::set_stack_overlap(StackOverlapFn overlap) {
 void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
                           std::vector<Regression>& survivors, FunnelStats& short_funnel,
                           FunnelStats& long_funnel, std::vector<double>& scratch,
-                          TimeSeries& series_scratch) const {
+                          TimeSeries& series_scratch,
+                          std::vector<QuarantineRecord>& quarantine) const {
   // Points before the detection windows are irrelevant, so the lookup only
   // needs [as_of - total, inf): when those live in the raw tail this is the
   // PR 1 zero-copy path; otherwise sealed chunks decode into the worker's
   // scratch buffer.
   const TimePoint scan_begin = as_of - options_.detection.windows.Total();
-  const TimeSeries* series = db_->SeriesForScan(id, scan_begin, series_scratch);
+  Status scan_status;
+  const TimeSeries* series = db_->SeriesForScan(id, scan_begin, series_scratch, &scan_status);
   if (series == nullptr) {
+    if (!scan_status.ok()) {
+      // Corrupt sealed storage: quarantine the series for this window
+      // instead of letting the decode abort the re-run.
+      QuarantineRecord record;
+      record.metric = id;
+      record.worst = QualityVerdict::kCorrupt;
+      record.windows_flagged = 1;
+      record.windows_quarantined = 1;
+      record.decode_failures = 1;
+      quarantine.push_back(std::move(record));
+    }
     return;
   }
   // Zero-copy windows + one orientation pass shared by both paths. For
   // higher-is-worse kinds the view aliases the series' storage directly.
   const WindowView windows = ExtractWindowView(*series, as_of, options_.detection.windows);
+
+  // Data-quality gate: classify the window before any detector touches it.
+  // A quarantined window is skipped for this re-run only — the series stays
+  // in the database and is re-inspected at the next re-run.
+  const WindowQuality quality =
+      sanitizer_.Inspect(id.kind, windows, options_.detection.windows);
+  const bool quarantined = sanitizer_.ShouldQuarantine(quality.verdict);
+  if (quality.observed &&
+      (quality.verdict != QualityVerdict::kOk || quality.missing > 0 || quality.skew > 0)) {
+    QuarantineRecord record;
+    record.metric = id;
+    record.worst = quality.verdict;
+    record.windows_flagged = 1;
+    record.windows_quarantined = quarantined ? 1 : 0;
+    record.non_finite = quality.non_finite;
+    record.negative = quality.negative;
+    record.missing = quality.missing;
+    record.flap_windows = (quality.late_start || quality.early_end) ? 1 : 0;
+    record.max_skew = quality.skew;
+    quarantine.push_back(std::move(record));
+  }
+  if (quarantined) {
+    return;
+  }
+
   const double sign = LowerIsRegression(id.kind) ? -1.0 : 1.0;
   const ScanView view = OrientWindows(windows, sign, scratch);
 
-  // ---- Short-term path ----
-  if (const std::optional<ScanCandidate> candidate = change_point_stage_.DetectCandidate(view)) {
-    ++short_funnel.change_points;
-    const size_t points_per_day = PointsPerDay(view.analysis_timestamps);
-    const WentAwayVerdict went_away = went_away_.Evaluate(view, *candidate, points_per_day);
-    if (went_away.keep) {
-      ++short_funnel.after_went_away;
-      const SeasonalityVerdict seasonal = seasonality_.Evaluate(view, *candidate);
-      if (!seasonal.seasonal_filtered) {
-        ++short_funnel.after_seasonality;
-        if (PassesThreshold(*candidate, options_.detection)) {
-          ++short_funnel.after_threshold;
-          // First (and only) copy of window data on this path: the survivor.
-          Regression regression = MaterializeRegression(id, view, *candidate);
-          if (root_cause_ != nullptr) {
-            regression.candidate_root_causes = root_cause_->QuickCandidates(regression);
+  // Detector exceptions are isolated to the series: one throwing detector
+  // quarantines this metric for this re-run instead of unwinding through the
+  // worker (ThreadPool would rethrow at join and abort the whole scan).
+  try {
+    // ---- Short-term path ----
+    if (const std::optional<ScanCandidate> candidate = change_point_stage_.DetectCandidate(view)) {
+      ++short_funnel.change_points;
+      const size_t points_per_day = PointsPerDay(view.analysis_timestamps);
+      const WentAwayVerdict went_away = went_away_.Evaluate(view, *candidate, points_per_day);
+      if (went_away.keep) {
+        ++short_funnel.after_went_away;
+        const SeasonalityVerdict seasonal = seasonality_.Evaluate(view, *candidate);
+        if (!seasonal.seasonal_filtered) {
+          ++short_funnel.after_seasonality;
+          if (PassesThreshold(*candidate, options_.detection)) {
+            ++short_funnel.after_threshold;
+            // First (and only) copy of window data on this path: the survivor.
+            Regression regression = MaterializeRegression(id, view, *candidate);
+            if (root_cause_ != nullptr) {
+              regression.candidate_root_causes = root_cause_->QuickCandidates(regression);
+            }
+            survivors.push_back(std::move(regression));
           }
-          survivors.push_back(std::move(regression));
         }
       }
     }
-  }
 
-  // ---- Long-term path ----
-  if (options_.detection.enable_long_term) {
-    if (std::optional<Regression> candidate = long_term_.Detect(id, view)) {
-      ++long_funnel.change_points;
-      // The long-term detector applies the threshold internally; recheck for
-      // the funnel row (Table 3 shows ~1/1.03 here).
-      if (PassesThreshold(*candidate, options_.detection)) {
-        ++long_funnel.after_threshold;
-        if (root_cause_ != nullptr) {
-          candidate->candidate_root_causes = root_cause_->QuickCandidates(*candidate);
+    // ---- Long-term path ----
+    if (options_.detection.enable_long_term) {
+      if (std::optional<Regression> candidate = long_term_.Detect(id, view)) {
+        ++long_funnel.change_points;
+        // The long-term detector applies the threshold internally; recheck for
+        // the funnel row (Table 3 shows ~1/1.03 here).
+        if (PassesThreshold(*candidate, options_.detection)) {
+          ++long_funnel.after_threshold;
+          if (root_cause_ != nullptr) {
+            candidate->candidate_root_causes = root_cause_->QuickCandidates(*candidate);
+          }
+          survivors.push_back(std::move(*candidate));
         }
-        survivors.push_back(std::move(*candidate));
       }
     }
+  } catch (...) {
+    QuarantineRecord record;
+    record.metric = id;
+    record.worst = QualityVerdict::kCorrupt;
+    record.windows_flagged = 1;
+    record.windows_quarantined = 1;
+    record.exceptions = 1;
+    quarantine.push_back(std::move(record));
   }
 }
 
@@ -162,33 +214,73 @@ std::vector<Regression> Pipeline::ScanAllMetrics(const std::string& service, Tim
   const int threads = std::max(1, options_.scan_threads);
   if (threads == 1 || ids.size() < 2) {
     std::vector<Regression> survivors;
+    std::vector<QuarantineRecord> quarantine;
     for (const MetricId& id : ids) {
       ScanMetric(id, as_of, survivors, short_funnel_, long_funnel_, worker_scratch_[0],
-                 worker_series_scratch_[0]);
+                 worker_series_scratch_[0], quarantine);
     }
+    MergeQuarantine(quarantine);
     return survivors;
   }
-  // Static partition by stride; each worker keeps private survivors and
-  // funnel counters, merged afterwards in canonical order for determinism.
+  // Static partition by stride; each worker keeps private survivors, funnel
+  // counters, and quarantine records, merged afterwards in canonical order
+  // (record merging is commutative) for determinism.
   const size_t num_workers = std::min<size_t>(static_cast<size_t>(threads), ids.size());
   std::vector<std::vector<Regression>> worker_survivors(num_workers);
   std::vector<FunnelStats> worker_short(num_workers);
   std::vector<FunnelStats> worker_long(num_workers);
+  std::vector<std::vector<QuarantineRecord>> worker_quarantine(num_workers);
   pool_.ParallelFor(num_workers, [&](size_t w) {
     for (size_t i = w; i < ids.size(); i += num_workers) {
       ScanMetric(ids[i], as_of, worker_survivors[w], worker_short[w], worker_long[w],
-                 worker_scratch_[w], worker_series_scratch_[w]);
+                 worker_scratch_[w], worker_series_scratch_[w], worker_quarantine[w]);
     }
   });
   std::vector<Regression> survivors;
   for (size_t w = 0; w < num_workers; ++w) {
     short_funnel_.Accumulate(worker_short[w]);
     long_funnel_.Accumulate(worker_long[w]);
+    MergeQuarantine(worker_quarantine[w]);
     survivors.insert(survivors.end(), std::make_move_iterator(worker_survivors[w].begin()),
                      std::make_move_iterator(worker_survivors[w].end()));
   }
   std::sort(survivors.begin(), survivors.end(), CanonicalSurvivorOrder);
   return survivors;
+}
+
+void Pipeline::MergeQuarantine(std::vector<QuarantineRecord>& records) {
+  for (QuarantineRecord& record : records) {
+    QuarantineRecord& merged = quarantine_[record.metric];
+    merged.metric = record.metric;
+    merged.Merge(record);
+  }
+  records.clear();
+}
+
+void Pipeline::RecordException(const MetricId& metric) {
+  QuarantineRecord& record = quarantine_[metric];
+  record.metric = metric;
+  record.worst = std::max(record.worst, QualityVerdict::kCorrupt);
+  ++record.exceptions;
+}
+
+QuarantineReport Pipeline::quarantine_report() const {
+  // Snapshot the scan-side records, then fold in the database's ingest-time
+  // rejects (duplicates / out-of-order points dropped before storage).
+  std::map<MetricId, QuarantineRecord> merged = quarantine_;
+  db_->ForEachIngestReject([&merged](const MetricId& id, uint64_t duplicate,
+                                     uint64_t out_of_order) {
+    QuarantineRecord& record = merged[id];
+    record.metric = id;
+    record.dropped_duplicate = duplicate;
+    record.dropped_out_of_order = out_of_order;
+  });
+  QuarantineReport report;
+  report.records.reserve(merged.size());
+  for (const auto& [id, record] : merged) {
+    report.records.push_back(record);
+  }
+  return report;
 }
 
 ThreadPool* Pipeline::FunnelPool() {
@@ -215,10 +307,30 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
                                     options_.som_dedup.root_cause_bitmap_dims,
                                     /*som_features=*/true};
   std::vector<FunnelCandidate> candidates(survivors.size());
+  std::vector<uint8_t> fingerprint_failed(survivors.size(), 0);
   ParallelIndexFor(survivors.size(), FunnelPool(), [&](size_t i) {
-    candidates[i].fingerprint = ComputeFingerprint(survivors[i], fp_config);
-    candidates[i].regression = std::move(survivors[i]);
+    try {
+      candidates[i].fingerprint = ComputeFingerprint(survivors[i], fp_config);
+      candidates[i].regression = std::move(survivors[i]);
+    } catch (...) {
+      fingerprint_failed[i] = 1;  // Survivor left intact for accounting.
+    }
   });
+  if (std::find(fingerprint_failed.begin(), fingerprint_failed.end(), 1) !=
+      fingerprint_failed.end()) {
+    // Quarantine candidates whose fingerprinting threw; the rest keep their
+    // original relative order.
+    std::vector<FunnelCandidate> kept;
+    kept.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (fingerprint_failed[i] != 0) {
+        RecordException(survivors[i].metric);
+      } else {
+        kept.push_back(std::move(candidates[i]));
+      }
+    }
+    candidates = std::move(kept);
+  }
   survivors.clear();
 
   // Stage: SameRegressionMerger (stateful and order-dependent: serial).
@@ -264,11 +376,22 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
   std::vector<FunnelCandidate> shift_free;
   if (options_.enable_cost_shift) {
     std::vector<uint8_t> is_shift(representatives.size(), 0);
+    std::vector<uint8_t> shift_failed(representatives.size(), 0);
     ParallelIndexFor(representatives.size(), FunnelPool(), [&](size_t i) {
-      is_shift[i] = cost_shift_.Evaluate(representatives[i].regression).is_cost_shift ? 1 : 0;
+      try {
+        is_shift[i] = cost_shift_.Evaluate(representatives[i].regression).is_cost_shift ? 1 : 0;
+      } catch (...) {
+        // A throwing detector must not abort the funnel; treat the candidate
+        // as not-a-shift (it stays reportable) and account the exception.
+        is_shift[i] = 0;
+        shift_failed[i] = 1;
+      }
     });
     shift_free.reserve(representatives.size());
     for (size_t i = 0; i < representatives.size(); ++i) {
+      if (shift_failed[i] != 0) {
+        RecordException(representatives[i].regression.metric);
+      }
       if (is_shift[i] == 0) {
         shift_free.push_back(std::move(representatives[i]));
       }
@@ -286,9 +409,19 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
   // IN PLACE inside their groups (distinct groups, so the parallel writes
   // never alias) and copied once into the report.
   if (root_cause_ != nullptr) {
+    std::vector<uint8_t> analyze_failed(new_groups.size(), 0);
     ParallelIndexFor(new_groups.size(), FunnelPool(), [&](size_t i) {
-      root_cause_->Analyze(pairwise_.GroupRepresentative(new_groups[i]));
+      try {
+        root_cause_->Analyze(pairwise_.GroupRepresentative(new_groups[i]));
+      } catch (...) {
+        analyze_failed[i] = 1;  // Reported without root causes.
+      }
     });
+    for (size_t i = 0; i < new_groups.size(); ++i) {
+      if (analyze_failed[i] != 0) {
+        RecordException(pairwise_.GroupRepresentative(new_groups[i]).metric);
+      }
+    }
   }
   std::vector<Regression> reported;
   reported.reserve(new_groups.size());

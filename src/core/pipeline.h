@@ -34,6 +34,7 @@
 #define FBDETECT_SRC_CORE_PIPELINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "src/core/regression.h"
 #include "src/core/root_cause.h"
 #include "src/core/same_regression_merger.h"
+#include "src/core/sanitizer.h"
 #include "src/core/scan_view.h"
 #include "src/core/seasonality_stage.h"
 #include "src/core/som_dedup.h"
@@ -81,6 +83,9 @@ struct PipelineOptions {
   // Change-point-time tolerance for SameRegressionMerger; 0 = one analysis
   // window.
   Duration same_regression_tolerance = 0;
+  // Data-quality gate in front of the detectors; dirty windows are
+  // quarantined (see src/core/sanitizer.h) instead of scanned.
+  SanitizerConfig sanitizer;
   // Per-series detection (stages 1-3 + threshold) is embarrassingly
   // parallel; production FBDetect fans it out across a serverless platform
   // (§5.1). >1 scans series on that many threads (a persistent pool, spawned
@@ -112,6 +117,12 @@ class Pipeline {
 
   const FunnelStats& short_term_funnel() const { return short_funnel_; }
   const FunnelStats& long_term_funnel() const { return long_funnel_; }
+
+  // Everything the pipeline refused to trust so far: sanitizer-quarantined
+  // windows, corrupt sealed storage, detector exceptions isolated to one
+  // series, and the database's ingest-time duplicate/out-of-order drops —
+  // one record per dirty series, in canonical MetricId order.
+  QuarantineReport quarantine_report() const;
   const std::vector<RegressionGroup>& groups() const { return pairwise_.groups(); }
   const PipelineOptions& options() const { return options_; }
 
@@ -122,10 +133,15 @@ class Pipeline {
   // higher-is-worse kinds); `series_scratch` is the caller's decode buffer
   // for series whose scan range extends into Gorilla-sealed history
   // (untouched when the raw tail covers the detection windows — the common
-  // case, which stays zero-copy). Thread-safe: only reads shared state.
+  // case, which stays zero-copy). Dirty windows append a QuarantineRecord to
+  // `quarantine` (the caller's private vector, merged after the parallel
+  // scan) instead of reaching the detectors; detector exceptions are caught
+  // and quarantined the same way, so one corrupt series can never take down
+  // a re-run. Thread-safe: only reads shared state.
   void ScanMetric(const MetricId& id, TimePoint as_of, std::vector<Regression>& survivors,
                   FunnelStats& short_funnel, FunnelStats& long_funnel,
-                  std::vector<double>& scratch, TimeSeries& series_scratch) const;
+                  std::vector<double>& scratch, TimeSeries& series_scratch,
+                  std::vector<QuarantineRecord>& quarantine) const;
 
   // Scans all metrics of a service, optionally on several threads; returns
   // survivors in deterministic metric order.
@@ -141,6 +157,14 @@ class Pipeline {
   // never from inside one (the pool is not reentrant).
   ThreadPool* FunnelPool();
 
+  // Folds per-worker quarantine records into the accumulated per-series map.
+  // Record merging is commutative, so the map contents are independent of
+  // worker interleaving (determinism across scan_threads values).
+  void MergeQuarantine(std::vector<QuarantineRecord>& records);
+
+  // Accounts one isolated exception (funnel stage) against `metric`.
+  void RecordException(const MetricId& metric);
+
   const TimeSeriesDatabase* db_;
   const ChangeLog* change_log_;
   PipelineOptions options_;
@@ -150,6 +174,7 @@ class Pipeline {
   SeasonalityStage seasonality_;
   LongTermDetector long_term_;
   SameRegressionMerger merger_;
+  Sanitizer sanitizer_;
   SomDedup som_dedup_;
   CostShiftDetector cost_shift_;
   PairwiseDedup pairwise_;
@@ -171,6 +196,10 @@ class Pipeline {
 
   FunnelStats short_funnel_;
   FunnelStats long_funnel_;
+
+  // Accumulated dirty-series accounting across re-runs; std::map keeps
+  // canonical MetricId order for the report snapshot.
+  std::map<MetricId, QuarantineRecord> quarantine_;
 };
 
 }  // namespace fbdetect

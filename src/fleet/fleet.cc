@@ -50,13 +50,19 @@ void FleetSimulator::Run(TimePoint begin, TimePoint end,
     ServiceSimulator& service = *services_[index];
     const Duration tick = service.config().tick;
     WriteBatch batch(&db_);
+    const auto flush = [&batch, &options] {
+      if (options.fault_injector != nullptr) {
+        options.fault_injector->Corrupt(batch);
+      }
+      batch.Commit();
+    };
     for (TimePoint t = begin + tick; t <= end; t += tick) {
       service.Tick(t, batch);
       if (batch.point_count() >= options.flush_points) {
-        batch.Commit();
+        flush();
       }
     }
-    batch.Commit();
+    flush();
   });
 }
 

@@ -11,6 +11,7 @@
 #include "src/common/sim_time.h"
 #include "src/fleet/change_log.h"
 #include "src/fleet/events.h"
+#include "src/fleet/fault_injector.h"
 #include "src/fleet/service.h"
 #include "src/tsdb/database.h"
 
@@ -25,6 +26,12 @@ struct FleetIngestOptions {
   // Each worker commits its WriteBatch once it has staged this many points
   // (and at the end of its service's schedule).
   size_t flush_points = 4096;
+  // When non-null, every staged batch is corrupted (FaultInjector::Corrupt)
+  // immediately before commit — the chaos-testing path. Fault decisions are
+  // pure hashes of (seed, series, timestamp), so the injected database
+  // content stays byte-identical for any threads/flush_points combination.
+  // Must outlive the Run() call; not owned.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class FleetSimulator {

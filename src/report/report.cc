@@ -174,4 +174,43 @@ std::string RenderFunnel(const FunnelStats& short_term, const FunnelStats& long_
   return out;
 }
 
+std::string RenderQuarantine(const QuarantineReport& report, size_t max_rows) {
+  std::string out = "quarantine:\n";
+  out += Printf("  %-28s %8llu\n", "dirty series",
+                static_cast<unsigned long long>(report.records.size()));
+  out += Printf("  %-28s %8llu\n", "windows quarantined",
+                static_cast<unsigned long long>(report.total_windows_quarantined()));
+  out += Printf("  %-28s %8llu\n", "decode failures",
+                static_cast<unsigned long long>(report.total_decode_failures()));
+  out += Printf("  %-28s %8llu\n", "detector exceptions",
+                static_cast<unsigned long long>(report.total_exceptions()));
+  out += Printf("  %-28s %8llu\n", "dropped duplicates",
+                static_cast<unsigned long long>(report.total_dropped_duplicate()));
+  out += Printf("  %-28s %8llu\n", "dropped out-of-order",
+                static_cast<unsigned long long>(report.total_dropped_out_of_order()));
+  size_t rows = 0;
+  for (const QuarantineRecord& record : report.records) {
+    if (max_rows > 0 && rows >= max_rows) {
+      out += Printf("  ... %llu more series\n",
+                    static_cast<unsigned long long>(report.records.size() - rows));
+      break;
+    }
+    ++rows;
+    out += Printf(
+        "  [%s] %s: quarantined=%llu nonfinite=%llu negative=%llu missing=%llu "
+        "flap=%llu skew=%llds dup=%llu ooo=%llu exc=%llu\n",
+        QualityVerdictName(record.worst), record.metric.ToString().c_str(),
+        static_cast<unsigned long long>(record.windows_quarantined),
+        static_cast<unsigned long long>(record.non_finite),
+        static_cast<unsigned long long>(record.negative),
+        static_cast<unsigned long long>(record.missing),
+        static_cast<unsigned long long>(record.flap_windows),
+        static_cast<long long>(record.max_skew),
+        static_cast<unsigned long long>(record.dropped_duplicate),
+        static_cast<unsigned long long>(record.dropped_out_of_order),
+        static_cast<unsigned long long>(record.exceptions));
+  }
+  return out;
+}
+
 }  // namespace fbdetect

@@ -32,6 +32,12 @@ std::string ToJsonLine(const Regression& regression);
 std::string RenderFunnel(const FunnelStats& short_term, const FunnelStats& long_term,
                          bool long_term_enabled);
 
+// Human-readable summary of everything the pipeline refused to trust:
+// totals, then one row per dirty series (worst verdict, per-artifact counts,
+// ingest-time drops). `max_rows` caps the per-series listing (0 = no cap);
+// a truncation line reports how many rows were omitted.
+std::string RenderQuarantine(const QuarantineReport& report, size_t max_rows = 50);
+
 // Escapes a string for embedding in JSON (quotes, backslashes, control
 // characters). Exposed for tests.
 std::string JsonEscape(const std::string& text);

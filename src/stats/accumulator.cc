@@ -1,10 +1,17 @@
 #include "src/stats/accumulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace fbdetect {
 
 void WelfordAccumulator::Add(double value) {
+  if (!std::isfinite(value)) {
+    // One NaN would poison mean/M2 (and min/max comparisons) forever; count
+    // the sample as ignored instead so callers can see the dirt.
+    ++ignored_non_finite_;
+    return;
+  }
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -19,11 +26,14 @@ void WelfordAccumulator::Add(double value) {
 }
 
 void WelfordAccumulator::Merge(const WelfordAccumulator& other) {
+  ignored_non_finite_ += other.ignored_non_finite_;
   if (other.count_ == 0) {
     return;
   }
   if (count_ == 0) {
+    const int64_t ignored = ignored_non_finite_;
     *this = other;
+    ignored_non_finite_ = ignored;
     return;
   }
   const double delta = other.mean_ - mean_;

@@ -13,12 +13,16 @@ namespace fbdetect {
 
 class WelfordAccumulator {
  public:
+  // Non-finite values are ignored (they would poison mean/M2 permanently)
+  // and tallied in ignored_non_finite() instead.
   void Add(double value);
 
   // Merges another accumulator into this one (parallel-variance formula).
   void Merge(const WelfordAccumulator& other);
 
+  // Accepted samples only; non-finite inputs are excluded.
   int64_t count() const { return count_; }
+  int64_t ignored_non_finite() const { return ignored_non_finite_; }
   double mean() const { return mean_; }
 
   // Unbiased sample variance (n-1); 0.0 if fewer than 2 samples.
@@ -32,6 +36,7 @@ class WelfordAccumulator {
 
  private:
   int64_t count_ = 0;
+  int64_t ignored_non_finite_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;

@@ -36,7 +36,10 @@ double PearsonCorrelation(std::span<const double> x, std::span<const double> y) 
   if (sxx <= 0.0 || syy <= 0.0) {
     return 0.0;
   }
-  return sxy / std::sqrt(sxx * syy);
+  const double r = sxy / std::sqrt(sxx * syy);
+  // NaN/Inf inputs poison the sums (and `sxx <= 0.0` is false for NaN);
+  // report "no correlation" instead of propagating the poison.
+  return std::isfinite(r) ? r : 0.0;
 }
 
 double Autocorrelation(std::span<const double> values, size_t lag) {
@@ -57,7 +60,8 @@ double Autocorrelation(std::span<const double> values, size_t lag) {
   for (size_t i = 0; i + lag < n; ++i) {
     num += (values[i] - mean) * (values[i + lag] - mean);
   }
-  return num / denom;
+  const double r = num / denom;
+  return std::isfinite(r) ? r : 0.0;  // Same non-finite guard as Pearson.
 }
 
 std::vector<double> AutocorrelationFunctionBruteForce(std::span<const double> values,

@@ -53,7 +53,18 @@ double Percentile(std::span<const double> values, double p) {
     return 0.0;
   }
   FBD_CHECK(p >= 0.0 && p <= 100.0);
-  std::vector<double> sorted(values.begin(), values.end());
+  // NaN breaks std::sort's strict weak ordering (UB); the percentile is
+  // defined over the finite samples only, 0.0 when none remain.
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (const double v : values) {
+    if (std::isfinite(v)) {
+      sorted.push_back(v);
+    }
+  }
+  if (sorted.empty()) {
+    return 0.0;
+  }
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) {
     return sorted[0];

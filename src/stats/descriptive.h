@@ -27,7 +27,9 @@ double SampleStdDev(std::span<const double> values);
 // Median (copies and partially sorts); 0.0 for an empty span.
 double Median(std::span<const double> values);
 
-// Percentile p in [0, 100] with linear interpolation; 0.0 for an empty span.
+// Percentile p in [0, 100] with linear interpolation over the FINITE
+// samples (NaN would make the sort undefined); 0.0 for an empty span or
+// when no finite samples remain.
 double Percentile(std::span<const double> values, double p);
 
 // Median Absolute Deviation. When `normalized` is true the result is scaled

@@ -39,6 +39,18 @@ void WriteBatch::Add(const MetricId& id, TimePoint timestamp, double value) {
   Add(db_->Intern(id), timestamp, value);
 }
 
+void WriteBatch::MutateColumns(
+    const std::function<void(const InternedMetricId&, std::vector<TimePoint>&,
+                             std::vector<double>&)>& fn) {
+  size_t points = 0;
+  for (Column& column : columns_) {
+    fn(column.id, column.timestamps, column.values);
+    FBD_CHECK(column.timestamps.size() == column.values.size());
+    points += column.timestamps.size();
+  }
+  point_count_ = points;
+}
+
 void WriteBatch::Commit() {
   if (point_count_ > 0) {
     db_->Apply(*this);
@@ -81,14 +93,33 @@ void TimeSeriesDatabase::Write(const MetricId& id, TimePoint timestamp, double v
   Write(Intern(id), timestamp, value);
 }
 
+bool TimeSeriesDatabase::AppendCounted(Shard& shard, SeriesEntry& entry,
+                                       TimePoint timestamp, double value) {
+  switch (entry.data.TryAppend(timestamp, value)) {
+    case AppendOutcome::kAppended:
+      ++shard.ingest.accepted;
+      return true;
+    case AppendOutcome::kDuplicate:
+      ++shard.ingest.dropped_duplicate;
+      ++entry.rejected_duplicate;
+      return false;
+    case AppendOutcome::kOutOfOrder:
+      ++shard.ingest.dropped_out_of_order;
+      ++entry.rejected_out_of_order;
+      return false;
+  }
+  return false;  // Unreachable.
+}
+
 void TimeSeriesDatabase::Write(const InternedMetricId& id, TimePoint timestamp,
                                double value) {
   Shard& shard = shards_[ShardIndex(id)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   SeriesEntry& entry = EntryLocked(shard, id);
-  entry.data.Append(timestamp, value);
-  ++entry.version;
-  shard.generation.fetch_add(1, std::memory_order_relaxed);
+  if (AppendCounted(shard, entry, timestamp, value)) {
+    ++entry.version;
+    shard.generation.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
@@ -96,11 +127,14 @@ void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
   Shard& shard = shards_[ShardIndex(interned)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   SeriesEntry& entry = EntryLocked(shard, interned);
+  bool stored = false;
   for (size_t i = 0; i < series.size(); ++i) {
-    entry.data.Append(series.timestamps()[i], series.values()[i]);
+    stored |= AppendCounted(shard, entry, series.timestamps()[i], series.values()[i]);
   }
-  ++entry.version;
-  shard.generation.fetch_add(1, std::memory_order_relaxed);
+  if (stored) {
+    ++entry.version;
+    shard.generation.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void TimeSeriesDatabase::Apply(WriteBatch& batch) {
@@ -119,15 +153,53 @@ void TimeSeriesDatabase::Apply(WriteBatch& batch) {
         continue;  // Staged in an earlier fill of this batch, idle since.
       }
       SeriesEntry& entry = EntryLocked(shard, column.id);
+      bool stored = false;
       for (size_t i = 0; i < column.timestamps.size(); ++i) {
-        entry.data.Append(column.timestamps[i], column.values[i]);
+        stored |= AppendCounted(shard, entry, column.timestamps[i], column.values[i]);
       }
-      ++entry.version;
-      changed = true;
+      if (stored) {
+        ++entry.version;
+        changed = true;
+      }
     }
     if (changed) {
       shard.generation.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+}
+
+TimeSeriesDatabase::IngestStats TimeSeriesDatabase::ingest_stats() const {
+  IngestStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.accepted += shard.ingest.accepted;
+    total.dropped_duplicate += shard.ingest.dropped_duplicate;
+    total.dropped_out_of_order += shard.ingest.dropped_out_of_order;
+  }
+  return total;
+}
+
+void TimeSeriesDatabase::ForEachIngestReject(
+    const std::function<void(const MetricId&, uint64_t, uint64_t)>& fn) const {
+  struct Reject {
+    MetricId id;
+    uint64_t duplicate;
+    uint64_t out_of_order;
+  };
+  std::vector<Reject> rejects;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [id, entry] : shard.series) {
+      if (entry.rejected_duplicate > 0 || entry.rejected_out_of_order > 0) {
+        rejects.push_back(
+            Reject{Resolve(id), entry.rejected_duplicate, entry.rejected_out_of_order});
+      }
+    }
+  }
+  std::sort(rejects.begin(), rejects.end(),
+            [](const Reject& a, const Reject& b) { return a.id < b.id; });
+  for (const Reject& reject : rejects) {
+    fn(reject.id, reject.duplicate, reject.out_of_order);
   }
 }
 
@@ -183,20 +255,27 @@ bool TimeSeriesDatabase::Contains(const InternedMetricId& id) const {
 }
 
 const TimeSeries* TimeSeriesDatabase::SeriesForScan(const MetricId& id, TimePoint begin,
-                                                    TimeSeries& scratch) const {
+                                                    TimeSeries& scratch,
+                                                    Status* status) const {
   const auto service = symbols_.Find(id.service);
   const auto entity = symbols_.Find(id.entity);
   const auto metadata = symbols_.Find(id.metadata);
   if (!service || !entity || !metadata) {
+    if (status != nullptr) {
+      *status = Status::Ok();  // Absent, not corrupt.
+    }
     return nullptr;
   }
   return SeriesForScan(InternedMetricId{*service, id.kind, *entity, *metadata}, begin,
-                       scratch);
+                       scratch, status);
 }
 
 const TimeSeries* TimeSeriesDatabase::SeriesForScan(const InternedMetricId& id,
-                                                    TimePoint begin,
-                                                    TimeSeries& scratch) const {
+                                                    TimePoint begin, TimeSeries& scratch,
+                                                    Status* status) const {
+  if (status != nullptr) {
+    *status = Status::Ok();
+  }
   const Shard& shard = shards_[ShardIndex(id)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.series.find(id);
@@ -208,7 +287,14 @@ const TimeSeries* TimeSeriesDatabase::SeriesForScan(const InternedMetricId& id,
     return &data.tail();  // Zero-copy hot path: the scan range is all raw.
   }
   scratch.Clear();
-  data.MaterializeFrom(begin, scratch);
+  if (status == nullptr) {
+    data.MaterializeFrom(begin, scratch);  // Aborts on corrupt sealed history.
+    return &scratch;
+  }
+  *status = data.TryMaterializeFrom(begin, scratch);
+  if (!status->ok()) {
+    return nullptr;
+  }
   return &scratch;
 }
 

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 #include "src/tsdb/metric_id.h"
 #include "src/tsdb/symbol_table.h"
 #include "src/tsdb/tiered_series.h"
@@ -67,6 +69,16 @@ class WriteBatch {
   // mapping and vector capacities are retained for the next fill).
   void Commit();
 
+  // Invokes `fn` once per staged column with mutable access to its parallel
+  // timestamp/value vectors (same length before and, enforced, after). The
+  // fault-injection harness uses this to corrupt staged telemetry between
+  // generation and Commit; point_count() is recomputed afterwards. Columns
+  // whose vectors `fn` reorders or de-dupes are the caller's problem — the
+  // database classifies each point at Apply time anyway.
+  void MutateColumns(
+      const std::function<void(const InternedMetricId&, std::vector<TimePoint>&,
+                               std::vector<double>&)>& fn);
+
   size_t point_count() const { return point_count_; }
   bool empty() const { return point_count_ == 0; }
   TimeSeriesDatabase* db() const { return db_; }
@@ -98,6 +110,16 @@ class TimeSeriesDatabase {
     size_t sealed_raw_bytes() const { return sealed_points * 16; }
   };
 
+  // Fleet telemetry is dirty: retransmitted buffers duplicate points, delayed
+  // buffers arrive behind newer data. The write path classifies and counts
+  // such points per shard (and per series) instead of aborting the process.
+  struct IngestStats {
+    uint64_t accepted = 0;
+    uint64_t dropped_duplicate = 0;
+    uint64_t dropped_out_of_order = 0;
+    uint64_t dropped() const { return dropped_duplicate + dropped_out_of_order; }
+  };
+
   TimeSeriesDatabase() : TimeSeriesDatabase(TsdbOptions{}) {}
   explicit TimeSeriesDatabase(const TsdbOptions& options);
   TimeSeriesDatabase(const TimeSeriesDatabase&) = delete;
@@ -113,7 +135,8 @@ class TimeSeriesDatabase {
 
   // --- Ingestion ---
 
-  // Appends one point; timestamps per metric must be strictly increasing.
+  // Appends one point. A timestamp at or before the newest stored point of
+  // its series is dropped and counted (see IngestStats), never stored.
   void Write(const MetricId& id, TimePoint timestamp, double value);
   void Write(const InternedMetricId& id, TimePoint timestamp, double value);
 
@@ -123,6 +146,15 @@ class TimeSeriesDatabase {
   // Applies a staged batch: each touched shard is locked once and its
   // generation bumped once. Called by WriteBatch::Commit.
   void Apply(WriteBatch& batch);
+
+  // Aggregate accept/drop counters across all shards.
+  IngestStats ingest_stats() const;
+
+  // Invokes `fn(id, dropped_duplicate, dropped_out_of_order)` for every
+  // series that has dropped at least one point, in canonical MetricId order.
+  // The pipeline folds these into its quarantine report.
+  void ForEachIngestReject(
+      const std::function<void(const MetricId&, uint64_t, uint64_t)>& fn) const;
 
   // --- Lookup ---
 
@@ -141,10 +173,14 @@ class TimeSeriesDatabase {
   // path. Otherwise decodes the overlapping sealed chunks into `scratch`
   // (clearing it first; chunk-granular, so the result may extend earlier
   // than `begin`) and returns &scratch.
+  // A corrupt sealed chunk aborts (FBD_CHECK) in the two-argument forms —
+  // this process encoded the chunk, so corruption is a programmer error.
+  // Passing `status` opts into the recoverable path for untrusted storage:
+  // decode failure sets *status and returns nullptr instead of aborting.
   const TimeSeries* SeriesForScan(const MetricId& id, TimePoint begin,
-                                  TimeSeries& scratch) const;
+                                  TimeSeries& scratch, Status* status = nullptr) const;
   const TimeSeries* SeriesForScan(const InternedMetricId& id, TimePoint begin,
-                                  TimeSeries& scratch) const;
+                                  TimeSeries& scratch, Status* status = nullptr) const;
 
   // All metric IDs in canonical order, optionally filtered by service
   // (empty = all). Cached per service behind the per-shard generation
@@ -182,6 +218,9 @@ class TimeSeriesDatabase {
     TieredSeries data;
     // Bumped on every mutation of `data`; invalidates `materialized`.
     uint64_t version = 1;
+    // Points rejected by TryAppend for this series (dirty telemetry).
+    uint64_t rejected_duplicate = 0;
+    uint64_t rejected_out_of_order = 0;
     // Lazily decoded full series for Find() on sealed entries. Guarded by
     // the owning shard's mutex.
     mutable std::unique_ptr<TimeSeries> materialized;
@@ -191,6 +230,7 @@ class TimeSeriesDatabase {
   struct Shard {
     mutable std::mutex mutex;
     std::atomic<uint64_t> generation{0};
+    IngestStats ingest;  // Guarded by `mutex`.
     std::unordered_map<InternedMetricId, SeriesEntry, InternedMetricIdHash> series;
   };
 
@@ -206,6 +246,11 @@ class TimeSeriesDatabase {
   // Returns the entry for `id` in `shard`, creating it if absent. Caller
   // holds the shard mutex.
   SeriesEntry& EntryLocked(Shard& shard, const InternedMetricId& id);
+
+  // Appends one point with reject accounting (shard + per-series counters).
+  // Caller holds the shard mutex. Returns true iff the point was stored.
+  static bool AppendCounted(Shard& shard, SeriesEntry& entry, TimePoint timestamp,
+                            double value);
 
   // Full decoded view of an entry (cached). Caller holds the shard mutex.
   const TimeSeries* MaterializedLocked(const SeriesEntry& entry) const;

@@ -1,5 +1,6 @@
 #include "src/tsdb/gorilla.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -28,6 +29,42 @@ uint64_t ZigZag(int64_t value) {
 int64_t UnZigZag(uint64_t value) {
   return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
 }
+
+// Bounds-checked cursor over a bit stream for TryDecodeInto: reads return
+// false instead of aborting when the stream is exhausted, so corrupt or
+// truncated chunks surface as Status errors.
+class CheckedBitReader {
+ public:
+  CheckedBitReader(const std::vector<uint8_t>& bytes, size_t bit_count)
+      : bytes_(&bytes), bit_count_(std::min(bit_count, bytes.size() * 8)) {}
+
+  bool ReadBit(bool& bit) {
+    if (position_ >= bit_count_) {
+      return false;
+    }
+    bit = ((*bytes_)[position_ / 8] & static_cast<uint8_t>(0x80u >> (position_ % 8))) != 0;
+    ++position_;
+    return true;
+  }
+
+  bool ReadBits(int bits, uint64_t& value) {
+    if (bits < 0 || bits > 64 || bit_count_ - position_ < static_cast<size_t>(bits)) {
+      return false;
+    }
+    value = 0;
+    for (int i = 0; i < bits; ++i) {
+      bool bit = false;
+      ReadBit(bit);  // In bounds by the check above.
+      value = (value << 1) | (bit ? 1 : 0);
+    }
+    return true;
+  }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  size_t bit_count_;
+  size_t position_ = 0;
+};
 
 }  // namespace
 
@@ -200,6 +237,88 @@ void CompressedTimeSeries::DecodeInto(TimeSeries& out) const {
     }
     out.Append(timestamp, BitsToDouble(value_bits));
   }
+}
+
+Status CompressedTimeSeries::TryDecodeInto(TimeSeries& out) const {
+  if (count_ == 0) {
+    return Status::Ok();
+  }
+  CheckedBitReader reader(stream_.bytes(), stream_.bit_count());
+  uint64_t raw = 0;
+  uint64_t value_bits = 0;
+  if (!reader.ReadBits(64, raw) || !reader.ReadBits(64, value_bits)) {
+    return Status::DataLoss("truncated chunk header");
+  }
+  TimePoint timestamp = static_cast<TimePoint>(raw);
+  if (!out.TryAppend(timestamp, BitsToDouble(value_bits))) {
+    return Status::DataLoss("chunk does not start after preceding points");
+  }
+  // Deltas accumulate in unsigned arithmetic so corrupt streams wrap instead
+  // of hitting signed overflow; the strictly-increasing check below rejects
+  // the wrapped garbage.
+  uint64_t delta = 0;
+  int leading = 0;
+  int trailing = 0;
+  for (size_t i = 1; i < count_; ++i) {
+    // Timestamp: delta-of-delta buckets ('0', '10', '110', '1110', '1111').
+    bool bit = false;
+    int ones = 0;
+    while (ones < 4) {
+      if (!reader.ReadBit(bit)) {
+        return Status::DataLoss("truncated timestamp flag");
+      }
+      if (!bit) {
+        break;
+      }
+      ++ones;
+    }
+    static constexpr int kDodBits[5] = {0, 7, 9, 12, 64};
+    const int dod_bits = kDodBits[ones];
+    int64_t dod = 0;
+    if (dod_bits > 0) {
+      uint64_t zigzag = 0;
+      if (!reader.ReadBits(dod_bits, zigzag)) {
+        return Status::DataLoss("truncated timestamp delta");
+      }
+      dod = UnZigZag(zigzag);
+    }
+    delta += static_cast<uint64_t>(dod);
+    timestamp = static_cast<TimePoint>(static_cast<uint64_t>(timestamp) + delta);
+    // Value: XOR block ('0' same, '10' reuse position, '11' new position).
+    if (!reader.ReadBit(bit)) {
+      return Status::DataLoss("truncated value flag");
+    }
+    if (bit) {
+      if (!reader.ReadBit(bit)) {
+        return Status::DataLoss("truncated value block flag");
+      }
+      int block_bits = 0;
+      if (bit) {
+        uint64_t lead = 0;
+        uint64_t length = 0;
+        if (!reader.ReadBits(5, lead) || !reader.ReadBits(6, length)) {
+          return Status::DataLoss("truncated XOR block position");
+        }
+        block_bits = length == 0 ? 64 : static_cast<int>(length);
+        if (static_cast<int>(lead) + block_bits > 64) {
+          return Status::DataLoss("invalid XOR block shape");
+        }
+        leading = static_cast<int>(lead);
+        trailing = 64 - leading - block_bits;
+      } else {
+        block_bits = 64 - leading - trailing;
+      }
+      uint64_t block = 0;
+      if (!reader.ReadBits(block_bits, block)) {
+        return Status::DataLoss("truncated XOR block");
+      }
+      value_bits ^= block << trailing;
+    }
+    if (!out.TryAppend(timestamp, BitsToDouble(value_bits))) {
+      return Status::DataLoss("non-increasing decoded timestamp");
+    }
+  }
+  return Status::Ok();
 }
 
 CompressedTimeSeries CompressedTimeSeries::FromRaw(std::vector<uint8_t> bytes,

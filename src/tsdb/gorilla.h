@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 #include "src/tsdb/timeseries.h"
 
 namespace fbdetect {
@@ -82,6 +83,13 @@ class CompressedTimeSeries {
   // The scratch-reuse form of Decode() for the tiered scan path. Decoding a
   // truncated stream aborts via FBD_CHECK rather than reading past the end.
   void DecodeInto(TimeSeries& out) const;
+
+  // Recoverable decode for untrusted streams (deserialized storage, fuzzing,
+  // fault injection): every bit read is bounds-checked, XOR block shapes are
+  // validated, timestamp arithmetic is overflow-safe, and decoded timestamps
+  // must be strictly increasing. Returns kDataLoss (with `out` possibly
+  // holding a valid prefix) instead of aborting or reading out of bounds.
+  Status TryDecodeInto(TimeSeries& out) const;
 
   // Reconstructs a chunk from raw stream parts, e.g. deserialized storage.
   // Checks that `bit_count` fits in `bytes`; a stream that still understates

@@ -1,5 +1,6 @@
 #include "src/tsdb/tiered_series.h"
 
+#include <limits>
 #include <utility>
 
 #include "src/common/check.h"
@@ -7,8 +8,18 @@
 namespace fbdetect {
 
 void TieredSeries::Append(TimePoint timestamp, double value) {
-  FBD_CHECK(chunks_.empty() || timestamp > chunks_.back().last);
-  tail_.Append(timestamp, value);  // Tail ordering checked by TimeSeries.
+  FBD_CHECK(TryAppend(timestamp, value) == AppendOutcome::kAppended);
+}
+
+AppendOutcome TieredSeries::TryAppend(TimePoint timestamp, double value) {
+  const TimePoint newest =
+      tail_.empty() ? (chunks_.empty() ? 0 : chunks_.back().last) : tail_.end_time();
+  const bool have_points = !tail_.empty() || !chunks_.empty();
+  if (have_points && timestamp <= newest) {
+    return timestamp == newest ? AppendOutcome::kDuplicate : AppendOutcome::kOutOfOrder;
+  }
+  tail_.Append(timestamp, value);
+  return AppendOutcome::kAppended;
 }
 
 size_t TieredSeries::sealed_bytes() const {
@@ -45,28 +56,34 @@ void TieredSeries::SealBefore(TimePoint boundary) {
 }
 
 void TieredSeries::MaterializeAll(TimeSeries& out) const {
-  for (const Chunk& chunk : chunks_) {
-    chunk.data.DecodeInto(out);
-  }
-  const std::vector<TimePoint>& timestamps = tail_.timestamps();
-  const std::vector<double>& values = tail_.values();
-  for (size_t i = 0; i < timestamps.size(); ++i) {
-    out.Append(timestamps[i], values[i]);
-  }
+  const Status status = TryMaterializeAll(out);
+  FBD_CHECK(status.ok());
 }
 
 void TieredSeries::MaterializeFrom(TimePoint begin, TimeSeries& out) const {
+  const Status status = TryMaterializeFrom(begin, out);
+  FBD_CHECK(status.ok());
+}
+
+Status TieredSeries::TryMaterializeAll(TimeSeries& out) const {
+  return TryMaterializeFrom(std::numeric_limits<TimePoint>::min(), out);
+}
+
+Status TieredSeries::TryMaterializeFrom(TimePoint begin, TimeSeries& out) const {
   for (const Chunk& chunk : chunks_) {
     if (chunk.last < begin) {
       continue;
     }
-    chunk.data.DecodeInto(out);
+    FBD_RETURN_IF_ERROR(chunk.data.TryDecodeInto(out));
   }
   const std::vector<TimePoint>& timestamps = tail_.timestamps();
   const std::vector<double>& values = tail_.values();
   for (size_t i = 0; i < timestamps.size(); ++i) {
-    out.Append(timestamps[i], values[i]);
+    if (!out.TryAppend(timestamps[i], values[i])) {
+      return Status::DataLoss("tail does not continue sealed history");
+    }
   }
+  return Status::Ok();
 }
 
 void TieredSeries::DropBefore(TimePoint cutoff) {

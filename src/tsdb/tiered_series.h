@@ -19,10 +19,20 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 #include "src/tsdb/gorilla.h"
 #include "src/tsdb/timeseries.h"
 
 namespace fbdetect {
+
+// Fate of one ingested point. Rejections are data errors (dirty telemetry:
+// retransmits, clock resets, delayed buffers), not programmer errors — the
+// database counts them per series instead of aborting.
+enum class AppendOutcome {
+  kAppended = 0,
+  kDuplicate,    // Timestamp equals the newest stored point.
+  kOutOfOrder,   // Timestamp precedes the newest stored point.
+};
 
 class TieredSeries {
  public:
@@ -34,6 +44,10 @@ class TieredSeries {
   // Appends to the tail; `timestamp` must be strictly after every stored
   // point, sealed or not.
   void Append(TimePoint timestamp, double value);
+
+  // Recoverable form: classifies instead of aborting when `timestamp` is not
+  // strictly after the newest stored point. Nothing is stored on rejection.
+  AppendOutcome TryAppend(TimePoint timestamp, double value);
 
   size_t size() const { return sealed_points_ + tail_.size(); }
   bool empty() const { return size() == 0; }
@@ -60,6 +74,13 @@ class TieredSeries {
   // chunk-granular: the result may start earlier than `begin` (never later),
   // which window extraction tolerates.
   void MaterializeFrom(TimePoint begin, TimeSeries& out) const;
+
+  // Recoverable forms: a corrupt sealed chunk yields kDataLoss (with `out`
+  // holding the points decoded so far) instead of aborting. The non-Try forms
+  // above FBD_CHECK on these, which is right for chunks this process encoded;
+  // the Try forms are for deserialized or otherwise untrusted storage.
+  Status TryMaterializeAll(TimeSeries& out) const;
+  Status TryMaterializeFrom(TimePoint begin, TimeSeries& out) const;
 
   // Retention: drops all points strictly older than `cutoff`. Whole chunks
   // before the cutoff are freed; a chunk straddling it is decoded, trimmed,

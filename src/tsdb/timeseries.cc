@@ -13,9 +13,16 @@ TimeSeries::TimeSeries(std::vector<TimePoint> timestamps, std::vector<double> va
 }
 
 void TimeSeries::Append(TimePoint timestamp, double value) {
-  FBD_CHECK(timestamps_.empty() || timestamp > timestamps_.back());
+  FBD_CHECK(TryAppend(timestamp, value));
+}
+
+bool TimeSeries::TryAppend(TimePoint timestamp, double value) {
+  if (!timestamps_.empty() && timestamp <= timestamps_.back()) {
+    return false;
+  }
   timestamps_.push_back(timestamp);
   values_.push_back(value);
+  return true;
 }
 
 TimePoint TimeSeries::start_time() const { return timestamps_.empty() ? 0 : timestamps_.front(); }

@@ -20,6 +20,12 @@ class TimeSeries {
   // Appends a point; `timestamp` must be strictly after the last one.
   void Append(TimePoint timestamp, double value);
 
+  // Recoverable form for dirty telemetry: appends and returns true when
+  // `timestamp` is strictly after the last stored point, returns false (and
+  // stores nothing) otherwise. Ingest paths use this to drop out-of-order or
+  // duplicate points instead of aborting.
+  bool TryAppend(TimePoint timestamp, double value);
+
   size_t size() const { return timestamps_.size(); }
   bool empty() const { return timestamps_.empty(); }
 

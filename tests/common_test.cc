@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "src/common/random.h"
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 
 namespace fbdetect {
 namespace {
@@ -178,6 +182,76 @@ TEST(SimTimeTest, DurationHelpers) {
   EXPECT_EQ(Hours(2), 7200);
   EXPECT_EQ(Days(1), kDay);
   EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+TEST(StatusTest, OkByDefaultAndErrorCarriesCodeAndMessage) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status error = Status::DataLoss("chunk truncated");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(error.ToString(), "DATA_LOSS: chunk truncated");
+}
+
+Status PropagateIfError(const Status& status, bool& reached_end) {
+  FBD_RETURN_IF_ERROR(status);
+  reached_end = true;
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroShortCircuits) {
+  bool reached_end = false;
+  EXPECT_TRUE(PropagateIfError(Status::Ok(), reached_end).ok());
+  EXPECT_TRUE(reached_end);
+  reached_end = false;
+  const Status propagated =
+      PropagateIfError(Status::OutOfOrder("stale point"), reached_end);
+  EXPECT_EQ(propagated.code(), StatusCode::kOutOfOrder);
+  EXPECT_FALSE(reached_end);
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownAtJoinAndBatchStillCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](size_t i) {
+                                  if (i == 17) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // Tasks are independent: every other index still ran (no abandoned work,
+  // no deadlocked workers).
+  EXPECT_EQ(completed.load(), 63);
+  // The pool is not poisoned: the next batch runs normally.
+  std::atomic<int> second{0};
+  pool.ParallelFor(32, [&](size_t) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 32);
+}
+
+TEST(ThreadPoolTest, EveryTaskThrowingStillJoinsWithOneException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(16, [](size_t) { throw std::runtime_error("all bad"); }),
+      std::runtime_error);
+  std::atomic<int> after{0};
+  pool.ParallelFor(8, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPoolTest, WorkerlessPoolHasSameExceptionContract) {
+  ThreadPool pool(0);
+  int completed = 0;
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&](size_t i) {
+                                  if (i == 3) {
+                                    throw std::runtime_error("serial boom");
+                                  }
+                                  ++completed;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(completed, 7);
 }
 
 }  // namespace

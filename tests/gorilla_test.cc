@@ -199,6 +199,51 @@ TEST(GorillaDeathTest, TruncatedStreamFailsLoudly) {
   EXPECT_DEATH(overcounted.Decode(), "");
 }
 
+TEST(GorillaTest, TryDecodeIntoRoundTripsValidChunk) {
+  CompressedTimeSeries compressed;
+  for (int i = 0; i < 200; ++i) {
+    compressed.Append(600 * i, 0.01 * i);
+  }
+  TimeSeries decoded;
+  ASSERT_TRUE(compressed.TryDecodeInto(decoded).ok());
+  ASSERT_EQ(decoded.size(), 200u);
+  EXPECT_EQ(decoded.timestamps().front(), 0);
+  EXPECT_EQ(decoded.timestamps().back(), 600 * 199);
+  EXPECT_DOUBLE_EQ(decoded.values().back(), 0.01 * 199);
+}
+
+TEST(GorillaTest, TryDecodeIntoOverstatedCountIsDataLossWithValidPrefix) {
+  CompressedTimeSeries compressed;
+  for (int i = 0; i < 200; ++i) {
+    compressed.Append(600 * i, 0.01 * i);
+  }
+  // Same bytes/bits but an overstated point count: Decode() aborts on this
+  // input (see death test above); the recoverable path reports kDataLoss and
+  // keeps the valid prefix it decoded before running out of bits.
+  const CompressedTimeSeries overcounted = CompressedTimeSeries::FromRaw(
+      compressed.bytes(), compressed.bit_count(), compressed.size() + 50);
+  TimeSeries partial;
+  const Status status = overcounted.TryDecodeInto(partial);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(partial.size(), 200u);
+}
+
+TEST(GorillaTest, TryDecodeIntoTruncatedStreamIsDataLossNotAbort) {
+  CompressedTimeSeries compressed;
+  for (int i = 0; i < 200; ++i) {
+    compressed.Append(600 * i, 0.01 * i);
+  }
+  // Keep only the first 4 bytes: not even the header point survives. The
+  // checked reader must refuse cleanly instead of indexing past the buffer.
+  const std::vector<uint8_t> tiny(compressed.bytes().begin(),
+                                  compressed.bytes().begin() + 4);
+  const CompressedTimeSeries truncated =
+      CompressedTimeSeries::FromRaw(tiny, 32, compressed.size());
+  TimeSeries out;
+  EXPECT_EQ(truncated.TryDecodeInto(out).code(), StatusCode::kDataLoss);
+  EXPECT_LT(out.size(), 2u);
+}
+
 // Property: round trip is exact for any seeded random series.
 class GorillaRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -101,5 +101,58 @@ TEST(ReportTest, FunnelRendering) {
   EXPECT_EQ(text.find("long-term path"), std::string::npos);
 }
 
+TEST(ReportTest, QuarantineRenderingListsTotalsAndPerSeriesRows) {
+  QuarantineRecord dirty;
+  dirty.metric = {"svc", MetricKind::kGcpu, "dirty_sub", ""};
+  dirty.worst = QualityVerdict::kCorrupt;
+  dirty.windows_quarantined = 4;
+  dirty.non_finite = 9;
+  dirty.negative = 1;
+  dirty.missing = 3;
+  dirty.max_skew = 7;
+  dirty.dropped_duplicate = 2;
+  dirty.dropped_out_of_order = 5;
+  QuarantineRecord flappy;
+  flappy.metric = {"svc", MetricKind::kGcpu, "flappy_sub", ""};
+  flappy.worst = QualityVerdict::kFlapping;
+  flappy.flap_windows = 2;
+  flappy.decode_failures = 1;
+  flappy.exceptions = 1;
+  QuarantineReport report;
+  report.records = {dirty, flappy};
+
+  const std::string text = RenderQuarantine(report);
+  EXPECT_NE(text.find("dirty series"), std::string::npos);
+  EXPECT_NE(text.find("windows quarantined"), std::string::npos);
+  EXPECT_NE(text.find("decode failures"), std::string::npos);
+  EXPECT_NE(text.find("dirty_sub"), std::string::npos);
+  EXPECT_NE(text.find("flappy_sub"), std::string::npos);
+  EXPECT_NE(text.find("[corrupt]"), std::string::npos);
+  EXPECT_NE(text.find("[flapping]"), std::string::npos);
+  EXPECT_NE(text.find("nonfinite=9"), std::string::npos);
+  EXPECT_NE(text.find("skew=7s"), std::string::npos);
+  EXPECT_NE(text.find("dup=2"), std::string::npos);
+  EXPECT_NE(text.find("ooo=5"), std::string::npos);
+}
+
+TEST(ReportTest, QuarantineRenderingTruncatesAtMaxRows) {
+  QuarantineReport report;
+  for (int i = 0; i < 3; ++i) {
+    QuarantineRecord record;
+    record.metric = {"svc", MetricKind::kGcpu, "sub_" + std::to_string(i), ""};
+    record.worst = QualityVerdict::kGappy;
+    record.windows_quarantined = 1;
+    report.records.push_back(record);
+  }
+  const std::string text = RenderQuarantine(report, /*max_rows=*/1);
+  EXPECT_NE(text.find("sub_0"), std::string::npos);
+  EXPECT_EQ(text.find("sub_1"), std::string::npos);
+  EXPECT_NE(text.find("... 2 more series"), std::string::npos);
+  // max_rows = 0 disables truncation.
+  const std::string full = RenderQuarantine(report, /*max_rows=*/0);
+  EXPECT_NE(full.find("sub_2"), std::string::npos);
+  EXPECT_EQ(full.find("more series"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fbdetect

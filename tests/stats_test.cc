@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "src/common/random.h"
@@ -55,6 +56,22 @@ TEST(DescriptiveTest, SinglePointPercentile) {
   const std::vector<double> one = {42.0};
   EXPECT_DOUBLE_EQ(Percentile(one, 10.0), 42.0);
   EXPECT_DOUBLE_EQ(Percentile(one, 99.0), 42.0);
+}
+
+TEST(DescriptiveTest, PercentileIgnoresNonFiniteValues) {
+  const std::vector<double> values = {10.0,
+                                      std::numeric_limits<double>::quiet_NaN(),
+                                      20.0,
+                                      std::numeric_limits<double>::infinity(),
+                                      30.0,
+                                      -std::numeric_limits<double>::infinity(),
+                                      40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 25.0);
+  const std::vector<double> all_bad = {std::numeric_limits<double>::quiet_NaN(),
+                                       std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(Percentile(all_bad, 50.0), 0.0);
 }
 
 TEST(DescriptiveTest, MadRobustToOutlier) {
@@ -115,6 +132,38 @@ TEST_P(AccumulatorMergeTest, MergeEqualsWhole) {
 
 INSTANTIATE_TEST_SUITE_P(Splits, AccumulatorMergeTest,
                          ::testing::Values(0, 1, 50, 100, 150, 199, 200));
+
+TEST(AccumulatorTest, NonFiniteInputsAreIgnoredAndTallied) {
+  WelfordAccumulator acc;
+  acc.Add(1.0);
+  acc.Add(std::numeric_limits<double>::quiet_NaN());
+  acc.Add(3.0);
+  acc.Add(std::numeric_limits<double>::infinity());
+  acc.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_EQ(acc.ignored_non_finite(), 3);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_TRUE(std::isfinite(acc.sample_variance()));
+}
+
+TEST(AccumulatorTest, MergePreservesIgnoredTally) {
+  WelfordAccumulator left;
+  left.Add(std::numeric_limits<double>::quiet_NaN());
+  WelfordAccumulator right;
+  right.Add(5.0);
+  right.Add(std::numeric_limits<double>::infinity());
+  left.Merge(right);
+  EXPECT_EQ(left.count(), 1);
+  EXPECT_EQ(left.ignored_non_finite(), 2);
+  EXPECT_DOUBLE_EQ(left.mean(), 5.0);
+  // Merging into a populated accumulator keeps both tallies too.
+  WelfordAccumulator other;
+  other.Add(7.0);
+  other.Add(std::numeric_limits<double>::quiet_NaN());
+  left.Merge(other);
+  EXPECT_EQ(left.count(), 2);
+  EXPECT_EQ(left.ignored_non_finite(), 3);
+}
 
 // ---------------------------------------------------------------------------
 // Distributions.
@@ -349,6 +398,14 @@ TEST(CorrelationTest, PearsonConstantSeriesIsZero) {
   const std::vector<double> x = {1.0, 1.0, 1.0};
   const std::vector<double> y = {1.0, 2.0, 3.0};
   EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(CorrelationTest, PearsonWithNonFiniteInputIsZeroNotNan) {
+  const std::vector<double> x = {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+  const std::vector<double> inf = {1.0, std::numeric_limits<double>::infinity(), 3.0};
+  EXPECT_EQ(PearsonCorrelation(inf, y), 0.0);
 }
 
 TEST(CorrelationTest, AutocorrelationOfSinePeaksAtPeriod) {
