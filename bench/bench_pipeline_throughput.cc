@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string>
@@ -35,6 +36,7 @@
 #include "bench/bench_util.h"
 #include "src/common/check.h"
 #include "src/core/pipeline.h"
+#include "src/observe/telemetry_export.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/scenario.h"
 #include "src/stats/correlation.h"
@@ -540,9 +542,12 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
 
   bool smoke = false;
+  std::string telemetry_out;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       smoke = true;
+    } else if (std::string(argv[i]) == "--telemetry-out" && i + 1 < argc) {
+      telemetry_out = argv[++i];
     }
   }
 
@@ -701,6 +706,38 @@ int main(int argc, char** argv) {
   }
   const double series_scans = static_cast<double>(ids.size() * reruns);
 
+  // --- 6. Telemetry overhead: RunPeriod with the registry off vs on -----
+  // Alternating min-of-3 pairs so slow-machine drift hits both sides alike.
+  // The off-by-default contract: with telemetry disabled the hot path does
+  // zero clock reads and zero atomic writes, and with it enabled the cost
+  // stays within the noise floor (< 2%, asserted in smoke mode where CI
+  // runs this harness).
+  std::printf("\n[6] telemetry overhead (RunPeriod, scan_threads 2, min of 3)\n");
+  double telemetry_off_ms = std::numeric_limits<double>::infinity();
+  double telemetry_on_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const bool enabled : {false, true}) {
+      PipelineOptions observed = world.Options(2);
+      observed.telemetry.enabled = enabled;
+      Pipeline pipeline(&world.fleet.db(), &world.fleet.change_log(), nullptr, observed);
+      t0 = Clock::now();
+      pipeline.RunPeriod("svc", world.run_begin, world.duration);
+      const double ms = MillisSince(t0);
+      double& best = enabled ? telemetry_on_ms : telemetry_off_ms;
+      best = std::min(best, ms);
+      if (enabled && rep == 2 && !telemetry_out.empty()) {
+        FBD_CHECK(WriteTelemetryFile(pipeline.telemetry(), telemetry_out));
+        std::printf("    wrote %s\n", telemetry_out.c_str());
+      }
+    }
+  }
+  const double telemetry_overhead = telemetry_on_ms / telemetry_off_ms - 1.0;
+  std::printf("    off: %8.1f ms   on: %8.1f ms   overhead: %+.2f%%\n", telemetry_off_ms,
+              telemetry_on_ms, telemetry_overhead * 100.0);
+  if (smoke) {
+    FBD_CHECK(telemetry_on_ms <= telemetry_off_ms * 1.02);
+  }
+
   // --- JSON -------------------------------------------------------------
   FILE* json = std::fopen("BENCH_pipeline.json", "w");
   FBD_CHECK(json != nullptr);
@@ -725,9 +762,12 @@ int main(int argc, char** argv) {
                ids.size(), legacy_scan_ms, view_scan_ms, scan_speedup);
   std::fprintf(json, "  \"run_period\": {\"series_scans\": %.0f, \"threads1_ms\": %.1f, "
                      "\"threads4_ms\": %.1f, \"threads1_scans_per_sec\": %.0f, "
-                     "\"threads4_scans_per_sec\": %.0f}\n",
+                     "\"threads4_scans_per_sec\": %.0f},\n",
                series_scans, run_ms_1, run_ms_4, series_scans / (run_ms_1 / 1000.0),
                series_scans / (run_ms_4 / 1000.0));
+  std::fprintf(json, "  \"telemetry_overhead\": {\"off_ms\": %.1f, \"on_ms\": %.1f, "
+                     "\"overhead_fraction\": %.4f}\n",
+               telemetry_off_ms, telemetry_on_ms, telemetry_overhead);
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("\nwrote BENCH_pipeline.json\n");

@@ -12,7 +12,9 @@
 //     duplicate/out-of-order rejects reconciled against the injector ledger
 //   - ingest and detection wall time (graceful degradation must not be paid
 //     for on the clean path)
-// Writes BENCH_robustness.json. `--smoke` shrinks the world for CI.
+// Writes BENCH_robustness.json. `--smoke` shrinks the world for CI;
+// `--telemetry-out <path>` enables the pipeline's telemetry registry and
+// dumps its JSON export (last rate wins).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +27,7 @@
 #include "src/common/check.h"
 #include "src/core/pipeline.h"
 #include "src/fleet/fault_injector.h"
+#include "src/observe/telemetry_export.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/scenario.h"
 #include "src/stats/descriptive.h"
@@ -57,7 +60,8 @@ struct RateResult {
   double detect_ms = 0.0;
 };
 
-RateResult RunAtRate(double rate, bool smoke, uint64_t seed) {
+RateResult RunAtRate(double rate, bool smoke, uint64_t seed,
+                     const std::string& telemetry_out) {
   FleetSimulator fleet;
   ScenarioOptions options;
   options.service_name = "dirty_fleet";
@@ -94,6 +98,7 @@ RateResult RunAtRate(double rate, bool smoke, uint64_t seed) {
   pipeline_options.detection.windows.extended = Hours(2);
   pipeline_options.detection.rerun_interval = Hours(4);
   pipeline_options.scan_threads = 4;
+  pipeline_options.telemetry.enabled = !telemetry_out.empty();
 
   CallGraphCodeInfo code_info(&scenario.service->graph());
   Pipeline pipeline(&fleet.db(), &fleet.change_log(), &code_info, pipeline_options);
@@ -197,14 +202,22 @@ RateResult RunAtRate(double rate, bool smoke, uint64_t seed) {
   result.detector_exceptions = quarantine.total_exceptions();
   result.ingest_ms = ingest_ms;
   result.detect_ms = detect_ms;
+  if (!telemetry_out.empty()) {
+    // Each rate overwrites the file; the artifact holds the last (highest)
+    // rate's attrition and quarantine counters.
+    FBD_CHECK(WriteTelemetryFile(pipeline.telemetry(), telemetry_out));
+  }
   return result;
 }
 
 int Main(int argc, char** argv) {
   bool smoke = false;
+  std::string telemetry_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
     }
   }
   PrintHeader(std::string("robustness — precision/recall on dirty fleets") +
@@ -218,7 +231,7 @@ int Main(int argc, char** argv) {
             "quarantined", "ingest_ms", "detect_ms"},
            widths);
   for (const double rate : rates) {
-    RateResult r = RunAtRate(rate, smoke, kSeed);
+    RateResult r = RunAtRate(rate, smoke, kSeed, telemetry_out);
     PrintRow({FormatDouble(rate, "%.2f"), std::to_string(r.injected_faults),
               std::to_string(r.reports), std::to_string(r.true_regressions),
               std::to_string(r.false_positives), FormatPercent(r.recall, 1),

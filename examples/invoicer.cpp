@@ -10,15 +10,24 @@
 // developer-facing tickets via the report module.
 //
 // Build & run:  ./build/examples/invoicer
+//               ./build/examples/invoicer --telemetry-out telemetry.json
 #include <cstdio>
+#include <string>
 
 #include "src/core/pipeline.h"
 #include "src/fleet/fleet.h"
+#include "src/observe/telemetry_export.h"
 #include "src/report/report.h"
 
 using namespace fbdetect;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string telemetry_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--telemetry-out" && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    }
+  }
   FleetSimulator fleet;
   ServiceConfig config;
   config.name = "invoicer";
@@ -73,6 +82,7 @@ int main() {
   PipelineOptions options;
   options.detection = InvoicerShortConfig();
   options.detection.enable_long_term = false;
+  options.telemetry.enabled = !telemetry_out.empty();
 
   CallGraphCodeInfo code_info(&graph);
   Pipeline pipeline(&fleet.db(), &fleet.change_log(), &code_info, options);
@@ -87,5 +97,11 @@ int main() {
   std::printf("%s", RenderFunnel(pipeline.short_term_funnel(), pipeline.long_term_funnel(),
                                  /*long_term_enabled=*/false)
                        .c_str());
+  if (!telemetry_out.empty()) {
+    std::printf("\n%s", RenderTelemetry(pipeline.telemetry()).c_str());
+    if (WriteTelemetryFile(pipeline.telemetry(), telemetry_out)) {
+      std::printf("\nWrote telemetry to %s\n", telemetry_out.c_str());
+    }
+  }
   return 0;
 }

@@ -6,15 +6,24 @@
 // 3. Run the pipeline and print the reported regressions.
 //
 // Build & run:  ./build/examples/quickstart
+//               ./build/examples/quickstart --telemetry-out telemetry.json
 #include <cstdio>
+#include <string>
 
 #include "src/common/random.h"
 #include "src/core/pipeline.h"
+#include "src/observe/telemetry_export.h"
 #include "src/tsdb/database.h"
 
 using namespace fbdetect;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string telemetry_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--telemetry-out" && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    }
+  }
   // --- 1. Ingest data ------------------------------------------------------
   TimeSeriesDatabase db;
   Rng rng(7);
@@ -41,6 +50,7 @@ int main() {
   options.detection.windows.analysis = Hours(4);   // Where regressions are reported.
   options.detection.windows.extended = Hours(2);   // Persistence check.
   options.detection.rerun_interval = Hours(4);
+  options.telemetry.enabled = !telemetry_out.empty();  // Self-observability.
 
   // --- 3. Detect ------------------------------------------------------------
   Pipeline pipeline(&db, /*change_log=*/nullptr, /*code_info=*/nullptr, options);
@@ -55,5 +65,8 @@ int main() {
               static_cast<unsigned long long>(funnel.change_points),
               static_cast<unsigned long long>(funnel.after_went_away),
               static_cast<unsigned long long>(funnel.after_pairwise));
+  if (!telemetry_out.empty() && WriteTelemetryFile(pipeline.telemetry(), telemetry_out)) {
+    std::printf("Wrote telemetry to %s\n", telemetry_out.c_str());
+  }
   return 0;
 }

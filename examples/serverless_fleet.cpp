@@ -7,15 +7,24 @@
 // the pipeline reports deduplicated regressions with ranked root causes.
 //
 // Build & run:  ./build/examples/serverless_fleet
+//               ./build/examples/serverless_fleet --telemetry-out telemetry.json
 #include <cstdio>
+#include <string>
 
 #include "src/core/pipeline.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/scenario.h"
+#include "src/observe/telemetry_export.h"
 
 using namespace fbdetect;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string telemetry_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--telemetry-out" && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    }
+  }
   // --- Simulate the fleet ---------------------------------------------------
   FleetSimulator fleet;
   ScenarioOptions scenario_options;
@@ -57,6 +66,7 @@ int main() {
   options.detection.windows.analysis = Hours(4);
   options.detection.windows.extended = Hours(2);
   options.detection.rerun_interval = Hours(4);
+  options.telemetry.enabled = !telemetry_out.empty();
 
   CallGraphCodeInfo code_info(&scenario.service->graph());
   Pipeline pipeline(&fleet.db(), &fleet.change_log(), &code_info, options);
@@ -82,5 +92,8 @@ int main() {
               static_cast<unsigned long long>(funnel.after_seasonality),
               static_cast<unsigned long long>(funnel.after_threshold),
               static_cast<unsigned long long>(funnel.after_pairwise));
+  if (!telemetry_out.empty() && WriteTelemetryFile(pipeline.telemetry(), telemetry_out)) {
+    std::printf("Wrote telemetry to %s\n", telemetry_out.c_str());
+  }
   return 0;
 }

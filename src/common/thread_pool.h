@@ -39,6 +39,19 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  // Lifetime usage statistics, for the observability layer. Maintained with
+  // per-batch (not per-task) bookkeeping, so the accounting cost is two
+  // clock reads per ParallelFor call. Values depend on batch shapes and
+  // scheduling, so consumers must export them as runtime (non-deterministic)
+  // telemetry.
+  struct Stats {
+    uint64_t batches = 0;          // ParallelFor calls (serial path included).
+    uint64_t tasks = 0;            // Total task indices executed.
+    uint64_t max_batch_tasks = 0;  // Deepest queue handed to one batch.
+    uint64_t wall_ns = 0;          // Wall time spent inside ParallelFor.
+  };
+  Stats stats() const;
+
   // Runs task(0) .. task(num_tasks - 1) across the pool workers and the
   // calling thread; returns once all have completed. Task indices are handed
   // out dynamically, so callers that need determinism must make each task's
@@ -55,7 +68,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // Signals workers: new batch or stop.
   std::condition_variable done_cv_;   // Signals ParallelFor: batch finished.
   const std::function<void(size_t)>* task_ = nullptr;  // Null = no batch.
@@ -67,6 +80,7 @@ class ThreadPool {
   // ParallelFor join point. Guarded by mutex_.
   std::exception_ptr batch_exception_;
   bool stop_ = false;
+  Stats stats_;  // Guarded by mutex_.
 };
 
 // Convenience for the funnel's slot-indexed stages: runs fn(0) .. fn(n - 1)

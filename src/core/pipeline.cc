@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <span>
+#include <string>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/tsdb/window.h"
@@ -56,6 +59,22 @@ bool CanonicalSurvivorOrder(const Regression& a, const Regression& b) {
   return a.long_term < b.long_term;
 }
 
+// Fig. 6 stage order for the per-run trace: scan sub-stages first (children
+// of the "scan" span), then the funnel stages (children of the root). Must
+// match StageWallHistograms below, index for index.
+constexpr size_t kTraceStages = 11;
+constexpr size_t kScanTraceStages = 5;  // First N entries are scan children.
+constexpr const char* kTraceStageNames[kTraceStages] = {
+    "change_point", "went_away",     "seasonality", "threshold",
+    "long_term",    "fingerprint",   "same_regression_merger",
+    "som_dedup",    "cost_shift",    "pairwise_dedup",
+    "root_cause",
+};
+
+uint64_t HistogramSum(const Histogram* histogram) {
+  return histogram != nullptr ? histogram->sum() : 0;
+}
+
 }  // namespace
 
 Pipeline::Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
@@ -82,6 +101,154 @@ Pipeline::Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
     rc.lookback = options_.detection.root_cause_lookback;
     root_cause_ = std::make_unique<RootCauseAnalyzer>(change_log_, code_info, rc);
   }
+  telemetry_.set_enabled(options_.telemetry.enabled);
+  if (options_.telemetry.enabled) {
+    RegisterInstruments();
+  }
+}
+
+void Pipeline::RegisterInstruments() {
+  obs_.enabled = true;
+  auto counter = [this](const char* name) { return telemetry_.GetCounter(name); };
+  auto runtime = [this](const char* name) {
+    return telemetry_.GetCounter(name, CounterStability::kRuntime);
+  };
+  auto stage = [this](const char* name, bool orchestrator_cpu) {
+    StageInstruments instruments;
+    const std::string base = std::string("pipeline.stage.") + name;
+    instruments.in = telemetry_.GetCounter(base + ".in");
+    instruments.out = telemetry_.GetCounter(base + ".out");
+    instruments.wall_ns = telemetry_.GetHistogram(base + ".wall_ns");
+    if (orchestrator_cpu) {
+      instruments.cpu_ns = telemetry_.GetHistogram(base + ".cpu_ns");
+    }
+    return instruments;
+  };
+
+  obs_.runs = counter("pipeline.runs");
+  obs_.series_in = counter("pipeline.scan.series_in");
+  obs_.series_no_data = counter("pipeline.scan.series_no_data");
+  obs_.series_decode_failures = counter("pipeline.scan.series_decode_failures");
+  obs_.windows_flagged = counter("pipeline.scan.windows_flagged");
+  obs_.windows_quarantined = counter("pipeline.scan.windows_quarantined");
+  obs_.sanitizer_verdict[0] = counter("pipeline.sanitizer.verdict_ok");
+  obs_.sanitizer_verdict[1] = counter("pipeline.sanitizer.verdict_gappy");
+  obs_.sanitizer_verdict[2] = counter("pipeline.sanitizer.verdict_flapping");
+  obs_.sanitizer_verdict[3] = counter("pipeline.sanitizer.verdict_corrupt");
+  obs_.detector_exceptions = counter("pipeline.scan.detector_exceptions");
+  obs_.funnel_exceptions = counter("pipeline.funnel.exceptions");
+  obs_.reported = counter("pipeline.reported");
+
+  // Scan sub-stages run on pool workers: wall only (a per-thread CPU read is
+  // a syscall, too hot for per-series sites). Funnel stages run on the
+  // orchestrating thread between fan-outs: wall + that thread's CPU.
+  obs_.change_point = stage("change_point", /*orchestrator_cpu=*/false);
+  obs_.went_away = stage("went_away", false);
+  obs_.seasonality = stage("seasonality", false);
+  obs_.threshold = stage("threshold", false);
+  obs_.long_term = stage("long_term", false);
+  obs_.fingerprint = stage("fingerprint", true);
+  obs_.same_merger = stage("same_regression_merger", true);
+  obs_.som_dedup = stage("som_dedup", true);
+  obs_.cost_shift = stage("cost_shift", true);
+  obs_.pairwise = stage("pairwise_dedup", true);
+  obs_.root_cause = stage("root_cause", true);
+
+  obs_.scan_wall_ns = telemetry_.GetHistogram("pipeline.scan.wall_ns");
+  obs_.run_wall_ns = telemetry_.GetHistogram("pipeline.run.wall_ns");
+
+  obs_.pool_batches = runtime("pool.batches");
+  obs_.pool_tasks = runtime("pool.tasks");
+  obs_.pool_max_batch_tasks = runtime("pool.max_batch_tasks");
+  obs_.pool_wall_ns = runtime("pool.wall_ns");
+
+  obs_.tsdb_tail_hits = counter("tsdb.scan.tail_hits");
+  obs_.tsdb_sealed_decodes = counter("tsdb.scan.sealed_decodes");
+  obs_.tsdb_decode_failures = counter("tsdb.scan.decode_failures");
+  obs_.tsdb_misses = counter("tsdb.scan.misses");
+  obs_.tsdb_list_cache_hits = counter("tsdb.scan.list_cache_hits");
+  obs_.tsdb_list_cache_misses = counter("tsdb.scan.list_cache_misses");
+}
+
+void Pipeline::SyncTelemetry() {
+  const TimeSeriesDatabase::ScanStats scan = db_->scan_stats();
+  obs_.tsdb_tail_hits->Set(scan.tail_hits);
+  obs_.tsdb_sealed_decodes->Set(scan.sealed_decodes);
+  obs_.tsdb_decode_failures->Set(scan.decode_failures);
+  obs_.tsdb_misses->Set(scan.misses);
+  obs_.tsdb_list_cache_hits->Set(scan.list_cache_hits);
+  obs_.tsdb_list_cache_misses->Set(scan.list_cache_misses);
+  const ThreadPool::Stats pool = pool_.stats();
+  obs_.pool_batches->Set(pool.batches);
+  obs_.pool_tasks->Set(pool.tasks);
+  obs_.pool_max_batch_tasks->Set(pool.max_batch_tasks);
+  obs_.pool_wall_ns->Set(pool.wall_ns);
+}
+
+void Pipeline::StageWallSums(uint64_t* sums) const {
+  const Histogram* walls[kTraceStages] = {
+      obs_.change_point.wall_ns, obs_.went_away.wall_ns, obs_.seasonality.wall_ns,
+      obs_.threshold.wall_ns,    obs_.long_term.wall_ns, obs_.fingerprint.wall_ns,
+      obs_.same_merger.wall_ns,  obs_.som_dedup.wall_ns, obs_.cost_shift.wall_ns,
+      obs_.pairwise.wall_ns,     obs_.root_cause.wall_ns};
+  for (size_t s = 0; s < kTraceStages; ++s) {
+    sums[s] = HistogramSum(walls[s]);
+  }
+}
+
+void Pipeline::EmitTrace(const std::string& service, const uint64_t* sums_before,
+                         uint64_t scan_wall_before, uint64_t run_wall_ns) {
+  if (options_.telemetry.max_traces == 0) {
+    return;
+  }
+  uint64_t sums_after[kTraceStages];
+  StageWallSums(sums_after);
+  const uint64_t scan_wall_ns = HistogramSum(obs_.scan_wall_ns) - scan_wall_before;
+
+  Trace trace;
+  trace.trace_id = run_counter_;
+  trace.endpoint = service;
+  // Root: the whole re-run; self cost is the wall time not attributed to any
+  // stage (orchestration, merging, sorting).
+  Span root;
+  root.id = 0;
+  root.parent = kNoSpan;
+  root.subroutine = "pipeline.run";
+  // Scan: parent of the per-series sub-stages. Its self cost is the scan's
+  // own wall time; children carry per-stage wall accumulated ACROSS workers,
+  // so with scan_threads > 1 the children may sum to more than the parent
+  // (concurrent spans, which the trace substrate models via async_).
+  Span scan;
+  scan.id = 1;
+  scan.parent = 0;
+  scan.subroutine = "pipeline.scan";
+  scan.self_cost = static_cast<double>(scan_wall_ns) / 1e6;
+  trace.spans.push_back(root);
+  trace.spans.push_back(scan);
+  uint64_t stage_total_ns = 0;
+  for (size_t s = 0; s < kTraceStages; ++s) {
+    const bool scan_child = s < kScanTraceStages;
+    Span span;
+    span.id = static_cast<SpanId>(trace.spans.size());
+    span.parent = scan_child ? 1 : 0;
+    span.thread = 0;
+    span.subroutine = std::string("pipeline.stage.") + kTraceStageNames[s];
+    span.self_cost = static_cast<double>(sums_after[s] - sums_before[s]) / 1e6;
+    span.async_ = scan_child && options_.scan_threads > 1;
+    if (!scan_child) {
+      stage_total_ns += sums_after[s] - sums_before[s];
+    }
+    trace.spans.push_back(std::move(span));
+  }
+  const uint64_t attributed_ns = scan_wall_ns + stage_total_ns;
+  trace.spans[0].self_cost =
+      run_wall_ns > attributed_ns
+          ? static_cast<double>(run_wall_ns - attributed_ns) / 1e6
+          : 0.0;
+  run_traces_.push_back(std::move(trace));
+  while (run_traces_.size() > options_.telemetry.max_traces) {
+    run_traces_.erase(run_traces_.begin());
+  }
 }
 
 void Pipeline::set_stack_overlap(StackOverlapFn overlap) {
@@ -98,19 +265,28 @@ void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
   // PR 1 zero-copy path; otherwise sealed chunks decode into the worker's
   // scratch buffer.
   const TimePoint scan_begin = as_of - options_.detection.windows.Total();
+  if (obs_.enabled) {
+    obs_.series_in->Increment();
+  }
   Status scan_status;
   const TimeSeries* series = db_->SeriesForScan(id, scan_begin, series_scratch, &scan_status);
   if (series == nullptr) {
     if (!scan_status.ok()) {
       // Corrupt sealed storage: quarantine the series for this window
       // instead of letting the decode abort the re-run.
+      if (obs_.enabled) {
+        obs_.series_decode_failures->Increment();
+      }
       QuarantineRecord record;
       record.metric = id;
       record.worst = QualityVerdict::kCorrupt;
       record.windows_flagged = 1;
       record.windows_quarantined = 1;
       record.decode_failures = 1;
+      record.last_error = scan_status.message();
       quarantine.push_back(std::move(record));
+    } else if (obs_.enabled) {
+      obs_.series_no_data->Increment();
     }
     return;
   }
@@ -124,8 +300,14 @@ void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
   const WindowQuality quality =
       sanitizer_.Inspect(id.kind, windows, options_.detection.windows);
   const bool quarantined = sanitizer_.ShouldQuarantine(quality.verdict);
+  if (obs_.enabled && quality.observed) {
+    obs_.sanitizer_verdict[static_cast<size_t>(quality.verdict)]->Increment();
+  }
   if (quality.observed &&
       (quality.verdict != QualityVerdict::kOk || quality.missing > 0 || quality.skew > 0)) {
+    if (obs_.enabled) {
+      obs_.windows_flagged->Increment();
+    }
     QuarantineRecord record;
     record.metric = id;
     record.worst = quality.verdict;
@@ -139,6 +321,9 @@ void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
     quarantine.push_back(std::move(record));
   }
   if (quarantined) {
+    if (obs_.enabled) {
+      obs_.windows_quarantined->Increment();
+    }
     return;
   }
 
@@ -150,17 +335,53 @@ void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
   // worker (ThreadPool would rethrow at join and abort the whole scan).
   try {
     // ---- Short-term path ----
-    if (const std::optional<ScanCandidate> candidate = change_point_stage_.DetectCandidate(view)) {
+    if (obs_.enabled) {
+      obs_.change_point.in->Increment();
+    }
+    std::optional<ScanCandidate> candidate;
+    {
+      StageTimer timer(Timed(obs_.change_point.wall_ns));
+      candidate = change_point_stage_.DetectCandidate(view);
+    }
+    if (candidate) {
       ++short_funnel.change_points;
+      if (obs_.enabled) {
+        obs_.change_point.out->Increment();
+        obs_.went_away.in->Increment();
+      }
       const size_t points_per_day = PointsPerDay(view.analysis_timestamps);
-      const WentAwayVerdict went_away = went_away_.Evaluate(view, *candidate, points_per_day);
+      WentAwayVerdict went_away;
+      {
+        StageTimer timer(Timed(obs_.went_away.wall_ns));
+        went_away = went_away_.Evaluate(view, *candidate, points_per_day);
+      }
       if (went_away.keep) {
         ++short_funnel.after_went_away;
-        const SeasonalityVerdict seasonal = seasonality_.Evaluate(view, *candidate);
+        if (obs_.enabled) {
+          obs_.went_away.out->Increment();
+          obs_.seasonality.in->Increment();
+        }
+        SeasonalityVerdict seasonal;
+        {
+          StageTimer timer(Timed(obs_.seasonality.wall_ns));
+          seasonal = seasonality_.Evaluate(view, *candidate);
+        }
         if (!seasonal.seasonal_filtered) {
           ++short_funnel.after_seasonality;
-          if (PassesThreshold(*candidate, options_.detection)) {
+          if (obs_.enabled) {
+            obs_.seasonality.out->Increment();
+            obs_.threshold.in->Increment();
+          }
+          bool passes;
+          {
+            StageTimer timer(Timed(obs_.threshold.wall_ns));
+            passes = PassesThreshold(*candidate, options_.detection);
+          }
+          if (passes) {
             ++short_funnel.after_threshold;
+            if (obs_.enabled) {
+              obs_.threshold.out->Increment();
+            }
             // First (and only) copy of window data on this path: the survivor.
             Regression regression = MaterializeRegression(id, view, *candidate);
             if (root_cause_ != nullptr) {
@@ -174,28 +395,52 @@ void Pipeline::ScanMetric(const MetricId& id, TimePoint as_of,
 
     // ---- Long-term path ----
     if (options_.detection.enable_long_term) {
-      if (std::optional<Regression> candidate = long_term_.Detect(id, view)) {
+      if (obs_.enabled) {
+        obs_.long_term.in->Increment();
+      }
+      std::optional<Regression> long_candidate;
+      {
+        StageTimer timer(Timed(obs_.long_term.wall_ns));
+        long_candidate = long_term_.Detect(id, view);
+      }
+      if (long_candidate) {
         ++long_funnel.change_points;
         // The long-term detector applies the threshold internally; recheck for
         // the funnel row (Table 3 shows ~1/1.03 here).
-        if (PassesThreshold(*candidate, options_.detection)) {
+        if (PassesThreshold(*long_candidate, options_.detection)) {
           ++long_funnel.after_threshold;
-          if (root_cause_ != nullptr) {
-            candidate->candidate_root_causes = root_cause_->QuickCandidates(*candidate);
+          // `out` counts post-threshold survivors, so stage.fingerprint.in ==
+          // stage.threshold.out + stage.long_term.out reconciles exactly.
+          if (obs_.enabled) {
+            obs_.long_term.out->Increment();
           }
-          survivors.push_back(std::move(*candidate));
+          if (root_cause_ != nullptr) {
+            long_candidate->candidate_root_causes = root_cause_->QuickCandidates(*long_candidate);
+          }
+          survivors.push_back(std::move(*long_candidate));
         }
       }
     }
+  } catch (const std::exception& e) {
+    QuarantineDetectorException(id, e.what(), quarantine);
   } catch (...) {
-    QuarantineRecord record;
-    record.metric = id;
-    record.worst = QualityVerdict::kCorrupt;
-    record.windows_flagged = 1;
-    record.windows_quarantined = 1;
-    record.exceptions = 1;
-    quarantine.push_back(std::move(record));
+    QuarantineDetectorException(id, "unknown exception", quarantine);
   }
+}
+
+void Pipeline::QuarantineDetectorException(const MetricId& id, const char* what,
+                                           std::vector<QuarantineRecord>& quarantine) const {
+  if (obs_.enabled) {
+    obs_.detector_exceptions->Increment();
+  }
+  QuarantineRecord record;
+  record.metric = id;
+  record.worst = QualityVerdict::kCorrupt;
+  record.windows_flagged = 1;
+  record.windows_quarantined = 1;
+  record.exceptions = 1;
+  record.last_error = what;
+  quarantine.push_back(std::move(record));
 }
 
 const std::vector<MetricId>& Pipeline::CachedMetrics(const std::string& service) {
@@ -257,11 +502,17 @@ void Pipeline::MergeQuarantine(std::vector<QuarantineRecord>& records) {
   records.clear();
 }
 
-void Pipeline::RecordException(const MetricId& metric) {
+void Pipeline::RecordException(const MetricId& metric, std::string message) {
+  if (obs_.enabled) {
+    obs_.funnel_exceptions->Increment();
+  }
   QuarantineRecord& record = quarantine_[metric];
   record.metric = metric;
   record.worst = std::max(record.worst, QualityVerdict::kCorrupt);
   ++record.exceptions;
+  if (record.last_error.empty() && !message.empty()) {
+    record.last_error = std::move(message);
+  }
 }
 
 QuarantineReport Pipeline::quarantine_report() const {
@@ -288,7 +539,23 @@ ThreadPool* Pipeline::FunnelPool() {
 }
 
 std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as_of) {
-  std::vector<Regression> survivors = ScanAllMetrics(service, as_of);
+  // Telemetry bookkeeping for this run: wall-clock start plus the stage
+  // histograms' accumulated sums, whose deltas become the trace's stage
+  // spans. All zero-cost when telemetry is off.
+  const uint64_t run_start_wall = obs_.enabled ? StageTimer::WallNowNanos() : 0;
+  uint64_t stage_sums_before[kTraceStages] = {};
+  uint64_t scan_wall_before = 0;
+  if (obs_.enabled) {
+    obs_.runs->Increment();
+    StageWallSums(stage_sums_before);
+    scan_wall_before = HistogramSum(obs_.scan_wall_ns);
+  }
+
+  std::vector<Regression> survivors;
+  {
+    StageTimer timer(Timed(obs_.scan_wall_ns));
+    survivors = ScanAllMetrics(service, as_of);
+  }
 
   auto count_candidate_paths = [](const std::vector<FunnelCandidate>& candidates,
                                   uint64_t& short_count, uint64_t& long_count) {
@@ -306,16 +573,27 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
   const FingerprintConfig fp_config{options_.som_dedup.fourier_coefficients,
                                     options_.som_dedup.root_cause_bitmap_dims,
                                     /*som_features=*/true};
+  if (obs_.enabled) {
+    obs_.fingerprint.in->Add(survivors.size());
+  }
   std::vector<FunnelCandidate> candidates(survivors.size());
   std::vector<uint8_t> fingerprint_failed(survivors.size(), 0);
-  ParallelIndexFor(survivors.size(), FunnelPool(), [&](size_t i) {
-    try {
-      candidates[i].fingerprint = ComputeFingerprint(survivors[i], fp_config);
-      candidates[i].regression = std::move(survivors[i]);
-    } catch (...) {
-      fingerprint_failed[i] = 1;  // Survivor left intact for accounting.
-    }
-  });
+  std::vector<std::string> fingerprint_errors(survivors.size());
+  {
+    StageTimer timer(Timed(obs_.fingerprint.wall_ns), Timed(obs_.fingerprint.cpu_ns));
+    ParallelIndexFor(survivors.size(), FunnelPool(), [&](size_t i) {
+      try {
+        candidates[i].fingerprint = ComputeFingerprint(survivors[i], fp_config);
+        candidates[i].regression = std::move(survivors[i]);
+      } catch (const std::exception& e) {
+        fingerprint_failed[i] = 1;  // Survivor left intact for accounting.
+        fingerprint_errors[i] = e.what();
+      } catch (...) {
+        fingerprint_failed[i] = 1;
+        fingerprint_errors[i] = "unknown exception";
+      }
+    });
+  }
   if (std::find(fingerprint_failed.begin(), fingerprint_failed.end(), 1) !=
       fingerprint_failed.end()) {
     // Quarantine candidates whose fingerprinting threw; the rest keep their
@@ -324,7 +602,7 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
     kept.reserve(candidates.size());
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (fingerprint_failed[i] != 0) {
-        RecordException(survivors[i].metric);
+        RecordException(survivors[i].metric, std::move(fingerprint_errors[i]));
       } else {
         kept.push_back(std::move(candidates[i]));
       }
@@ -332,9 +610,21 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
     candidates = std::move(kept);
   }
   survivors.clear();
+  if (obs_.enabled) {
+    obs_.fingerprint.out->Add(candidates.size());
+    obs_.same_merger.in->Add(candidates.size());
+  }
 
   // Stage: SameRegressionMerger (stateful and order-dependent: serial).
-  std::vector<FunnelCandidate> fresh = merger_.Filter(std::move(candidates));
+  std::vector<FunnelCandidate> fresh;
+  {
+    StageTimer timer(Timed(obs_.same_merger.wall_ns), Timed(obs_.same_merger.cpu_ns));
+    fresh = merger_.Filter(std::move(candidates));
+  }
+  if (obs_.enabled) {
+    obs_.same_merger.out->Add(fresh.size());
+    obs_.som_dedup.in->Add(fresh.size());
+  }
   count_candidate_paths(fresh, short_funnel_.after_same_merger, long_funnel_.after_same_merger);
 
   // Stage: SOMDedup — clusters metrics of the SAME type within this run's
@@ -344,6 +634,7 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
   // way results land in kind-ascending slots, independent of scheduling.
   std::vector<FunnelCandidate> representatives;
   {
+    StageTimer timer(Timed(obs_.som_dedup.wall_ns), Timed(obs_.som_dedup.cpu_ns));
     std::map<MetricKind, std::vector<FunnelCandidate>> by_kind;
     for (FunnelCandidate& candidate : fresh) {
       by_kind[candidate.regression.metric.kind].push_back(std::move(candidate));
@@ -370,31 +661,47 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
   }
   count_candidate_paths(representatives, short_funnel_.after_som_dedup,
                         long_funnel_.after_som_dedup);
+  if (obs_.enabled) {
+    obs_.som_dedup.out->Add(representatives.size());
+  }
 
   // Stage: cost-shift filtering — verdicts in parallel into per-index slots,
   // then a serial in-order sweep keeps the survivors.
   std::vector<FunnelCandidate> shift_free;
   if (options_.enable_cost_shift) {
+    if (obs_.enabled) {
+      obs_.cost_shift.in->Add(representatives.size());
+    }
+    StageTimer timer(Timed(obs_.cost_shift.wall_ns), Timed(obs_.cost_shift.cpu_ns));
     std::vector<uint8_t> is_shift(representatives.size(), 0);
     std::vector<uint8_t> shift_failed(representatives.size(), 0);
+    std::vector<std::string> shift_errors(representatives.size());
     ParallelIndexFor(representatives.size(), FunnelPool(), [&](size_t i) {
       try {
         is_shift[i] = cost_shift_.Evaluate(representatives[i].regression).is_cost_shift ? 1 : 0;
-      } catch (...) {
+      } catch (const std::exception& e) {
         // A throwing detector must not abort the funnel; treat the candidate
         // as not-a-shift (it stays reportable) and account the exception.
         is_shift[i] = 0;
         shift_failed[i] = 1;
+        shift_errors[i] = e.what();
+      } catch (...) {
+        is_shift[i] = 0;
+        shift_failed[i] = 1;
+        shift_errors[i] = "unknown exception";
       }
     });
     shift_free.reserve(representatives.size());
     for (size_t i = 0; i < representatives.size(); ++i) {
       if (shift_failed[i] != 0) {
-        RecordException(representatives[i].regression.metric);
+        RecordException(representatives[i].regression.metric, std::move(shift_errors[i]));
       }
       if (is_shift[i] == 0) {
         shift_free.push_back(std::move(representatives[i]));
       }
+    }
+    if (obs_.enabled) {
+      obs_.cost_shift.out->Add(shift_free.size());
     }
   } else {
     shift_free = std::move(representatives);
@@ -403,24 +710,50 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
                         long_funnel_.after_cost_shift);
 
   // Stage: PairwiseDedup (per-candidate group scoring fans over the pool).
-  const std::vector<int> new_groups = pairwise_.Ingest(std::move(shift_free), FunnelPool());
+  if (obs_.enabled) {
+    obs_.pairwise.in->Add(shift_free.size());
+  }
+  std::vector<int> new_groups;
+  {
+    StageTimer timer(Timed(obs_.pairwise.wall_ns), Timed(obs_.pairwise.cpu_ns));
+    new_groups = pairwise_.Ingest(std::move(shift_free), FunnelPool());
+  }
+  if (obs_.enabled) {
+    obs_.pairwise.out->Add(new_groups.size());
+  }
 
   // Stage: root-cause analysis on the new groups' representatives, analyzed
   // IN PLACE inside their groups (distinct groups, so the parallel writes
   // never alias) and copied once into the report.
   if (root_cause_ != nullptr) {
+    if (obs_.enabled) {
+      obs_.root_cause.in->Add(new_groups.size());
+    }
+    StageTimer timer(Timed(obs_.root_cause.wall_ns), Timed(obs_.root_cause.cpu_ns));
     std::vector<uint8_t> analyze_failed(new_groups.size(), 0);
+    std::vector<std::string> analyze_errors(new_groups.size());
     ParallelIndexFor(new_groups.size(), FunnelPool(), [&](size_t i) {
       try {
         root_cause_->Analyze(pairwise_.GroupRepresentative(new_groups[i]));
-      } catch (...) {
+      } catch (const std::exception& e) {
         analyze_failed[i] = 1;  // Reported without root causes.
+        analyze_errors[i] = e.what();
+      } catch (...) {
+        analyze_failed[i] = 1;
+        analyze_errors[i] = "unknown exception";
       }
     });
+    uint64_t analyzed = 0;
     for (size_t i = 0; i < new_groups.size(); ++i) {
       if (analyze_failed[i] != 0) {
-        RecordException(pairwise_.GroupRepresentative(new_groups[i]).metric);
+        RecordException(pairwise_.GroupRepresentative(new_groups[i]).metric,
+                        std::move(analyze_errors[i]));
+      } else {
+        ++analyzed;
       }
+    }
+    if (obs_.enabled) {
+      obs_.root_cause.out->Add(analyzed);
     }
   }
   std::vector<Regression> reported;
@@ -434,6 +767,15 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
     } else {
       ++short_funnel_.after_pairwise;
     }
+  }
+
+  if (obs_.enabled) {
+    obs_.reported->Add(reported.size());
+    SyncTelemetry();
+    const uint64_t run_wall_ns = StageTimer::WallNowNanos() - run_start_wall;
+    obs_.run_wall_ns->Record(run_wall_ns);
+    ++run_counter_;
+    EmitTrace(service, stage_sums_before, scan_wall_before, run_wall_ns);
   }
   return reported;
 }

@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/observe/telemetry.h"
+#include "src/tracing/trace.h"
 #include "src/core/change_point_stage.h"
 #include "src/core/code_info.h"
 #include "src/core/cost_shift.h"
@@ -73,8 +75,21 @@ struct FunnelStats {
   void Accumulate(const FunnelStats& other);
 };
 
+// Self-observability over the pipeline itself (DESIGN.md §12). Off by
+// default: with enabled = false the hot path pays one predictable branch per
+// instrumented site and no clock reads. When enabled, every stage records
+// candidate-in/out attrition counters (deterministic: byte-identical for any
+// scan_threads), wall/CPU latency histograms (runtime), and one Trace per
+// re-run whose child spans follow Fig. 6 stage order.
+struct TelemetryOptions {
+  bool enabled = false;
+  // Per-run traces retained (oldest dropped first); 0 disables tracing.
+  size_t max_traces = 64;
+};
+
 struct PipelineOptions {
   DetectionConfig detection;
+  TelemetryOptions telemetry;
   bool enable_cost_shift = true;   // AdServing disables it (Table 3).
   CostShiftConfig cost_shift;
   SomDedupConfig som_dedup;
@@ -118,6 +133,25 @@ class Pipeline {
   const FunnelStats& short_term_funnel() const { return short_funnel_; }
   const FunnelStats& long_term_funnel() const { return long_funnel_; }
 
+  // Self-observability registry (empty when TelemetryOptions::enabled is
+  // false). Deterministic counters reconcile exactly with the funnel: e.g.
+  // scan.series_in == series_no_data + decode_failures + windows_quarantined
+  // + stage.change_point.in, and stage.fingerprint.in == stage.threshold.out
+  // + stage.long_term.out.
+  const TelemetryRegistry& telemetry() const { return telemetry_; }
+  TelemetryRegistry& telemetry() { return telemetry_; }
+
+  // One trace per RunAt (newest last, capped at TelemetryOptions::max_traces):
+  // a root span with the Fig. 6 stages as children — the scan sub-stages under
+  // a "scan" span, the funnel stages under the root. Span self costs are
+  // milliseconds of accumulated stage wall time for that run.
+  const std::vector<Trace>& run_traces() const { return run_traces_; }
+
+  // The cost-shift stage, exposed so callers can register custom
+  // CostDomainDetectors (also the seam robustness tests use to inject
+  // throwing detectors). Must be called before the first run.
+  CostShiftDetector& cost_shift_detector() { return cost_shift_; }
+
   // Everything the pipeline refused to trust so far: sanitizer-quarantined
   // windows, corrupt sealed storage, detector exceptions isolated to one
   // series, and the database's ingest-time duplicate/out-of-order drops —
@@ -127,6 +161,70 @@ class Pipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
+  // Pre-resolved instrument handles. All null (and `enabled` false) when
+  // telemetry is off, so the hot path pays one predictable branch per site
+  // and never touches the registry, an atomic, or a clock. Counters tagged
+  // deterministic count pipeline events only; histograms and pool mirrors are
+  // runtime-dependent and excluded from the deterministic export.
+  struct StageInstruments {
+    Counter* in = nullptr;
+    Counter* out = nullptr;
+    Histogram* wall_ns = nullptr;
+    Histogram* cpu_ns = nullptr;  // Orchestrating thread only; null on scan stages.
+  };
+  struct Instruments {
+    bool enabled = false;
+    Counter* runs = nullptr;
+    Counter* series_in = nullptr;
+    Counter* series_no_data = nullptr;
+    Counter* series_decode_failures = nullptr;
+    Counter* windows_flagged = nullptr;
+    Counter* windows_quarantined = nullptr;
+    Counter* sanitizer_verdict[4] = {};  // Indexed by QualityVerdict.
+    Counter* detector_exceptions = nullptr;
+    Counter* funnel_exceptions = nullptr;
+    Counter* reported = nullptr;
+    StageInstruments change_point, went_away, seasonality, threshold, long_term,
+        fingerprint, same_merger, som_dedup, cost_shift, pairwise, root_cause;
+    Histogram* scan_wall_ns = nullptr;  // Whole ScanAllMetrics, per run.
+    Histogram* run_wall_ns = nullptr;   // Whole RunAt, per run.
+    // Runtime mirrors, Set() from the pool/TSDB sources at SyncTelemetry.
+    Counter* pool_batches = nullptr;
+    Counter* pool_tasks = nullptr;
+    Counter* pool_max_batch_tasks = nullptr;
+    Counter* pool_wall_ns = nullptr;
+    // Deterministic mirrors of the database's tier accounting (one lookup per
+    // series per re-run regardless of scan_threads).
+    Counter* tsdb_tail_hits = nullptr;
+    Counter* tsdb_sealed_decodes = nullptr;
+    Counter* tsdb_decode_failures = nullptr;
+    Counter* tsdb_misses = nullptr;
+    Counter* tsdb_list_cache_hits = nullptr;
+    Counter* tsdb_list_cache_misses = nullptr;
+  };
+
+  // Registers every instrument with the registry and fills `obs_`.
+  void RegisterInstruments();
+
+  // Null when telemetry is off: a StageTimer built from it never reads a
+  // clock, which is the disabled-cost contract.
+  Histogram* Timed(Histogram* histogram) const {
+    return obs_.enabled ? histogram : nullptr;
+  }
+
+  // Mirrors the pool's and database's internal counters into the registry so
+  // one snapshot covers the whole system. Called once per RunAt.
+  void SyncTelemetry();
+
+  // Fills `sums` (one slot per Fig. 6 trace stage, fixed order defined in the
+  // .cc) with the current accumulated wall-time sums of the stage histograms.
+  void StageWallSums(uint64_t* sums) const;
+
+  // Appends the per-run trace (stage spans from histogram-sum deltas taken at
+  // run start) and enforces the max_traces cap.
+  void EmitTrace(const std::string& service, const uint64_t* sums_before,
+                 uint64_t scan_wall_before, uint64_t run_wall_ns);
+
   // Runs detection stages 1-3 + threshold for one metric; appends survivors
   // and counts into the provided funnel accumulators. `scratch` is the
   // caller's orientation buffer (reused across metrics; untouched for
@@ -162,8 +260,16 @@ class Pipeline {
   // worker interleaving (determinism across scan_threads values).
   void MergeQuarantine(std::vector<QuarantineRecord>& records);
 
-  // Accounts one isolated exception (funnel stage) against `metric`.
-  void RecordException(const MetricId& metric);
+  // Accounts one isolated exception (funnel stage) against `metric`;
+  // `message` is the exception's what() (kept only if the record has none
+  // yet — first error wins, which is deterministic because every series is
+  // scanned once per run).
+  void RecordException(const MetricId& metric, std::string message);
+
+  // Builds the quarantine record for a detector exception isolated inside
+  // ScanMetric and counts it against the telemetry.
+  void QuarantineDetectorException(const MetricId& id, const char* what,
+                                   std::vector<QuarantineRecord>& quarantine) const;
 
   const TimeSeriesDatabase* db_;
   const ChangeLog* change_log_;
@@ -196,6 +302,13 @@ class Pipeline {
 
   FunnelStats short_funnel_;
   FunnelStats long_funnel_;
+
+  // Self-observability state. The registry owns the instruments; obs_ holds
+  // pre-resolved handles so the hot path never does a name lookup.
+  TelemetryRegistry telemetry_;
+  Instruments obs_;
+  std::vector<Trace> run_traces_;
+  int64_t run_counter_ = 0;
 
   // Accumulated dirty-series accounting across re-runs; std::map keeps
   // canonical MetricId order for the report snapshot.

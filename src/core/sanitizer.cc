@@ -32,6 +32,12 @@ void QuarantineRecord::Merge(const QuarantineRecord& other) {
   exceptions += other.exceptions;
   dropped_duplicate += other.dropped_duplicate;
   dropped_out_of_order += other.dropped_out_of_order;
+  // Keep the FIRST exception identity: a series is scanned once per re-run,
+  // so within a run there is at most one message and the merge order across
+  // workers cannot change which one survives.
+  if (last_error.empty()) {
+    last_error = other.last_error;
+  }
 }
 
 uint64_t QuarantineReport::total_windows_quarantined() const {

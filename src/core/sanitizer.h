@@ -82,6 +82,11 @@ struct QuarantineRecord {
   uint64_t exceptions = 0;       // Detector exceptions isolated to the series.
   uint64_t dropped_duplicate = 0;     // Ingest-time rejects (from the TSDB).
   uint64_t dropped_out_of_order = 0;  // Ingest-time rejects (from the TSDB).
+  // Identity of the first error isolated to this series: the what() of the
+  // first detector/funnel exception (the identity the bare catch sites used
+  // to discard; a non-std::exception throw records "unknown exception"), or
+  // the Status message of a sealed-chunk decode failure. Empty when clean.
+  std::string last_error;
 
   // Folds another record for the same metric into this one.
   void Merge(const QuarantineRecord& other);

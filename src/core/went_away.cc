@@ -35,10 +35,20 @@ WentAwayVerdict WentAwayDetector::Evaluate(const ScanView& view,
   // historical span by counting historical encodings against the combined
   // range encoder.
   const SaxEncoder range_encoder(view.full, sax_config);
-  // Validity per letter over the HISTORICAL window.
+  // Validity per letter over the HISTORICAL window. A non-finite value that
+  // survived the sanitizer (sub-threshold NaN fraction, or the gate disabled)
+  // must neither vote for a bucket nor index out of the count table, so skip
+  // it and bounds-check the encoding before indexing.
   std::vector<size_t> hist_counts(static_cast<size_t>(range_encoder.num_buckets()), 0);
   for (double v : historical) {
-    ++hist_counts[static_cast<size_t>(range_encoder.Encode(v) - 'a')];
+    if (!std::isfinite(v)) {
+      continue;
+    }
+    const int bucket = range_encoder.Encode(v) - 'a';
+    if (bucket < 0 || bucket >= range_encoder.num_buckets()) {
+      continue;
+    }
+    ++hist_counts[static_cast<size_t>(bucket)];
   }
   const double min_count =
       sax_config.min_bucket_fraction * static_cast<double>(historical.size());

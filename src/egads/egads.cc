@@ -96,12 +96,22 @@ bool KSigmaDetector::IsAnomalous(std::span<const double> historical,
   }
   const double mean = Mean(historical);
   const double sd = SampleStdDev(historical);
-  if (sd <= 0.0) {
-    return Mean(analysis) != mean;
-  }
   // K from 6 (permissive) down to 1 (aggressive).
   const double k = 6.0 - 5.0 * sensitivity;
   const double min_fraction = 0.5 - 0.4 * sensitivity;
+  if (sd <= 0.0) {
+    // Degenerate (constant) history has no scale of its own; exact mean
+    // equality here flagged near-constant series on 1-ulp float noise. Use
+    // the analysis window's own robust spread (normalized MAD) as the
+    // yardstick instead, floored at a relative tolerance of the constant
+    // level so rounding jitter around `mean` can never trip the k-band.
+    const double mad = MedianAbsoluteDeviation(analysis, /*normalized=*/true);
+    const double tolerance_floor = 1e-9 * std::max(std::fabs(mean), 1.0);
+    const double spread = std::max(mad, tolerance_floor);
+    return AnomalousFraction(analysis, [&](double v) {
+             return std::fabs(v - mean) > k * spread;
+           }) >= min_fraction;
+  }
   return AnomalousFraction(analysis, [&](double v) {
            return std::fabs(v - mean) > k * sd;
          }) >= min_fraction;

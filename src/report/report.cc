@@ -209,6 +209,35 @@ std::string RenderQuarantine(const QuarantineReport& report, size_t max_rows) {
         static_cast<unsigned long long>(record.dropped_duplicate),
         static_cast<unsigned long long>(record.dropped_out_of_order),
         static_cast<unsigned long long>(record.exceptions));
+    if (!record.last_error.empty()) {
+      out += Printf("      last error: %s\n", record.last_error.c_str());
+    }
+  }
+  return out;
+}
+
+std::string RenderTelemetry(const TelemetryRegistry& registry) {
+  std::string out = "telemetry:\n";
+  const std::vector<CounterSnapshot> counters = registry.SnapshotCounters();
+  for (const CounterSnapshot& counter : counters) {
+    if (counter.stability == CounterStability::kDeterministic) {
+      out += Printf("  %-44s %12llu\n", counter.name.c_str(),
+                    static_cast<unsigned long long>(counter.value));
+    }
+  }
+  for (const CounterSnapshot& counter : counters) {
+    if (counter.stability == CounterStability::kRuntime) {
+      out += Printf("  %-44s %12llu  (runtime)\n", counter.name.c_str(),
+                    static_cast<unsigned long long>(counter.value));
+    }
+  }
+  for (const HistogramSnapshot& histogram : registry.SnapshotHistograms()) {
+    const double mean = histogram.count > 0
+                            ? static_cast<double>(histogram.sum) /
+                                  static_cast<double>(histogram.count)
+                            : 0.0;
+    out += Printf("  %-44s n=%-8llu mean=%.0f\n", histogram.name.c_str(),
+                  static_cast<unsigned long long>(histogram.count), mean);
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include "src/core/pipeline.h"
 #include "src/core/regression.h"
 #include "src/fleet/change_log.h"
+#include "src/observe/telemetry.h"
 
 namespace fbdetect {
 
@@ -37,6 +38,11 @@ std::string RenderFunnel(const FunnelStats& short_term, const FunnelStats& long_
 // ingest-time drops). `max_rows` caps the per-series listing (0 = no cap);
 // a truncation line reports how many rows were omitted.
 std::string RenderQuarantine(const QuarantineReport& report, size_t max_rows = 50);
+
+// Human-readable summary of the pipeline's self-observability registry
+// (DESIGN.md §12): the deterministic attrition counters first, then runtime
+// counters and histogram means. Empty registry renders the header only.
+std::string RenderTelemetry(const TelemetryRegistry& registry);
 
 // Escapes a string for embedding in JSON (quotes, backslashes, control
 // characters). Exposed for tests.

@@ -44,9 +44,18 @@ int SaxEncoder::BucketIndex(double value) const {
   if (bucket_width_ <= 0.0) {
     return 0;
   }
+  // Non-finite values never fit a bucket, and static_cast<int> of a NaN or
+  // out-of-int-range offset is undefined behavior — clamp in double space
+  // before converting. NaN maps to the first bucket (both comparisons below
+  // are false), +-Inf to the edge buckets.
   const double offset = (value - range_min_) / bucket_width_;
-  int index = static_cast<int>(offset);
-  return std::clamp(index, 0, config_.num_buckets - 1);
+  if (offset >= static_cast<double>(config_.num_buckets - 1)) {
+    return config_.num_buckets - 1;
+  }
+  if (offset >= 1.0) {
+    return static_cast<int>(offset);
+  }
+  return 0;
 }
 
 char SaxEncoder::Encode(double value) const {

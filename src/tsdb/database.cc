@@ -280,12 +280,15 @@ const TimeSeries* TimeSeriesDatabase::SeriesForScan(const InternedMetricId& id,
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.series.find(id);
   if (it == shard.series.end()) {
+    scan_misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   const TieredSeries& data = it->second.data;
   if (data.TailCovers(begin)) {
+    scan_tail_hits_.fetch_add(1, std::memory_order_relaxed);
     return &data.tail();  // Zero-copy hot path: the scan range is all raw.
   }
+  scan_sealed_decodes_.fetch_add(1, std::memory_order_relaxed);
   scratch.Clear();
   if (status == nullptr) {
     data.MaterializeFrom(begin, scratch);  // Aborts on corrupt sealed history.
@@ -293,9 +296,21 @@ const TimeSeries* TimeSeriesDatabase::SeriesForScan(const InternedMetricId& id,
   }
   *status = data.TryMaterializeFrom(begin, scratch);
   if (!status->ok()) {
+    scan_decode_failures_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   return &scratch;
+}
+
+TimeSeriesDatabase::ScanStats TimeSeriesDatabase::scan_stats() const {
+  ScanStats stats;
+  stats.tail_hits = scan_tail_hits_.load(std::memory_order_relaxed);
+  stats.sealed_decodes = scan_sealed_decodes_.load(std::memory_order_relaxed);
+  stats.decode_failures = scan_decode_failures_.load(std::memory_order_relaxed);
+  stats.misses = scan_misses_.load(std::memory_order_relaxed);
+  stats.list_cache_hits = list_cache_hits_.load(std::memory_order_relaxed);
+  stats.list_cache_misses = list_cache_misses_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::vector<MetricId> TimeSeriesDatabase::ListMetrics(const std::string& service) const {
@@ -306,8 +321,10 @@ std::vector<MetricId> TimeSeriesDatabase::ListMetrics(const std::string& service
     generations[i] = shards_[i].generation.load(std::memory_order_relaxed);
   }
   if (cached.shard_generations == generations) {
+    list_cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return cached.ids;
   }
+  list_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   cached.ids.clear();
   const auto service_symbol =
       service.empty() ? std::optional<uint32_t>(SymbolTable::kEmptySymbol)

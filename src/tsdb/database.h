@@ -110,6 +110,22 @@ class TimeSeriesDatabase {
     size_t sealed_raw_bytes() const { return sealed_points * 16; }
   };
 
+  // Read-path observability: how scans are actually served by the tiered
+  // storage. One relaxed atomic increment per lookup (not per point), so the
+  // accounting is always on. All values count events the reader issued, not
+  // scheduling artifacts — the pipeline's per-series scan issues exactly one
+  // SeriesForScan per series per re-run regardless of scan_threads, so these
+  // are deterministic telemetry.
+  struct ScanStats {
+    uint64_t tail_hits = 0;        // SeriesForScan served zero-copy from the tail.
+    uint64_t sealed_decodes = 0;   // SeriesForScan decoded sealed chunks.
+    uint64_t decode_failures = 0;  // Recoverable sealed-chunk decode errors.
+    uint64_t misses = 0;           // SeriesForScan on an absent series.
+    uint64_t list_cache_hits = 0;  // ListMetrics served from the cache.
+    uint64_t list_cache_misses = 0;  // ListMetrics re-enumerated the shards.
+  };
+  ScanStats scan_stats() const;
+
   // Fleet telemetry is dirty: retransmitted buffers duplicate points, delayed
   // buffers arrive behind newer data. The write path classifies and counts
   // such points per shard (and per series) instead of aborting the process.
@@ -262,6 +278,14 @@ class TimeSeriesDatabase {
 
   mutable std::mutex list_cache_mutex_;
   mutable std::unordered_map<std::string, ListCacheEntry> list_cache_;
+
+  // ScanStats internals (read-path counters on const methods).
+  mutable std::atomic<uint64_t> scan_tail_hits_{0};
+  mutable std::atomic<uint64_t> scan_sealed_decodes_{0};
+  mutable std::atomic<uint64_t> scan_decode_failures_{0};
+  mutable std::atomic<uint64_t> scan_misses_{0};
+  mutable std::atomic<uint64_t> list_cache_hits_{0};
+  mutable std::atomic<uint64_t> list_cache_misses_{0};
 };
 
 }  // namespace fbdetect

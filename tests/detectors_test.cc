@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/core/change_point_stage.h"
+#include "src/core/scan_view.h"
 #include "src/core/long_term.h"
 #include "src/core/same_regression_merger.h"
 #include "src/core/seasonality_stage.h"
@@ -268,6 +270,124 @@ TEST(WentAwayTest, EmptyDataRejected) {
   Regression regression;
   const WentAwayVerdict verdict = WentAwayDetector(config).Evaluate(regression, 0);
   EXPECT_FALSE(verdict.keep);
+}
+
+// Boundary + robustness cases driven through the zero-copy Evaluate overload,
+// where the ScanView and ScanCandidate can be constructed exactly.
+
+// historical | analysis view over `data` with no extended window.
+ScanView ManualView(const std::vector<double>& data, size_t historical_size) {
+  ScanView view;
+  view.full = data;
+  view.historical_size = historical_size;
+  view.analysis_size = data.size() - historical_size;
+  view.extended_size = 0;
+  return view;
+}
+
+TEST(WentAwayTest, ChangeAtFinalPointGivesSinglePointPostWindow) {
+  // change_index == analysis.size() - 1: the post window is exactly one
+  // point. Tail mean, percentiles, Mann-Kendall and Theil-Sen all run on that
+  // single point; nothing may read past the span or divide by zero.
+  const DetectionConfig config = TestConfig();
+  Rng rng(20);
+  std::vector<double> data;
+  for (int i = 0; i < 288; ++i) {
+    data.push_back(rng.Normal(0.050, 0.0005));
+  }
+  for (int i = 0; i < 35; ++i) {
+    data.push_back(rng.Normal(0.050, 0.0005));
+  }
+  data.push_back(0.070);  // The series jumps at its very last point.
+  const ScanView view = ManualView(data, 288);
+  ScanCandidate candidate;
+  candidate.change_index = view.analysis_plus_extended().size() - 1;
+  candidate.baseline_mean = 0.050;
+  candidate.regressed_mean = 0.070;
+  candidate.delta = 0.020;
+  candidate.relative_delta = 0.4;
+  const WentAwayVerdict verdict =
+      WentAwayDetector(config).Evaluate(view, candidate, 144);
+  // The single elevated tail point has not recovered toward baseline.
+  EXPECT_FALSE(verdict.gone_away);
+}
+
+TEST(WentAwayTest, SinglePointPostWindowAtBaselineGoesAway) {
+  // Same boundary, but the lone post point sits at the baseline: the
+  // recovery test must see it as gone away and the verdict must not keep it.
+  const DetectionConfig config = TestConfig();
+  Rng rng(21);
+  std::vector<double> data;
+  for (int i = 0; i < 288 + 35; ++i) {
+    data.push_back(rng.Normal(0.050, 0.0005));
+  }
+  data.push_back(0.050);
+  const ScanView view = ManualView(data, 288);
+  ScanCandidate candidate;
+  candidate.change_index = view.analysis_plus_extended().size() - 1;
+  candidate.baseline_mean = 0.050;
+  candidate.regressed_mean = 0.050;
+  candidate.delta = 0.020;  // Claimed delta never materialized in the tail.
+  candidate.relative_delta = 0.4;
+  const WentAwayVerdict verdict =
+      WentAwayDetector(config).Evaluate(view, candidate, 144);
+  EXPECT_TRUE(verdict.gone_away);
+  EXPECT_FALSE(verdict.keep);
+}
+
+TEST(WentAwayTest, NonFiniteHistoryIsSkippedNotIndexed) {
+  // Regression test: historical values used to index
+  // hist_counts[Encode(v) - 'a'] unchecked, so a NaN or infinity that
+  // survived the sanitizer (sub-threshold fraction, or the gate disabled)
+  // could index out of the table. Non-finite points must be skipped — and a
+  // persistent step must still be judged on the finite points alone.
+  const DetectionConfig config = TestConfig();
+  Rng rng(22);
+  std::vector<double> data;
+  for (int i = 0; i < 288; ++i) {
+    if (i % 32 == 0) {
+      data.push_back(std::numeric_limits<double>::quiet_NaN());
+    } else if (i % 32 == 16) {
+      data.push_back(std::numeric_limits<double>::infinity());
+    } else {
+      data.push_back(rng.Normal(0.050, 0.0005));
+    }
+  }
+  for (int i = 0; i < 36; ++i) {
+    data.push_back(rng.Normal(0.062, 0.0005));  // Persistent elevated plateau.
+  }
+  const ScanView view = ManualView(data, 288);
+  ScanCandidate candidate;
+  candidate.change_index = 0;
+  candidate.baseline_mean = 0.050;
+  candidate.regressed_mean = 0.062;
+  candidate.delta = 0.012;
+  candidate.relative_delta = 0.24;
+  const WentAwayVerdict verdict =
+      WentAwayDetector(config).Evaluate(view, candidate, 144);
+  EXPECT_FALSE(verdict.gone_away);
+}
+
+TEST(WentAwayTest, AllNanHistoryProducesNoValidBuckets) {
+  // Degenerate extreme of the same bug: with every historical point
+  // non-finite there are no valid SAX buckets, so the significance rule has
+  // nothing to compare against and must not crash or report significance.
+  const DetectionConfig config = TestConfig();
+  std::vector<double> data(288, std::numeric_limits<double>::quiet_NaN());
+  Rng rng(23);
+  for (int i = 0; i < 36; ++i) {
+    data.push_back(rng.Normal(0.062, 0.0005));
+  }
+  const ScanView view = ManualView(data, 288);
+  ScanCandidate candidate;
+  candidate.change_index = 0;
+  candidate.baseline_mean = 0.050;
+  candidate.regressed_mean = 0.062;
+  candidate.delta = 0.012;
+  candidate.relative_delta = 0.24;
+  const WentAwayVerdict verdict =
+      WentAwayDetector(config).Evaluate(view, candidate, 144);
+  EXPECT_FALSE(verdict.significant);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "src/common/random.h"
@@ -58,6 +59,21 @@ TEST_P(EgadsDetectorTest, ShortInputsSafe) {
 
 INSTANTIATE_TEST_SUITE_P(AllDetectors, EgadsDetectorTest, ::testing::Values(0, 1, 2));
 
+TEST_P(EgadsDetectorTest, SensitivityIsMonotone) {
+  // All three detectors' rules are monotone in sensitivity: once a series is
+  // flagged at sensitivity s, it stays flagged at every higher sensitivity.
+  const EgadsData data = MakeData(4, 0.2);
+  const auto d = detector();
+  bool flagged_before = false;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const bool flagged = d->IsAnomalous(data.historical, data.shifted, s);
+    if (flagged_before) {
+      EXPECT_TRUE(flagged) << d->name() << " regressed at sensitivity " << s;
+    }
+    flagged_before = flagged_before || flagged;
+  }
+}
+
 TEST(EgadsTest, SensitivityIsMonotoneForKSigma) {
   // If a detector flags a series at sensitivity s, it should still flag it at
   // any higher sensitivity (verified for K-Sigma whose rule is monotone).
@@ -89,6 +105,55 @@ TEST(EgadsTest, TransientIssueTripsKSigmaAtModerateSensitivity) {
   }
   KSigmaDetector detector;
   EXPECT_TRUE(detector.IsAnomalous(historical, analysis, 0.85));
+}
+
+// Regression tests for the K-Sigma degenerate-variance path: a constant
+// history has sd == 0, and the old fallback flagged any analysis window
+// whose mean differed from the constant by even one ulp.
+TEST(EgadsTest, ConstantHistoryIgnoresFloatRoundingNoise) {
+  const std::vector<double> historical(512, 1.0);
+  std::vector<double> analysis;
+  for (int i = 0; i < 50; ++i) {
+    // 1-ulp jitter around the constant level: pure rounding noise.
+    analysis.push_back(i % 2 == 0 ? 1.0 : std::nextafter(1.0, 2.0));
+  }
+  KSigmaDetector detector;
+  for (const double s : {0.1, 0.5, 0.9}) {
+    EXPECT_FALSE(detector.IsAnomalous(historical, analysis, s)) << "sensitivity " << s;
+  }
+}
+
+TEST(EgadsTest, ConstantHistoryAndIdenticalAnalysisIsNotAnomalous) {
+  const std::vector<double> historical(512, 3.5);
+  const std::vector<double> analysis(50, 3.5);
+  KSigmaDetector detector;
+  EXPECT_FALSE(detector.IsAnomalous(historical, analysis, 0.95));
+}
+
+TEST(EgadsTest, ConstantHistoryStillCatchesRealShift) {
+  const std::vector<double> historical(512, 1.0);
+  const std::vector<double> analysis(50, 1.5);  // A genuine 50% step.
+  KSigmaDetector detector;
+  EXPECT_TRUE(detector.IsAnomalous(historical, analysis, 0.5));
+}
+
+TEST(EgadsTest, ConstantHistorySensitivityStaysMonotone) {
+  // The MAD fallback must preserve the monotonicity contract too.
+  const std::vector<double> historical(512, 1.0);
+  std::vector<double> analysis;
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    analysis.push_back(rng.Normal(1.02, 0.005));  // Small but real elevation.
+  }
+  KSigmaDetector detector;
+  bool flagged_before = false;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const bool flagged = detector.IsAnomalous(historical, analysis, s);
+    if (flagged_before) {
+      EXPECT_TRUE(flagged) << "sensitivity " << s;
+    }
+    flagged_before = flagged_before || flagged;
+  }
 }
 
 TEST(EgadsTest, DetectorNames) {

@@ -13,9 +13,11 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "src/core/cost_shift.h"
 #include "src/core/pipeline.h"
 #include "src/core/sanitizer.h"
 #include "src/fleet/fault_injector.h"
@@ -407,6 +409,59 @@ TEST(RobustnessPathTest, ChaosMatrixCompletesAtEveryRate) {
               injector.ledger().TotalByKind(FaultKind::kDuplicate))
         << "rate=" << rate;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Funnel-stage exception identity: a throwing user-registered cost-domain
+// detector must not abort the run, and the exception's what() must surface
+// in the quarantine record and the rendered report (not be swallowed by a
+// bare catch).
+// ---------------------------------------------------------------------------
+
+class ThrowingDomainDetector : public CostDomainDetector {
+ public:
+  std::string name() const override { return "throwing_domain"; }
+  std::vector<CostDomain> DomainsFor(const Regression&) const override {
+    throw std::runtime_error("domain detector hardware fault");
+  }
+};
+
+TEST(RobustnessPathTest, FunnelExceptionIdentitySurfacesInQuarantine) {
+  ServiceConfig config = DirtyServiceConfig("svc");
+  config.num_servers = 40;
+  config.call_graph.num_subroutines = 30;
+  // Zero-rate injector: selects nothing, so every leaf closure is clean.
+  FaultInjector none(FaultInjectorConfig::AllKinds(0.0, kFaultSeed));
+  const std::vector<std::string> targets = CleanStepTargets(config, none, 1);
+  ASSERT_FALSE(targets.empty());
+  const auto fleet = BuildFleet(config, targets, nullptr, kDataEnd, 1, 4096);
+
+  Pipeline pipeline(&fleet->db(), nullptr, nullptr, DetectOptions(2));
+  pipeline.cost_shift_detector().AddDomainDetector(
+      std::make_unique<ThrowingDomainDetector>());
+  std::vector<Regression> reports;
+  ASSERT_NO_THROW(reports = pipeline.RunPeriod(config.name, kRunBegin, kDataEnd));
+  std::vector<Regression> final_run;
+  ASSERT_NO_THROW(final_run = pipeline.RunAt(config.name, kFinalRun));
+  reports.insert(reports.end(), final_run.begin(), final_run.end());
+  // A throwing detector treats its candidate as not-a-shift: the injected
+  // step regression is still reported.
+  EXPECT_FALSE(reports.empty());
+
+  const QuarantineReport quarantine = pipeline.quarantine_report();
+  EXPECT_GT(quarantine.total_exceptions(), 0u);
+  bool identity_found = false;
+  for (const QuarantineRecord& record : quarantine.records) {
+    if (record.last_error == "domain detector hardware fault") {
+      identity_found = true;
+      EXPECT_GT(record.exceptions, 0u) << record.metric.ToString();
+    }
+  }
+  EXPECT_TRUE(identity_found) << RenderQuarantine(quarantine, /*max_rows=*/0);
+  const std::string rendered = RenderQuarantine(quarantine, /*max_rows=*/0);
+  EXPECT_NE(rendered.find("last error: domain detector hardware fault"),
+            std::string::npos)
+      << rendered;
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 //                [--regressions N] [--cost-shifts N] [--transients N]
 //                [--threshold F] [--rerun-hours N] [--seed N]
 //                [--threads N] [--json] [--quiet]
+//                [--telemetry-out PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +19,7 @@
 #include "src/core/pipeline.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/scenario.h"
+#include "src/observe/telemetry_export.h"
 #include "src/report/report.h"
 
 namespace fbdetect {
@@ -36,6 +38,7 @@ struct CliOptions {
   int threads = 1;
   bool json = false;
   bool quiet = false;
+  std::string telemetry_out;
 };
 
 void PrintUsage(const char* argv0) {
@@ -52,7 +55,9 @@ void PrintUsage(const char* argv0) {
       "  --seed N          simulation seed (default 42)\n"
       "  --threads N       parallel scan threads (default 1)\n"
       "  --json            print reports as JSON lines instead of tickets\n"
-      "  --quiet           suppress tickets; print only the scorecard\n",
+      "  --quiet           suppress tickets; print only the scorecard\n"
+      "  --telemetry-out PATH  enable the telemetry registry and write its\n"
+      "                        JSON export to PATH after the run\n",
       argv0);
 }
 
@@ -113,6 +118,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       const char* v = next_value("--threads");
       if (v == nullptr) return false;
       options.threads = std::atoi(v);
+    } else if (arg == "--telemetry-out") {
+      const char* v = next_value("--telemetry-out");
+      if (v == nullptr) return false;
+      options.telemetry_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       PrintUsage(argv[0]);
@@ -153,6 +162,7 @@ int Run(const CliOptions& cli) {
   options.detection.windows.extended = Hours(2);
   options.detection.rerun_interval = Hours(cli.rerun_hours);
   options.scan_threads = cli.threads;
+  options.telemetry.enabled = !cli.telemetry_out.empty();
 
   CallGraphCodeInfo code_info(&scenario.service->graph());
   Pipeline pipeline(&fleet.db(), &fleet.change_log(), &code_info, options);
@@ -199,6 +209,15 @@ int Run(const CliOptions& cli) {
   }
   std::printf("scorecard: %zu reports; %zu/%zu injected regressions caught\n", reports.size(),
               caught, injected);
+  if (!cli.telemetry_out.empty()) {
+    if (!WriteTelemetryFile(pipeline.telemetry(), cli.telemetry_out)) {
+      std::fprintf(stderr, "failed to write %s\n", cli.telemetry_out.c_str());
+      return 1;
+    }
+    if (!cli.quiet) {
+      std::printf("wrote telemetry to %s\n", cli.telemetry_out.c_str());
+    }
+  }
   return 0;
 }
 
