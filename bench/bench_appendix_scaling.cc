@@ -5,12 +5,16 @@
 // shift (80% power at alpha=0.01 under the Welch t-test) by bisection over
 // repeated trials, then report Delta / sqrt(sigma^2/n), which the law
 // predicts to be a constant (T_critical-ish) across the whole grid.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/check.h"
 #include "src/common/random.h"
+#include "src/common/thread_pool.h"
 #include "src/stats/hypothesis.h"
 
 namespace fbdetect {
@@ -51,8 +55,65 @@ double MinimumDetectableShift(double sigma, int n, Rng& rng) {
 }  // namespace
 }  // namespace fbdetect
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fbdetect;
+
+  bool threads_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads-sweep") {
+      threads_sweep = true;
+    }
+  }
+
+  // --- Threads sweep: the multicore rig (EXPERIMENTS.md) -----------------
+  // The bisection grid is embarrassingly parallel across (sigma^2, n) cells.
+  // Each cell gets its own seeded Rng so the per-cell results are
+  // byte-identical for any thread count; the per-core-count curve lands in
+  // BENCH_simd.json.
+  if (threads_sweep) {
+    PrintHeader("Appendix A.2 threads sweep — bisection grid on a ThreadPool");
+    struct Cell {
+      double variance;
+      int n;
+    };
+    std::vector<Cell> cells;
+    for (double variance : {0.25, 1.0, 4.0}) {
+      for (int n : {50, 200, 800, 3200}) {
+        cells.push_back({variance, n});
+      }
+    }
+    const std::vector<int> threads_list = {1, 2, 4, 8};
+    std::vector<double> sweep_ms;
+    std::vector<double> baseline;
+    for (int threads : threads_list) {
+      std::vector<double> ratios(cells.size(), 0.0);
+      ThreadPool pool(static_cast<size_t>(threads - 1));
+      const auto t0 = std::chrono::steady_clock::now();
+      ParallelIndexFor(cells.size(), threads > 1 ? &pool : nullptr, [&](size_t i) {
+        Rng cell_rng(99 + 1000 * static_cast<uint64_t>(i));
+        const double sigma = std::sqrt(cells[i].variance);
+        const double delta = MinimumDetectableShift(sigma, cells[i].n, cell_rng);
+        ratios[i] = delta / std::sqrt(cells[i].variance / cells[i].n);
+      });
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (threads == threads_list.front()) {
+        baseline = ratios;
+      } else {
+        FBD_CHECK(ratios == baseline);  // Byte-identical for any pool size.
+      }
+      sweep_ms.push_back(ms);
+      std::printf("    threads=%d: %8.1f ms   speedup vs 1: %.2fx\n", threads, ms,
+                  sweep_ms[0] / ms);
+    }
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), "{\"grid_cells\": %zu, \"curve\": ", cells.size());
+    UpdateBenchSimdJson("appendix_sweep",
+                        extra + ThreadsCurveJson(threads_list, sweep_ms) + "}");
+    return 0;
+  }
+
   PrintHeader("Appendix A.2 — Delta_threshold ∝ sqrt(sigma^2 / n)");
   std::printf("%-10s %-8s %-16s %-20s %-18s\n", "sigma^2", "n", "Delta_threshold",
               "sqrt(sigma^2/n)", "ratio (≈const)");

@@ -628,16 +628,66 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
 
   bool smoke = false;
+  bool threads_sweep = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") {
       smoke = true;
+    } else if (std::string(argv[i]) == "--threads-sweep") {
+      threads_sweep = true;
     }
   }
 
   PrintHeader(std::string("Funnel throughput: fingerprints, flat SOM, indexed pairwise") +
-              (smoke ? " [smoke]" : ""));
+              (smoke ? " [smoke]" : "") + (threads_sweep ? " [threads-sweep]" : ""));
   const unsigned hw_cores = std::thread::hardware_concurrency();
   std::printf("hardware cores: %u\n", hw_cores);
+
+  // --- Threads sweep: the multicore rig (EXPERIMENTS.md) -----------------
+  // Records the funnel's per-core-count curve into BENCH_simd.json and
+  // returns; the regular sections below are skipped so the sweep can run on
+  // a machine reserved for scaling measurements.
+  if (threads_sweep) {
+    const size_t kBatches = smoke ? 2 : 3;
+    const size_t kSurvivors = smoke ? 60 : 600;
+    const size_t kFamilies = smoke ? 12 : 24;
+    std::vector<std::vector<Regression>> batches;
+    for (size_t b = 0; b < kBatches; ++b) {
+      batches.push_back(MakeSurvivorBatch(b, kSurvivors, kFamilies));
+    }
+    const Duration tolerance = Hours(1);
+    const FunnelResult baseline = RunNewFunnel(batches, tolerance, nullptr);
+    const std::vector<int> threads_list = {1, 2, 4, 8};
+    std::vector<double> sweep_ms;
+    std::printf("\nfunnel threads sweep (%zu batches x %zu survivors)\n", kBatches,
+                kSurvivors);
+    for (int threads : threads_list) {
+      ThreadPool pool(static_cast<size_t>(threads - 1));
+      ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+      const auto sweep_t0 = Clock::now();
+      const FunnelResult result = RunNewFunnel(batches, tolerance, pool_ptr);
+      const double ms = MillisSince(sweep_t0);
+      // Byte-identical across thread counts (PR-5 determinism taxonomy).
+      FBD_CHECK(result.admitted == baseline.admitted);
+      FBD_CHECK(result.representatives == baseline.representatives);
+      FBD_CHECK(result.groups == baseline.groups);
+      FBD_CHECK(result.representative_metrics == baseline.representative_metrics);
+      sweep_ms.push_back(ms);
+      std::printf("    threads=%d: %8.1f ms   speedup vs 1: %.2fx\n", threads, ms,
+                  sweep_ms[0] / ms);
+    }
+    char extra[128];
+    std::snprintf(extra, sizeof(extra), "{\"survivors\": %zu, \"batches\": %zu, \"curve\": ",
+                  kSurvivors, kBatches);
+    UpdateBenchSimdJson("funnel_sweep",
+                        extra + ThreadsCurveJson(threads_list, sweep_ms) + "}");
+    // On real multicore hardware parallelism must be a measured win at 8
+    // threads; a single-core host (or an oversubscribed smoke run) cannot
+    // measure scaling, only correctness.
+    if (hw_cores >= 2 && !smoke) {
+      FBD_CHECK(sweep_ms.front() / sweep_ms.back() > 1.0);
+    }
+    return 0;
+  }
 
   // --- 1. Single-thread funnel: legacy vs fingerprint path --------------
   const size_t kBatches = smoke ? 2 : 3;
@@ -733,6 +783,8 @@ int main(int argc, char** argv) {
   FILE* json = std::fopen("BENCH_funnel.json", "w");
   FBD_CHECK(json != nullptr);
   std::fprintf(json, "{\n");
+  WriteHardwareJson(json);
+  std::fprintf(json, ",\n");
   std::fprintf(json, "  \"hardware_cores\": %u,\n", hw_cores);
   std::fprintf(json,
                "  \"funnel_single_thread\": {\"batches\": %zu, \"survivors_per_batch\": %zu, "

@@ -374,6 +374,8 @@ int main(int argc, char** argv) {
   FILE* json = std::fopen("BENCH_ingest.json", "w");
   FBD_CHECK(json != nullptr);
   std::fprintf(json, "{\n");
+  WriteHardwareJson(json);
+  std::fprintf(json, ",\n");
   std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(json, "  \"hardware_cores\": %u,\n", hw_cores);
   std::fprintf(json, "  \"micro_ingest\": {\n");

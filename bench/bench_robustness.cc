@@ -265,6 +265,8 @@ int Main(int argc, char** argv) {
   FILE* json = std::fopen("BENCH_robustness.json", "w");
   FBD_CHECK(json != nullptr);
   std::fprintf(json, "{\n");
+  WriteHardwareJson(json);
+  std::fprintf(json, ",\n");
   std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(json, "  \"rates\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {

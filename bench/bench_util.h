@@ -5,13 +5,111 @@
 #define FBDETECT_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <span>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/common/simd.h"
 #include "src/stats/descriptive.h"
 
 namespace fbdetect {
+
+// Hardware/build metadata as a single-line JSON object. Every recorded
+// number depends on the core count, the dispatched SIMD table, and the
+// compiler, so results from different machines are only comparable when
+// these fields match.
+inline std::string HardwareJsonValue() {
+  const char* disable_env = std::getenv("FBD_DISABLE_SIMD");
+  const bool simd_disabled =
+      disable_env != nullptr && disable_env[0] != '\0' &&
+      !(disable_env[0] == '0' && disable_env[1] == '\0');
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"cores\": %u, \"simd_active\": \"%s\", \"simd_best\": \"%s\", "
+                "\"simd_disabled_by_env\": %s, \"compiler\": \"%s\"}",
+                std::thread::hardware_concurrency(),
+                simd::IsaName(simd::ActiveIsa()),
+                simd::IsaName(simd::BestAvailableIsa()),
+                simd_disabled ? "true" : "false",
+#if defined(__clang__)
+                "clang " __clang_version__
+#else
+                "gcc " __VERSION__
+#endif
+  );
+  return std::string(buffer);
+}
+
+// Emits the "hardware" metadata member into a BENCH_*.json stream (no
+// trailing comma or newline).
+inline void WriteHardwareJson(std::FILE* json, const char* indent = "  ") {
+  std::fprintf(json, "%s\"hardware\": %s", indent, HardwareJsonValue().c_str());
+}
+
+// BENCH_simd.json collects the SIMD/multicore rig's results across several
+// binaries: the kernel micro-bench owns "kernels", and each --threads-sweep
+// bench owns its own section. The file keeps exactly one top-level member
+// per line ('  "name": <single-line value>'), which lets this
+// read-modify-write helper re-emit the other binaries' sections verbatim.
+// "hardware" is refreshed on every update.
+inline void UpdateBenchSimdJson(const std::string& section, const std::string& value) {
+  const char* path = "BENCH_simd.json";
+  std::vector<std::pair<std::string, std::string>> sections;
+  sections.emplace_back("hardware", HardwareJsonValue());
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.compare(0, 3, "  \"") != 0) {
+        continue;  // Braces or foreign formatting.
+      }
+      const size_t name_end = line.find('"', 3);
+      size_t value_begin = line.find(": ", name_end == std::string::npos ? 3 : name_end);
+      if (name_end == std::string::npos || value_begin == std::string::npos) {
+        continue;
+      }
+      value_begin += 2;
+      std::string name = line.substr(3, name_end - 3);
+      std::string existing = line.substr(value_begin);
+      if (!existing.empty() && existing.back() == ',') {
+        existing.pop_back();
+      }
+      if (name == "hardware" || name == section) {
+        continue;  // Superseded below.
+      }
+      sections.emplace_back(std::move(name), std::move(existing));
+    }
+  }
+  sections.emplace_back(section, value);
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": " << sections[i].second
+        << (i + 1 < sections.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  std::printf("\nupdated BENCH_simd.json section \"%s\"\n", section.c_str());
+}
+
+// Formats a --threads-sweep curve as a single-line JSON array for
+// UpdateBenchSimdJson: per-thread-count wall time plus speedup vs 1 thread.
+inline std::string ThreadsCurveJson(const std::vector<int>& threads,
+                                    const std::vector<double>& ms) {
+  std::string curve = "[";
+  char buffer[128];
+  for (size_t i = 0; i < threads.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"threads\": %d, \"ms\": %.2f, \"speedup_vs_1\": %.3f}",
+                  i == 0 ? "" : ", ", threads[i], ms[i], ms[0] / ms[i]);
+    curve += buffer;
+  }
+  curve += "]";
+  return curve;
+}
 
 // Prints a row of columns padded to the given widths.
 inline void PrintRow(const std::vector<std::string>& cells, const std::vector<int>& widths) {

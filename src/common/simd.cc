@@ -1,0 +1,271 @@
+#include "src/common/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define FBD_SIMD_HAS_NEON 1
+#else
+#define FBD_SIMD_HAS_NEON 0
+#endif
+
+namespace fbdetect {
+namespace simd {
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the semantic oracles. The FP kernels implement the
+// 4-virtual-lane striped reduction documented in simd.h with explicit
+// accumulators; the compiler cannot reassociate or fuse them (no fast-math,
+// -ffp-contract=off).
+// ---------------------------------------------------------------------------
+
+void ScalarSumPair(const double* x, const double* y, size_t n, double* sum_x,
+                   double* sum_y) {
+  double ax[4] = {0.0, 0.0, 0.0, 0.0};
+  double ay[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    ax[i % 4] += x[i];
+    ay[i % 4] += y[i];
+  }
+  *sum_x = (ax[0] + ax[1]) + (ax[2] + ax[3]);
+  *sum_y = (ay[0] + ay[1]) + (ay[2] + ay[3]);
+}
+
+void ScalarCenteredMoments(const double* x, const double* y, size_t n, double mean_x,
+                           double mean_y, double* sxy, double* sxx, double* syy) {
+  double axy[4] = {0.0, 0.0, 0.0, 0.0};
+  double axx[4] = {0.0, 0.0, 0.0, 0.0};
+  double ayy[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    const size_t lane = i % 4;
+    axy[lane] += dx * dy;
+    axx[lane] += dx * dx;
+    ayy[lane] += dy * dy;
+  }
+  *sxy = (axy[0] + axy[1]) + (axy[2] + axy[3]);
+  *sxx = (axx[0] + axx[1]) + (axx[2] + axx[3]);
+  *syy = (ayy[0] + ayy[1]) + (ayy[2] + ayy[3]);
+}
+
+void ScalarSquaredDistances(const double* weights, size_t cells, size_t dims,
+                            const double* item, double* out_d2) {
+  for (size_t c = 0; c < cells; ++c) {
+    const double* row = weights + c * dims;
+    double d2 = 0.0;
+    for (size_t d = 0; d < dims; ++d) {
+      const double diff = row[d] - item[d];
+      d2 += diff * diff;
+    }
+    out_d2[c] = d2;
+  }
+}
+
+void ScalarClassifyValues(const double* values, size_t n, uint64_t* non_finite,
+                          uint64_t* negative) {
+  uint64_t nf = 0;
+  uint64_t neg = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(values[i])) {
+      ++nf;
+    } else if (values[i] < 0.0) {
+      ++neg;
+    }
+  }
+  *non_finite = nf;
+  *negative = neg;
+}
+
+int64_t ScalarMinPositiveGap(const int64_t* timestamps, size_t n) {
+  int64_t dt = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const int64_t gap = timestamps[i] - timestamps[i - 1];
+    if (gap > 0 && (dt == 0 || gap < dt)) {
+      dt = gap;
+    }
+  }
+  return dt;
+}
+
+void ScalarPrefixSumI64(const int64_t* in, size_t n, int64_t seed, int64_t* out) {
+  // Unsigned internally: corrupt Gorilla streams can overflow a signed
+  // running sum, which would be UB; two's-complement wrap matches the
+  // decoder's documented overflow-safe semantics.
+  uint64_t acc = static_cast<uint64_t>(seed);
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<uint64_t>(in[i]);
+    out[i] = static_cast<int64_t>(acc);
+  }
+}
+
+void ScalarPrefixXorToDoubles(const uint64_t* in, size_t n, uint64_t seed,
+                              double* out) {
+  uint64_t acc = seed;
+  for (size_t i = 0; i < n; ++i) {
+    acc ^= in[i];
+    out[i] = BitsToDouble(acc);
+  }
+}
+
+constexpr Kernels kScalarKernels = {
+    &ScalarSumPair,         &ScalarCenteredMoments,  &ScalarSquaredDistances,
+    &ScalarClassifyValues,  &ScalarMinPositiveGap,   &ScalarPrefixSumI64,
+    &ScalarPrefixXorToDoubles,
+};
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64 baseline; no runtime check needed). 2 x f64 vectors:
+// the 4 virtual lanes map onto two vector accumulators, combined in the
+// contract's (l0 + l1) + (l2 + l3) order. The trickier kernels (cross-cell
+// distance transpose, prefix scans) stay scalar on NEON — the big wins there
+// are the x86 fleet's.
+// ---------------------------------------------------------------------------
+#if FBD_SIMD_HAS_NEON
+
+void NeonSumPair(const double* x, const double* y, size_t n, double* sum_x,
+                 double* sum_y) {
+  float64x2_t ax01 = vdupq_n_f64(0.0);  // Lanes 0, 1.
+  float64x2_t ax23 = vdupq_n_f64(0.0);  // Lanes 2, 3.
+  float64x2_t ay01 = vdupq_n_f64(0.0);
+  float64x2_t ay23 = vdupq_n_f64(0.0);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    ax01 = vaddq_f64(ax01, vld1q_f64(x + i));
+    ax23 = vaddq_f64(ax23, vld1q_f64(x + i + 2));
+    ay01 = vaddq_f64(ay01, vld1q_f64(y + i));
+    ay23 = vaddq_f64(ay23, vld1q_f64(y + i + 2));
+  }
+  double lx[4] = {vgetq_lane_f64(ax01, 0), vgetq_lane_f64(ax01, 1),
+                  vgetq_lane_f64(ax23, 0), vgetq_lane_f64(ax23, 1)};
+  double ly[4] = {vgetq_lane_f64(ay01, 0), vgetq_lane_f64(ay01, 1),
+                  vgetq_lane_f64(ay23, 0), vgetq_lane_f64(ay23, 1)};
+  for (size_t i = n4; i < n; ++i) {
+    lx[i % 4] += x[i];
+    ly[i % 4] += y[i];
+  }
+  *sum_x = (lx[0] + lx[1]) + (lx[2] + lx[3]);
+  *sum_y = (ly[0] + ly[1]) + (ly[2] + ly[3]);
+}
+
+void NeonCenteredMoments(const double* x, const double* y, size_t n, double mean_x,
+                         double mean_y, double* sxy, double* sxx, double* syy) {
+  const float64x2_t mx = vdupq_n_f64(mean_x);
+  const float64x2_t my = vdupq_n_f64(mean_y);
+  float64x2_t xy01 = vdupq_n_f64(0.0), xy23 = vdupq_n_f64(0.0);
+  float64x2_t xx01 = vdupq_n_f64(0.0), xx23 = vdupq_n_f64(0.0);
+  float64x2_t yy01 = vdupq_n_f64(0.0), yy23 = vdupq_n_f64(0.0);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    const float64x2_t dx01 = vsubq_f64(vld1q_f64(x + i), mx);
+    const float64x2_t dx23 = vsubq_f64(vld1q_f64(x + i + 2), mx);
+    const float64x2_t dy01 = vsubq_f64(vld1q_f64(y + i), my);
+    const float64x2_t dy23 = vsubq_f64(vld1q_f64(y + i + 2), my);
+    // vaddq of vmulq, NOT vfmaq: the contract forbids fusion.
+    xy01 = vaddq_f64(xy01, vmulq_f64(dx01, dy01));
+    xy23 = vaddq_f64(xy23, vmulq_f64(dx23, dy23));
+    xx01 = vaddq_f64(xx01, vmulq_f64(dx01, dx01));
+    xx23 = vaddq_f64(xx23, vmulq_f64(dx23, dx23));
+    yy01 = vaddq_f64(yy01, vmulq_f64(dy01, dy01));
+    yy23 = vaddq_f64(yy23, vmulq_f64(dy23, dy23));
+  }
+  double lxy[4] = {vgetq_lane_f64(xy01, 0), vgetq_lane_f64(xy01, 1),
+                   vgetq_lane_f64(xy23, 0), vgetq_lane_f64(xy23, 1)};
+  double lxx[4] = {vgetq_lane_f64(xx01, 0), vgetq_lane_f64(xx01, 1),
+                   vgetq_lane_f64(xx23, 0), vgetq_lane_f64(xx23, 1)};
+  double lyy[4] = {vgetq_lane_f64(yy01, 0), vgetq_lane_f64(yy01, 1),
+                   vgetq_lane_f64(yy23, 0), vgetq_lane_f64(yy23, 1)};
+  for (size_t i = n4; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    const size_t lane = i % 4;
+    lxy[lane] += dx * dy;
+    lxx[lane] += dx * dx;
+    lyy[lane] += dy * dy;
+  }
+  *sxy = (lxy[0] + lxy[1]) + (lxy[2] + lxy[3]);
+  *sxx = (lxx[0] + lxx[1]) + (lxx[2] + lxx[3]);
+  *syy = (lyy[0] + lyy[1]) + (lyy[2] + lyy[3]);
+}
+
+constexpr Kernels kNeonKernels = {
+    &NeonSumPair,           &NeonCenteredMoments,    &ScalarSquaredDistances,
+    &ScalarClassifyValues,  &ScalarMinPositiveGap,   &ScalarPrefixSumI64,
+    &ScalarPrefixXorToDoubles,
+};
+
+#endif  // FBD_SIMD_HAS_NEON
+
+bool SimdDisabledByEnv() {
+  const char* env = std::getenv("FBD_DISABLE_SIMD");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+struct Dispatch {
+  const Kernels* best = &kScalarKernels;
+  Isa best_isa = Isa::kScalar;
+  const Kernels* active = &kScalarKernels;
+  Isa active_isa = Isa::kScalar;
+};
+
+Dispatch ResolveDispatch() {
+  Dispatch dispatch;
+#if FBD_SIMD_HAS_NEON
+  dispatch.best = &kNeonKernels;
+  dispatch.best_isa = Isa::kNeon;
+#else
+  if (const Kernels* avx2 = internal::Avx2Kernels(); avx2 != nullptr) {
+    dispatch.best = avx2;
+    dispatch.best_isa = Isa::kAvx2;
+  }
+#endif
+  if (SimdDisabledByEnv()) {
+    dispatch.active = &kScalarKernels;
+    dispatch.active_isa = Isa::kScalar;
+  } else {
+    dispatch.active = dispatch.best;
+    dispatch.active_isa = dispatch.best_isa;
+  }
+  return dispatch;
+}
+
+const Dispatch& GetDispatch() {
+  static const Dispatch dispatch = ResolveDispatch();
+  return dispatch;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const Kernels& Scalar() { return kScalarKernels; }
+
+const Kernels& BestAvailable() { return *GetDispatch().best; }
+
+Isa BestAvailableIsa() { return GetDispatch().best_isa; }
+
+const Kernels& Active() { return *GetDispatch().active; }
+
+Isa ActiveIsa() { return GetDispatch().active_isa; }
+
+}  // namespace simd
+}  // namespace fbdetect

@@ -1,0 +1,119 @@
+// Runtime-dispatched SIMD kernels for the scan/funnel hot loops.
+//
+// Four loops dominate the single-core scan cost (see DESIGN.md §13): Gorilla
+// chunk decode, Pearson sum/moment accumulation, SOM best-matching-unit
+// distance, and the sanitizer's value-classification/grid passes. Each gets
+// a kernel here with three implementations selected once at startup:
+//
+//   * scalar  — the semantic oracle. Every other implementation must produce
+//               byte-identical output (tests/simd_kernels_test.cc enforces
+//               this property on random + adversarial inputs).
+//   * AVX2    — x86-64; compiled in simd_avx2.cc with -mavx2 and selected
+//               only when the CPU reports the feature at runtime.
+//   * NEON    — aarch64; compile-time feature (baseline on AArch64).
+//
+// Determinism across instruction sets is by construction, not by tolerance:
+// every floating-point kernel has ONE defined reduction order which all
+// implementations reproduce exactly. One carve-out: when a reduction is
+// NaN-poisoned, only NaN-ness is defined, not the payload or sign bit —
+// IEEE addition is bit-commutative except for which operand's NaN payload
+// survives, and the compiler may commute the scalar oracle's adds. Every
+// consumer observes NaN only through isfinite()/ordered comparisons, so the
+// carve-out is unobservable in detection results.
+//
+//   * sum_pair / centered_moments accumulate into 4 virtual lanes (element i
+//     goes to lane i % 4) combined as (l0 + l1) + (l2 + l3). The scalar
+//     implementation keeps 4 explicit accumulators; AVX2 maps the lanes onto
+//     one 4 x f64 vector. No FMA anywhere — fused multiply-adds round once
+//     where mul+add rounds twice, so a fused kernel could never be
+//     bit-identical with a non-FMA fallback (the build also pins
+//     -ffp-contract=off so the compiler cannot fuse the scalar oracle).
+//   * squared_distances keeps each cell's accumulation in ascending
+//     dimension order — the historical serial order — and vectorizes ACROSS
+//     cells (lane = cell) instead of across dimensions.
+//   * The integer kernels (prefix sums, gap scan, classification counts) are
+//     exact in any association and need no ordering contract.
+//
+// Dispatch: Active() picks the best table the CPU supports, unless the
+// environment variable FBD_DISABLE_SIMD is set to a non-empty value other
+// than "0", which forces the scalar table (the CI forced-scalar leg).
+#ifndef FBDETECT_SRC_COMMON_SIMD_H_
+#define FBDETECT_SRC_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fbdetect {
+namespace simd {
+
+enum class Isa {
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+const char* IsaName(Isa isa);
+
+// Kernel function table. All pointers are non-null in every table.
+struct Kernels {
+  // Lane-striped sums of x[0..n) and y[0..n) (reduction order documented
+  // above). Either pointer may alias; n == 0 yields 0.0 sums.
+  void (*sum_pair)(const double* x, const double* y, size_t n, double* sum_x,
+                   double* sum_y);
+
+  // Lane-striped centered second moments around (mean_x, mean_y):
+  // sxy = sum (x-mx)(y-my), sxx = sum (x-mx)^2, syy = sum (y-my)^2.
+  void (*centered_moments)(const double* x, const double* y, size_t n, double mean_x,
+                           double mean_y, double* sxy, double* sxx, double* syy);
+
+  // For each cell c in [0, cells): out_d2[c] = sum over d of
+  // (weights[c*dims + d] - item[d])^2, accumulated in ascending d order
+  // (bit-exact with the historical serial SOM distance).
+  void (*squared_distances)(const double* weights, size_t cells, size_t dims,
+                            const double* item, double* out_d2);
+
+  // Counts values that are not finite, and values that are finite and
+  // strictly negative (the sanitizer applies the negative count only to
+  // non-negative metric kinds). Exact integer semantics.
+  void (*classify_values)(const double* values, size_t n, uint64_t* non_finite,
+                          uint64_t* negative);
+
+  // Smallest strictly positive gap timestamps[i] - timestamps[i-1], or 0
+  // when none exists (n < 2 or no positive gap). The sanitizer's grid
+  // inference.
+  int64_t (*min_positive_gap)(const int64_t* timestamps, size_t n);
+
+  // Inclusive prefix sum with wrap-around (two's-complement) semantics:
+  // out[i] = seed + in[0] + ... + in[i]. In-place (out == in) is allowed.
+  // Gorilla decode applies this twice: delta-of-deltas -> deltas -> stamps.
+  void (*prefix_sum_i64)(const int64_t* in, size_t n, int64_t seed, int64_t* out);
+
+  // Inclusive prefix XOR re-interpreted as doubles:
+  // bits_i = seed ^ in[0] ^ ... ^ in[i]; out[i] = bit_cast<double>(bits_i).
+  // Gorilla value decode.
+  void (*prefix_xor_to_doubles)(const uint64_t* in, size_t n, uint64_t seed,
+                                double* out);
+};
+
+// The scalar oracle table.
+const Kernels& Scalar();
+
+// Best table this CPU supports, ignoring FBD_DISABLE_SIMD (property tests
+// compare this against Scalar() regardless of the environment).
+const Kernels& BestAvailable();
+Isa BestAvailableIsa();
+
+// The dispatch result honoring FBD_DISABLE_SIMD, resolved once per process.
+const Kernels& Active();
+Isa ActiveIsa();
+
+namespace internal {
+// Defined in simd_avx2.cc (x86-64 only; null elsewhere). The caller is
+// responsible for the runtime CPU feature check.
+const Kernels* Avx2Kernels();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_COMMON_SIMD_H_

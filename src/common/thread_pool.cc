@@ -39,57 +39,54 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::DrainBatch(uint64_t batch, const std::function<void(size_t)>& task) {
+void ThreadPool::DrainBatch(Batch& batch) {
   while (true) {
-    size_t index;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      // The batch guard keeps a straggler that wakes late from executing (or
-      // double-counting) indices of a NEWER batch with the OLD task.
-      if (batch_id_ != batch || next_index_ >= num_tasks_) {
-        return;
-      }
-      index = next_index_++;
+    // Uncontended atomic claim; indices past num_tasks mean the batch is
+    // drained (the counter overshoots by at most one per participant).
+    const size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.num_tasks) {
+      return;
     }
     try {
-      task(index);
+      (*batch.task)(index);
     } catch (...) {
       // Keep the first exception; later ones of the same batch are dropped.
       // The index still counts as completed so the join never deadlocks.
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (batch_id_ == batch && batch_exception_ == nullptr) {
-        batch_exception_ = std::current_exception();
+      std::unique_lock<std::mutex> lock(batch.exception_mutex);
+      if (batch.exception == nullptr) {
+        batch.exception = std::current_exception();
       }
     }
-    bool last = false;
-    {
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.num_tasks) {
+      // Notify under the pool mutex so the wakeup cannot slip between the
+      // caller's predicate check and its wait.
       std::unique_lock<std::mutex> lock(mutex_);
-      last = batch_id_ == batch && ++completed_ == num_tasks_;
-    }
-    if (last) {
       done_cv_.notify_all();
     }
   }
 }
 
 void ThreadPool::WorkerLoop() {
-  uint64_t seen_batch = 0;
+  uint64_t seen_serial = 0;
   while (true) {
-    const std::function<void(size_t)>* task = nullptr;
-    uint64_t batch = 0;
+    std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this, seen_batch]() {
-        return stop_ || (task_ != nullptr && batch_id_ != seen_batch);
+      work_cv_.wait(lock, [this, seen_serial]() {
+        return stop_ || (batch_ != nullptr && batch_serial_ != seen_serial);
       });
       if (stop_) {
         return;
       }
-      batch = batch_id_;
-      task = task_;
+      batch = batch_;
+      seen_serial = batch_serial_;
     }
-    seen_batch = batch;
-    DrainBatch(batch, *task);
+    // The shared_ptr keeps the batch block alive even if this worker wakes
+    // so late that ParallelFor already joined and published a newer batch;
+    // the stale batch's counter is exhausted, so DrainBatch returns without
+    // running anything.
+    DrainBatch(*batch);
   }
 }
 
@@ -124,30 +121,34 @@ void ThreadPool::ParallelFor(size_t num_tasks, const std::function<void(size_t)>
     }
     return;
   }
-  uint64_t batch = 0;
+  std::shared_ptr<Batch> batch = std::make_shared<Batch>(&task, num_tasks);
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    task_ = &task;
-    next_index_ = 0;
-    num_tasks_ = num_tasks;
-    completed_ = 0;
-    batch_exception_ = nullptr;
-    batch = ++batch_id_;
+    batch_ = batch;
+    ++batch_serial_;
   }
   work_cv_.notify_all();
   // The caller participates, so a batch always makes progress even while the
   // workers are still waking up.
-  DrainBatch(batch, task);
+  DrainBatch(*batch);
   std::exception_ptr exception;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this]() { return completed_ == num_tasks_; });
-    task_ = nullptr;
-    exception = std::exchange(batch_exception_, nullptr);
+    done_cv_.wait(lock, [&batch]() {
+      return batch->completed.load(std::memory_order_acquire) == batch->num_tasks;
+    });
+    // `task` (a caller reference) may dangle after this function returns, so
+    // the batch must be unpublished before then; stragglers that still hold
+    // the shared_ptr see an exhausted counter and never touch `task`.
+    batch_ = nullptr;
     ++stats_.batches;
     stats_.tasks += num_tasks;
     stats_.max_batch_tasks = std::max<uint64_t>(stats_.max_batch_tasks, num_tasks);
     stats_.wall_ns += NowNanos() - batch_start;
+  }
+  {
+    std::unique_lock<std::mutex> lock(batch->exception_mutex);
+    exception = std::exchange(batch->exception, nullptr);
   }
   if (exception != nullptr) {
     std::rethrow_exception(exception);

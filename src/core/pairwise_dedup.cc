@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
+#include "src/stats/correlation.h"
 
 namespace fbdetect {
 
@@ -17,18 +20,18 @@ double AlignedPearson(const Regression& a, const Regression& b) {
   if (a.analysis.empty() || b.analysis.empty()) {
     return 0.0;
   }
-  // Two-pointer merge over the sorted timestamp arrays. Pass 1: count the
-  // aligned pairs and take their sums; pass 2: the centered moments. The
-  // aligned values are visited in exactly the order the historical
-  // implementation materialized them (ascending a-index), and the
-  // mean/moment accumulation mirrors PearsonCorrelation, so the result is
-  // bit-exact with PearsonCorrelation(xs, ys) on the materialized arrays —
-  // without building a per-pair hash map or the xs/ys vectors.
+  // One two-pointer merge over the sorted timestamp arrays gathers the
+  // aligned pairs into arena scratch (ascending a-index — the order the
+  // historical implementation materialized them), then the SIMD-kerneled
+  // PearsonCorrelation runs over the contiguous pairs. Bit-exact with
+  // PearsonCorrelation(xs, ys) on the materialized arrays by construction,
+  // without a per-pair hash map or heap-allocated xs/ys vectors.
   const size_t an = a.analysis.size();
   const size_t bn = b.analysis.size();
+  ArenaScope scope(Arena::ThreadLocal());
+  const std::span<double> xs = scope.MakeUninitializedSpan<double>(std::min(an, bn));
+  const std::span<double> ys = scope.MakeUninitializedSpan<double>(std::min(an, bn));
   size_t n = 0;
-  double sum_x = 0.0;
-  double sum_y = 0.0;
   for (size_t i = 0, j = 0; i < an && j < bn;) {
     const TimePoint ta = a.analysis_timestamps[i];
     const TimePoint tb = b.analysis_timestamps[j];
@@ -37,8 +40,8 @@ double AlignedPearson(const Regression& a, const Regression& b) {
     } else if (tb < ta) {
       ++j;
     } else {
-      sum_x += a.analysis[i];
-      sum_y += b.analysis[j];
+      xs[n] = a.analysis[i];
+      ys[n] = b.analysis[j];
       ++n;
       ++i;
       ++j;
@@ -47,32 +50,7 @@ double AlignedPearson(const Regression& a, const Regression& b) {
   if (n < 8) {
     return 0.0;
   }
-  const double mean_x = sum_x / static_cast<double>(n);
-  const double mean_y = sum_y / static_cast<double>(n);
-  double sxy = 0.0;
-  double sxx = 0.0;
-  double syy = 0.0;
-  for (size_t i = 0, j = 0; i < an && j < bn;) {
-    const TimePoint ta = a.analysis_timestamps[i];
-    const TimePoint tb = b.analysis_timestamps[j];
-    if (ta < tb) {
-      ++i;
-    } else if (tb < ta) {
-      ++j;
-    } else {
-      const double dx = a.analysis[i] - mean_x;
-      const double dy = b.analysis[j] - mean_y;
-      sxy += dx * dy;
-      sxx += dx * dx;
-      syy += dy * dy;
-      ++i;
-      ++j;
-    }
-  }
-  if (sxx <= 0.0 || syy <= 0.0) {
-    return 0.0;
-  }
-  return sxy / std::sqrt(sxx * syy);
+  return PearsonCorrelation(xs.first(n), ys.first(n));
 }
 
 PairwiseScores PairwiseDedup::Score(const Regression& candidate,
@@ -151,24 +129,35 @@ void PairwiseDedup::ScoreCandidate(const FunnelCandidate& candidate, ThreadPool*
   aggregates_.assign(candidate_groups_.size(), 0.0);
   eligible_.assign(candidate_groups_.size(), 0);
   const bool candidate_gcpu = candidate.regression.metric.kind == MetricKind::kGcpu;
-  ParallelIndexFor(candidate_groups_.size(), pool, [&](size_t k) {
-    const size_t g = static_cast<size_t>(candidate_groups_[k]);
-    const RegressionGroup& group = groups_[g];
-    const GroupSummary& summary = summaries_[g];
-    PairwiseScores scores;
-    for (size_t m = 0; m < group.members.size(); ++m) {
-      const Regression& member = group.members[m];
-      scores.pearson = std::max(scores.pearson, AlignedPearson(candidate.regression, member));
-      scores.text = std::max(
-          scores.text, CosineSimilarity(candidate.fingerprint.tokens, summary.member_tokens[m]));
-      if (overlap_ != nullptr && candidate_gcpu && member.metric.kind == MetricKind::kGcpu) {
-        scores.stack_overlap = std::max(scores.stack_overlap,
-                                        overlap_(candidate.regression.metric, member.metric));
-      }
-    }
-    eligible_[k] = rule_.ShouldMerge(scores) ? 1 : 0;
-    aggregates_[k] = scores.Aggregate();
-  });
+  // Token-index pruning usually leaves a handful of candidate groups; a pool
+  // dispatch per probe would cost more than scoring them. The granularity
+  // floor keeps tiny group lists on the calling thread (identical results
+  // either way — per-index slots).
+  constexpr size_t kMinGroupsPerLane = 4;
+  ParallelIndexFor(
+      candidate_groups_.size(), pool,
+      [&](size_t k) {
+        const size_t g = static_cast<size_t>(candidate_groups_[k]);
+        const RegressionGroup& group = groups_[g];
+        const GroupSummary& summary = summaries_[g];
+        PairwiseScores scores;
+        for (size_t m = 0; m < group.members.size(); ++m) {
+          const Regression& member = group.members[m];
+          scores.pearson =
+              std::max(scores.pearson, AlignedPearson(candidate.regression, member));
+          scores.text = std::max(
+              scores.text,
+              CosineSimilarity(candidate.fingerprint.tokens, summary.member_tokens[m]));
+          if (overlap_ != nullptr && candidate_gcpu &&
+              member.metric.kind == MetricKind::kGcpu) {
+            scores.stack_overlap = std::max(
+                scores.stack_overlap, overlap_(candidate.regression.metric, member.metric));
+          }
+        }
+        eligible_[k] = rule_.ShouldMerge(scores) ? 1 : 0;
+        aggregates_[k] = scores.Aggregate();
+      },
+      kMinGroupsPerLane);
 }
 
 void PairwiseDedup::IndexTokens(const TokenVector& tokens, int group_id) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/simd.h"
+
 namespace fbdetect {
 
 const char* QualityVerdictName(QualityVerdict verdict) {
@@ -101,13 +103,17 @@ WindowQuality Sanitizer::Inspect(MetricKind kind, const WindowView& view,
   // --- Value corruption: NaN/Inf, and counter-reset negatives for kinds
   // that are non-negative by definition (everything but free-form
   // application metrics).
+  // The kernel counts non-finite values and finite negatives in one sweep;
+  // the negative count only matters (and is only applied) for kinds that are
+  // non-negative by definition.
   const bool non_negative_kind = kind != MetricKind::kApplication;
-  for (const double value : view.full) {
-    if (!std::isfinite(value)) {
-      ++quality.non_finite;
-    } else if (non_negative_kind && value < 0.0) {
-      ++quality.negative;
-    }
+  const simd::Kernels& kernels = simd::Active();
+  uint64_t non_finite = 0;
+  uint64_t negative = 0;
+  kernels.classify_values(view.full.data(), view.full.size(), &non_finite, &negative);
+  quality.non_finite = static_cast<uint32_t>(non_finite);
+  if (non_negative_kind) {
+    quality.negative = static_cast<uint32_t>(negative);
   }
 
   // --- Grid inference: the sampling interval is the smallest positive gap
@@ -115,13 +121,7 @@ WindowQuality Sanitizer::Inspect(MetricKind kind, const WindowView& view,
   // gaps (drops) — duplicates and out-of-order points were already rejected
   // at ingest — so the minimum is the true tick even in faulted windows.
   const std::span<const TimePoint>& stamps = view.analysis_timestamps;
-  Duration dt = 0;
-  for (size_t i = 1; i < stamps.size(); ++i) {
-    const Duration gap = stamps[i] - stamps[i - 1];
-    if (gap > 0 && (dt == 0 || gap < dt)) {
-      dt = gap;
-    }
-  }
+  const Duration dt = kernels.min_positive_gap(stamps.data(), stamps.size());
 
   if (dt > 0) {
     // Constant per-host clock skew shows up as a grid-phase offset. It is

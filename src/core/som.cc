@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
 #include "src/common/random.h"
+#include "src/common/simd.h"
 
 namespace fbdetect {
 namespace {
@@ -16,6 +18,11 @@ std::span<const double> NestedRow(const void* items, size_t index) {
 std::span<const double> FlatRow(const void* items, size_t index) {
   return static_cast<const FlatMatrix*>(items)->row(index);
 }
+
+// Granularity floor for fanning BMU searches over the pool: one search costs
+// roughly cells x dims mul+adds (~a microsecond for funnel-sized maps), so a
+// lane below this many items loses more to the pool wake than it gains.
+constexpr size_t kMinBmuSearchesPerLane = 8;
 
 }  // namespace
 
@@ -36,25 +43,24 @@ SelfOrganizingMap::SelfOrganizingMap(size_t dimensions, int grid, uint64_t seed)
   }
 }
 
-double SelfOrganizingMap::Distance2(std::span<const double> weights,
-                                    std::span<const double> item) const {
-  double d2 = 0.0;
-  for (size_t i = 0; i < dimensions_; ++i) {
-    const double d = weights[i] - item[i];
-    d2 += d * d;
-  }
-  return d2;
-}
-
 int SelfOrganizingMap::BestMatchingUnit(std::span<const double> item) const {
   FBD_CHECK(item.size() == dimensions_);
-  int best = 0;
-  double best_d2 = Distance2(Cell(0), item);
   const size_t cells = cell_count();
+  // The distance sweep over the flat weight buffer is the SOM hot loop; the
+  // simd.h kernel computes all cell distances with each cell's accumulation
+  // kept in the historical serial dimension order (bit-exact with the
+  // nested-vector implementation on every instruction set). The argmin stays
+  // serial: strict '<' keeps the first minimum, preserving the historical
+  // tie-break and NaN semantics.
+  ArenaScope scope(Arena::ThreadLocal());
+  const std::span<double> d2 = scope.MakeUninitializedSpan<double>(cells);
+  simd::Active().squared_distances(weights_.data(), cells, dimensions_, item.data(),
+                                   d2.data());
+  int best = 0;
+  double best_d2 = d2[0];
   for (size_t c = 1; c < cells; ++c) {
-    const double d2 = Distance2(Cell(c), item);
-    if (d2 < best_d2) {
-      best_d2 = d2;
+    if (d2[c] < best_d2) {
+      best_d2 = d2[c];
       best = static_cast<int>(c);
     }
   }
@@ -125,13 +131,24 @@ void SelfOrganizingMap::TrainBatch(const void* items, size_t num_items, RowFn ro
     const double radius = std::max(0.5, initial_radius * (1.0 - progress));
     const double radius2 = radius * radius;
     // Phase 1: all BMU searches against the epoch-start weights, in parallel
-    // into per-item slots.
-    ParallelIndexFor(num_items, pool, [&](size_t index) { bmu[index] = BestMatchingUnit(row(items, index)); });
+    // into per-item slots. A single BMU search is ~a microsecond, so small
+    // cohorts stay on the calling thread (granularity floor) instead of
+    // paying a pool wake per epoch.
+    ParallelIndexFor(
+        num_items, pool,
+        [&](size_t index) { bmu[index] = BestMatchingUnit(row(items, index)); },
+        kMinBmuSearchesPerLane);
     // Phase 2: per-cell reduction. Each cell sums its neighborhood-weighted
     // items in ascending item order — the result depends only on the bmu
     // slots, never on task scheduling.
     numerators.Resize(cells, dimensions_);
-    ParallelIndexFor(cells, pool, [&](size_t cell_index) {
+    // Each cell's reduction walks every item, so the per-cell work scales
+    // with the cohort: only tiny cohorts (where a 3x3..5x5 grid's total work
+    // is a few microseconds) fall back to the serial path.
+    const size_t min_cells_per_lane = num_items >= 64 ? 1 : 8;
+    ParallelIndexFor(
+        cells, pool,
+        [&](size_t cell_index) {
       const int cell_row = static_cast<int>(cell_index) / grid_;
       const int cell_col = static_cast<int>(cell_index) % grid_;
       const std::span<double> numerator = numerators.mutable_row(cell_index);
@@ -158,7 +175,8 @@ void SelfOrganizingMap::TrainBatch(const void* items, size_t num_items, RowFn ro
           cell[i] += lr * (numerator[i] / denominator - cell[i]);
         }
       }
-    });
+        },
+        min_cells_per_lane);
   }
 }
 
@@ -200,7 +218,10 @@ void SelfOrganizingMap::Assign(const FlatMatrix& items, std::span<int> out,
                                ThreadPool* pool) const {
   FBD_CHECK(out.size() == items.rows);
   FBD_CHECK(items.rows == 0 || items.cols == dimensions_);
-  ParallelIndexFor(items.rows, pool, [&](size_t index) { out[index] = BestMatchingUnit(items.row(index)); });
+  ParallelIndexFor(
+      items.rows, pool,
+      [&](size_t index) { out[index] = BestMatchingUnit(items.row(index)); },
+      kMinBmuSearchesPerLane);
 }
 
 }  // namespace fbdetect

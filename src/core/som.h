@@ -99,7 +99,6 @@ class SelfOrganizingMap {
                   ThreadPool* pool);
   void InitCellsFromItems(const void* items, size_t num_items, RowFn row, uint64_t seed);
 
-  double Distance2(std::span<const double> weights, std::span<const double> item) const;
   std::span<double> Cell(size_t c) { return {weights_.data() + c * dimensions_, dimensions_}; }
   std::span<const double> Cell(size_t c) const {
     return {weights_.data() + c * dimensions_, dimensions_};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/simd.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/fourier.h"
 
@@ -21,18 +22,22 @@ double PearsonCorrelation(std::span<const double> x, std::span<const double> y) 
   if (n < 2) {
     return 0.0;
   }
-  const double mean_x = Mean(x.subspan(0, n));
-  const double mean_y = Mean(y.subspan(0, n));
+  // The sums and centered moments go through the simd.h kernels, whose
+  // lane-striped reduction order is identical across the scalar/AVX2/NEON
+  // implementations — so this function returns the same bits on every
+  // instruction set (the SIMD determinism contract, DESIGN.md §13).
+  // AlignedPearson routes through here too, which keeps the pairwise-dedup
+  // fast path bit-exact with its materialize-then-correlate oracle.
+  const simd::Kernels& kernels = simd::Active();
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  kernels.sum_pair(x.data(), y.data(), n, &sum_x, &sum_y);
+  const double mean_x = sum_x / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
   double sxy = 0.0;
   double sxx = 0.0;
   double syy = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double dx = x[i] - mean_x;
-    const double dy = y[i] - mean_y;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
-  }
+  kernels.centered_moments(x.data(), y.data(), n, mean_x, mean_y, &sxy, &sxx, &syy);
   if (sxx <= 0.0 || syy <= 0.0) {
     return 0.0;
   }

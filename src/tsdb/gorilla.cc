@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <span>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
+#include "src/common/simd.h"
 
 namespace fbdetect {
 namespace {
@@ -13,12 +16,6 @@ uint64_t DoubleToBits(double value) {
   uint64_t bits = 0;
   std::memcpy(&bits, &value, sizeof(bits));
   return bits;
-}
-
-double BitsToDouble(uint64_t bits) {
-  double value = 0.0;
-  std::memcpy(&value, &bits, sizeof(value));
-  return value;
 }
 
 // ZigZag encoding maps signed deltas to unsigned for variable-width storage.
@@ -30,41 +27,270 @@ int64_t UnZigZag(uint64_t value) {
   return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
 }
 
-// Bounds-checked cursor over a bit stream for TryDecodeInto: reads return
-// false instead of aborting when the stream is exhausted, so corrupt or
-// truncated chunks surface as Status errors.
-class CheckedBitReader {
+// Word-at-a-time cursor over a bit stream: instead of extracting one bit per
+// iteration (the historical decoder's dominant cost), each read loads a
+// 64-bit window around the cursor and shifts the field out. All reads are
+// bounds-checked against bit_count; callers choose whether a failed read is
+// a Status (TryDecodeInto) or an abort (DecodeInto).
+class FastBitReader {
  public:
-  CheckedBitReader(const std::vector<uint8_t>& bytes, size_t bit_count)
-      : bytes_(&bytes), bit_count_(std::min(bit_count, bytes.size() * 8)) {}
+  FastBitReader(const uint8_t* data, size_t size_bytes, size_t bit_count)
+      : data_(data),
+        size_(size_bytes),
+        bit_count_(std::min(bit_count, size_bytes * 8)) {}
 
-  bool ReadBit(bool& bit) {
-    if (position_ >= bit_count_) {
+  size_t remaining() const { return bit_count_ - position_; }
+
+  // Reads `bits` (1..64) MSB-first; false (cursor unmoved) when fewer bits
+  // remain.
+  bool TryReadBits(int bits, uint64_t& value) {
+    if (remaining() < static_cast<size_t>(bits)) {
       return false;
     }
-    bit = ((*bytes_)[position_ / 8] & static_cast<uint8_t>(0x80u >> (position_ % 8))) != 0;
-    ++position_;
+    const size_t byte = position_ >> 3;
+    const int off = static_cast<int>(position_ & 7);
+    const uint64_t window = PeekWord(byte) << off;
+    if (bits <= 64 - off) {
+      value = window >> (64 - bits);
+    } else {
+      // The field spans 9 bytes: take the 64 - off bits of the shifted
+      // window, then the leftover 1..7 bits from the next byte.
+      const int have = 64 - off;
+      const int extra = bits - have;
+      const uint8_t next = byte + 8 < size_ ? data_[byte + 8] : 0;
+      value = ((window >> off) << extra) |
+              static_cast<uint64_t>(next >> (8 - extra));
+    }
+    position_ += static_cast<size_t>(bits);
     return true;
   }
 
-  bool ReadBits(int bits, uint64_t& value) {
-    if (bits < 0 || bits > 64 || bit_count_ - position_ < static_cast<size_t>(bits)) {
+  // The next `bits` (<= 57) without advancing; positions beyond the stream
+  // read as 0. Flag decoding peeks a few bits, classifies, then advances by
+  // the consumed amount — TryAdvance still enforces the bound.
+  uint64_t Peek(int bits) const {
+    const size_t byte = position_ >> 3;
+    const int off = static_cast<int>(position_ & 7);
+    return (PeekWord(byte) << off) >> (64 - bits);
+  }
+
+  bool TryAdvance(int bits) {
+    if (remaining() < static_cast<size_t>(bits)) {
       return false;
     }
-    value = 0;
-    for (int i = 0; i < bits; ++i) {
-      bool bit = false;
-      ReadBit(bit);  // In bounds by the check above.
-      value = (value << 1) | (bit ? 1 : 0);
-    }
+    position_ += static_cast<size_t>(bits);
     return true;
+  }
+
+  // Unchecked hot-loop variants. The caller must guarantee remaining() is at
+  // least `bits` + 64 so that every 8-byte window load (and the 9th byte of
+  // a spanning field) stays inside the buffer — ParseChunk's fast path keeps
+  // a worst-case-point margin before entering them.
+  uint64_t PeekUnchecked(int bits) const {
+    const size_t byte = position_ >> 3;
+    const int off = static_cast<int>(position_ & 7);
+    return (LoadWord(byte) << off) >> (64 - bits);
+  }
+
+  void AdvanceUnchecked(int bits) { position_ += static_cast<size_t>(bits); }
+
+  uint64_t ReadBitsUnchecked(int bits) {
+    const size_t byte = position_ >> 3;
+    const int off = static_cast<int>(position_ & 7);
+    const uint64_t window = LoadWord(byte) << off;
+    uint64_t value;
+    if (bits <= 64 - off) {
+      value = window >> (64 - bits);
+    } else {
+      const int have = 64 - off;
+      const int extra = bits - have;
+      value = ((window >> off) << extra) |
+              static_cast<uint64_t>(data_[byte + 8] >> (8 - extra));
+    }
+    position_ += static_cast<size_t>(bits);
+    return value;
   }
 
  private:
-  const std::vector<uint8_t>* bytes_;
+  // Unconditional in-bounds 8-byte window load (callers on the unchecked
+  // path guarantee byte + 8 <= size_).
+  uint64_t LoadWord(size_t byte) const {
+    uint64_t word = 0;
+    std::memcpy(&word, data_ + byte, sizeof(word));
+    if constexpr (std::endian::native == std::endian::little) {
+      word = __builtin_bswap64(word);
+    }
+    return word;
+  }
+
+  // Big-endian 64-bit window starting at `byte`; bytes past the buffer read
+  // as 0 (the bit-count checks reject any read that would depend on them).
+  uint64_t PeekWord(size_t byte) const {
+    if (byte + 8 <= size_) {
+      return LoadWord(byte);
+    }
+    uint64_t word = 0;
+    for (size_t k = 0; k < 8; ++k) {
+      word = (word << 8) | (byte + k < size_ ? data_[byte + k] : 0u);
+    }
+    return word;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
   size_t bit_count_;
   size_t position_ = 0;
 };
+
+// Phase-1 result of the two-phase batch decode (see DecodeCore below).
+struct ParsedChunk {
+  size_t decoded = 0;           // Fully parsed points (header included).
+  const char* error = nullptr;  // Null when all `count` points parsed.
+  TimePoint first_timestamp = 0;
+  uint64_t first_value_bits = 0;
+};
+
+// Phase 1: parses control and field bits for up to `count` points into flat
+// per-point arrays — dods[i] (timestamp delta-of-delta) and xors[i] (value
+// XOR against the previous value), with index 0 zeroed for the header point.
+// Stops at the first malformed or truncated field; `decoded` then names the
+// valid prefix. Phase 2 turns these arrays into timestamps and values with
+// the SIMD prefix kernels.
+ParsedChunk ParseChunk(const std::vector<uint8_t>& bytes, size_t bit_count,
+                       size_t count, int64_t* dods, uint64_t* xors) {
+  ParsedChunk parsed;
+  FastBitReader reader(bytes.data(), bytes.size(), bit_count);
+  uint64_t raw = 0;
+  uint64_t value_bits = 0;
+  if (!reader.TryReadBits(64, raw) || !reader.TryReadBits(64, value_bits)) {
+    parsed.error = "truncated chunk header";
+    return parsed;
+  }
+  parsed.first_timestamp = static_cast<TimePoint>(raw);
+  parsed.first_value_bits = value_bits;
+  dods[0] = 0;
+  xors[0] = 0;
+  parsed.decoded = 1;
+  int leading = 0;
+  int trailing = 0;
+  // Leading-ones count of a 4-bit timestamp flag: '0' -> 0, '10' -> 1,
+  // '110' -> 2, '1110' -> 3, '1111' -> 4.
+  static constexpr int8_t kLeadingOnes[16] = {0, 0, 0, 0, 0, 0, 0, 0,
+                                              1, 1, 1, 1, 2, 2, 3, 4};
+  static constexpr int kDodBits[5] = {0, 7, 9, 12, 64};
+  size_t i = 1;
+  // Fast loop: a worst-case point is 4+64+2+11+64 = 145 bits, so with a
+  // >= 209-bit margin (145 plus a full 64-bit window) no per-field bound can
+  // trip and every window load is in bounds — fields are read unchecked.
+  // The stream tail falls through to the checked loop below.
+  while (i < count && reader.remaining() >= 209) {
+    // Dominant telemetry point: regular grid (dod '0') and repeated value
+    // ('0') compress to two zero bits — decode both flags with one peek.
+    if (reader.PeekUnchecked(2) == 0) {
+      reader.AdvanceUnchecked(2);
+      dods[i] = 0;
+      xors[i] = 0;
+      parsed.decoded = ++i;
+      continue;
+    }
+    const int ones = kLeadingOnes[reader.PeekUnchecked(4)];
+    reader.AdvanceUnchecked(ones < 4 ? ones + 1 : 4);
+    int64_t dod = 0;
+    if (ones > 0) {
+      dod = UnZigZag(reader.ReadBitsUnchecked(kDodBits[ones]));
+    }
+    dods[i] = dod;
+    const unsigned value_flag = static_cast<unsigned>(reader.PeekUnchecked(2));
+    uint64_t xored = 0;
+    if ((value_flag & 2u) == 0) {
+      reader.AdvanceUnchecked(1);
+    } else {
+      reader.AdvanceUnchecked(2);
+      int block_bits = 0;
+      if ((value_flag & 1u) != 0) {
+        const uint64_t lead_and_length = reader.ReadBitsUnchecked(11);
+        const int lead = static_cast<int>(lead_and_length >> 6);
+        block_bits = static_cast<int>(lead_and_length & 0x3f);
+        if (block_bits == 0) {
+          block_bits = 64;
+        }
+        if (lead + block_bits > 64) {
+          parsed.error = "invalid XOR block shape";
+          return parsed;
+        }
+        leading = lead;
+        trailing = 64 - leading - block_bits;
+      } else {
+        block_bits = 64 - leading - trailing;
+      }
+      xored = reader.ReadBitsUnchecked(block_bits) << trailing;
+    }
+    xors[i] = xored;
+    parsed.decoded = ++i;
+  }
+  for (; i < count; ++i) {
+    // Timestamp: delta-of-delta buckets ('0', '10', '110', '1110', '1111').
+    const int ones = kLeadingOnes[reader.Peek(4)];
+    if (!reader.TryAdvance(ones < 4 ? ones + 1 : 4)) {
+      parsed.error = "truncated timestamp flag";
+      return parsed;
+    }
+    int64_t dod = 0;
+    if (ones > 0) {
+      uint64_t zigzag = 0;
+      if (!reader.TryReadBits(kDodBits[ones], zigzag)) {
+        parsed.error = "truncated timestamp delta";
+        return parsed;
+      }
+      dod = UnZigZag(zigzag);
+    }
+    dods[i] = dod;
+    // Value: XOR block ('0' same, '10' reuse position, '11' new position).
+    const unsigned value_flag = static_cast<unsigned>(reader.Peek(2));
+    uint64_t xored = 0;
+    if ((value_flag & 2u) == 0) {
+      if (!reader.TryAdvance(1)) {
+        parsed.error = "truncated value flag";
+        return parsed;
+      }
+    } else {
+      if (!reader.TryAdvance(2)) {
+        parsed.error = "truncated value flag";
+        return parsed;
+      }
+      int block_bits = 0;
+      if ((value_flag & 1u) != 0) {
+        uint64_t lead_and_length = 0;  // 5 bits leading + 6 bits length.
+        if (!reader.TryReadBits(11, lead_and_length)) {
+          parsed.error = "truncated XOR block position";
+          return parsed;
+        }
+        const int lead = static_cast<int>(lead_and_length >> 6);
+        block_bits = static_cast<int>(lead_and_length & 0x3f);
+        if (block_bits == 0) {
+          block_bits = 64;
+        }
+        if (lead + block_bits > 64) {
+          parsed.error = "invalid XOR block shape";
+          return parsed;
+        }
+        leading = lead;
+        trailing = 64 - leading - block_bits;
+      } else {
+        block_bits = 64 - leading - trailing;
+      }
+      uint64_t block = 0;
+      if (!reader.TryReadBits(block_bits, block)) {
+        parsed.error = "truncated XOR block";
+        return parsed;
+      }
+      xored = block << trailing;
+    }
+    xors[i] = xored;
+    parsed.decoded = i + 1;
+  }
+  return parsed;
+}
 
 }  // namespace
 
@@ -192,133 +418,73 @@ TimeSeries CompressedTimeSeries::Decode() const {
   return series;
 }
 
-void CompressedTimeSeries::DecodeInto(TimeSeries& out) const {
-  if (count_ == 0) {
-    return;
-  }
-  BitReader reader(stream_.bytes(), stream_.bit_count());
-  TimePoint timestamp = static_cast<TimePoint>(reader.ReadBits(64));
-  uint64_t value_bits = reader.ReadBits(64);
-  out.Append(timestamp, BitsToDouble(value_bits));
-
-  Duration delta = 0;
-  int leading = 0;
-  int trailing = 0;
-  for (size_t i = 1; i < count_; ++i) {
-    // Timestamp.
-    int64_t dod = 0;
-    if (!reader.ReadBit()) {
-      dod = 0;
-    } else if (!reader.ReadBit()) {
-      dod = UnZigZag(reader.ReadBits(7));
-    } else if (!reader.ReadBit()) {
-      dod = UnZigZag(reader.ReadBits(9));
-    } else if (!reader.ReadBit()) {
-      dod = UnZigZag(reader.ReadBits(12));
-    } else {
-      dod = UnZigZag(reader.ReadBits(64));
-    }
-    delta += dod;
-    timestamp += delta;
-    // Value.
-    if (reader.ReadBit()) {
-      if (reader.ReadBit()) {
-        leading = static_cast<int>(reader.ReadBits(5));
-        int block_bits = static_cast<int>(reader.ReadBits(6));
-        if (block_bits == 0) {
-          block_bits = 64;
-        }
-        trailing = 64 - leading - block_bits;
-        value_bits ^= reader.ReadBits(block_bits) << trailing;
-      } else {
-        const int block_bits = 64 - leading - trailing;
-        value_bits ^= reader.ReadBits(block_bits) << trailing;
-      }
-    }
-    out.Append(timestamp, BitsToDouble(value_bits));
-  }
-}
-
-Status CompressedTimeSeries::TryDecodeInto(TimeSeries& out) const {
+// Two-phase batch decode shared by DecodeInto and TryDecodeInto.
+//
+// Phase 1 (ParseChunk) walks the bit stream once with word-sized reads and
+// leaves flat dod/xor arrays in arena scratch. Phase 2 reconstructs the
+// points with the SIMD prefix kernels: timestamps are two chained prefix
+// sums (delta-of-deltas -> deltas -> stamps; wrap-around arithmetic so
+// corrupt streams cannot hit signed overflow), values are one prefix XOR.
+// The strictly-increasing prefix is bulk-appended to `out`; `error` (if any)
+// describes why the decode stopped short.
+//
+// Matches the historical point-at-a-time decoder exactly: same points
+// appended (the valid prefix), same error precedence (a non-increasing
+// timestamp reports before a later parse failure).
+Status CompressedTimeSeries::DecodeCore(TimeSeries& out, bool checked) const {
   if (count_ == 0) {
     return Status::Ok();
   }
-  CheckedBitReader reader(stream_.bytes(), stream_.bit_count());
-  uint64_t raw = 0;
-  uint64_t value_bits = 0;
-  if (!reader.ReadBits(64, raw) || !reader.ReadBits(64, value_bits)) {
-    return Status::DataLoss("truncated chunk header");
+  ArenaScope scope(Arena::ThreadLocal());
+  const std::span<int64_t> dods = scope.MakeUninitializedSpan<int64_t>(count_);
+  const std::span<uint64_t> xors = scope.MakeUninitializedSpan<uint64_t>(count_);
+  const ParsedChunk parsed =
+      ParseChunk(stream_.bytes(), stream_.bit_count(), count_, dods.data(), xors.data());
+  if (!checked) {
+    // The abort-on-corruption contract of DecodeInto/Decode.
+    FBD_CHECK(parsed.error == nullptr);
   }
-  TimePoint timestamp = static_cast<TimePoint>(raw);
-  if (!out.TryAppend(timestamp, BitsToDouble(value_bits))) {
+  if (parsed.decoded == 0) {
+    return Status::DataLoss(parsed.error);
+  }
+  const size_t n = parsed.decoded;
+  const std::span<int64_t> deltas = scope.MakeUninitializedSpan<int64_t>(n);
+  const std::span<TimePoint> stamps = scope.MakeUninitializedSpan<TimePoint>(n);
+  const std::span<double> values = scope.MakeUninitializedSpan<double>(n);
+  const simd::Kernels& kernels = simd::Active();
+  kernels.prefix_sum_i64(dods.data(), n, 0, deltas.data());
+  kernels.prefix_sum_i64(deltas.data(), n, parsed.first_timestamp, stamps.data());
+  kernels.prefix_xor_to_doubles(xors.data(), n, parsed.first_value_bits, values.data());
+
+  if (!out.empty() && stamps[0] <= out.end_time()) {
+    FBD_CHECK(checked);
     return Status::DataLoss("chunk does not start after preceding points");
   }
-  // Deltas accumulate in unsigned arithmetic so corrupt streams wrap instead
-  // of hitting signed overflow; the strictly-increasing check below rejects
-  // the wrapped garbage.
-  uint64_t delta = 0;
-  int leading = 0;
-  int trailing = 0;
-  for (size_t i = 1; i < count_; ++i) {
-    // Timestamp: delta-of-delta buckets ('0', '10', '110', '1110', '1111').
-    bool bit = false;
-    int ones = 0;
-    while (ones < 4) {
-      if (!reader.ReadBit(bit)) {
-        return Status::DataLoss("truncated timestamp flag");
-      }
-      if (!bit) {
-        break;
-      }
-      ++ones;
-    }
-    static constexpr int kDodBits[5] = {0, 7, 9, 12, 64};
-    const int dod_bits = kDodBits[ones];
-    int64_t dod = 0;
-    if (dod_bits > 0) {
-      uint64_t zigzag = 0;
-      if (!reader.ReadBits(dod_bits, zigzag)) {
-        return Status::DataLoss("truncated timestamp delta");
-      }
-      dod = UnZigZag(zigzag);
-    }
-    delta += static_cast<uint64_t>(dod);
-    timestamp = static_cast<TimePoint>(static_cast<uint64_t>(timestamp) + delta);
-    // Value: XOR block ('0' same, '10' reuse position, '11' new position).
-    if (!reader.ReadBit(bit)) {
-      return Status::DataLoss("truncated value flag");
-    }
-    if (bit) {
-      if (!reader.ReadBit(bit)) {
-        return Status::DataLoss("truncated value block flag");
-      }
-      int block_bits = 0;
-      if (bit) {
-        uint64_t lead = 0;
-        uint64_t length = 0;
-        if (!reader.ReadBits(5, lead) || !reader.ReadBits(6, length)) {
-          return Status::DataLoss("truncated XOR block position");
-        }
-        block_bits = length == 0 ? 64 : static_cast<int>(length);
-        if (static_cast<int>(lead) + block_bits > 64) {
-          return Status::DataLoss("invalid XOR block shape");
-        }
-        leading = static_cast<int>(lead);
-        trailing = 64 - leading - block_bits;
-      } else {
-        block_bits = 64 - leading - trailing;
-      }
-      uint64_t block = 0;
-      if (!reader.ReadBits(block_bits, block)) {
-        return Status::DataLoss("truncated XOR block");
-      }
-      value_bits ^= block << trailing;
-    }
-    if (!out.TryAppend(timestamp, BitsToDouble(value_bits))) {
-      return Status::DataLoss("non-increasing decoded timestamp");
+  size_t valid = n;
+  for (size_t i = 1; i < n; ++i) {
+    if (stamps[i] <= stamps[i - 1]) {
+      valid = i;
+      break;
     }
   }
+  out.AppendRun(stamps.first(valid), values.first(valid));
+  if (valid < n) {
+    FBD_CHECK(checked);
+    return Status::DataLoss("non-increasing decoded timestamp");
+  }
+  if (parsed.error != nullptr) {
+    return Status::DataLoss(parsed.error);
+  }
   return Status::Ok();
+}
+
+void CompressedTimeSeries::DecodeInto(TimeSeries& out) const {
+  const Status status = DecodeCore(out, /*checked=*/false);
+  FBD_CHECK(status.ok());
+}
+
+Status CompressedTimeSeries::TryDecodeInto(TimeSeries& out) const {
+  return DecodeCore(out, /*checked=*/true);
 }
 
 CompressedTimeSeries CompressedTimeSeries::FromRaw(std::vector<uint8_t> bytes,

@@ -98,6 +98,10 @@ class CompressedTimeSeries {
                                       size_t count);
 
  private:
+  // Two-phase batch decode backing both DecodeInto (checked = false: any
+  // corruption aborts) and TryDecodeInto (checked = true: corruption is a
+  // kDataLoss status and `out` keeps the valid prefix).
+  Status DecodeCore(TimeSeries& out, bool checked) const;
   size_t count_ = 0;
   TimePoint first_timestamp_ = 0;
   TimePoint last_timestamp_ = 0;

@@ -76,12 +76,14 @@ Status TieredSeries::TryMaterializeFrom(TimePoint begin, TimeSeries& out) const 
     }
     FBD_RETURN_IF_ERROR(chunk.data.TryDecodeInto(out));
   }
-  const std::vector<TimePoint>& timestamps = tail_.timestamps();
-  const std::vector<double>& values = tail_.values();
-  for (size_t i = 0; i < timestamps.size(); ++i) {
-    if (!out.TryAppend(timestamps[i], values[i])) {
+  // The tail is a TimeSeries, so it is internally strictly increasing by
+  // invariant; only the seam against the decoded chunks needs checking
+  // before the bulk append.
+  if (!tail_.empty()) {
+    if (!out.empty() && tail_.start_time() <= out.end_time()) {
       return Status::DataLoss("tail does not continue sealed history");
     }
+    out.AppendRun(tail_.timestamps(), tail_.values());
   }
   return Status::Ok();
 }

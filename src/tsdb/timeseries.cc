@@ -25,6 +25,22 @@ bool TimeSeries::TryAppend(TimePoint timestamp, double value) {
   return true;
 }
 
+void TimeSeries::AppendRun(std::span<const TimePoint> timestamps,
+                           std::span<const double> values) {
+  FBD_CHECK(timestamps.size() == values.size());
+  if (timestamps.empty()) {
+    return;
+  }
+  FBD_DCHECK(timestamps_.empty() || timestamps.front() > timestamps_.back());
+#ifndef NDEBUG
+  for (size_t i = 1; i < timestamps.size(); ++i) {
+    FBD_DCHECK(timestamps[i] > timestamps[i - 1]);
+  }
+#endif
+  timestamps_.insert(timestamps_.end(), timestamps.begin(), timestamps.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
 TimePoint TimeSeries::start_time() const { return timestamps_.empty() ? 0 : timestamps_.front(); }
 
 TimePoint TimeSeries::end_time() const { return timestamps_.empty() ? 0 : timestamps_.back(); }
