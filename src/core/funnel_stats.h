@@ -1,0 +1,27 @@
+// Survivor counts after each Fig. 6 funnel stage (Table 3), kept separately
+// for the short-term and long-term paths. Lives in its own header because
+// both the pipeline (per-run accumulation) and the per-series detector
+// state (cached per-series deltas, src/core/detector_state.h) embed it.
+#ifndef FBDETECT_SRC_CORE_FUNNEL_STATS_H_
+#define FBDETECT_SRC_CORE_FUNNEL_STATS_H_
+
+#include <cstdint>
+
+namespace fbdetect {
+
+struct FunnelStats {
+  uint64_t change_points = 0;
+  uint64_t after_went_away = 0;
+  uint64_t after_seasonality = 0;
+  uint64_t after_threshold = 0;
+  uint64_t after_same_merger = 0;
+  uint64_t after_som_dedup = 0;
+  uint64_t after_cost_shift = 0;
+  uint64_t after_pairwise = 0;
+
+  void Accumulate(const FunnelStats& other);
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_CORE_FUNNEL_STATS_H_

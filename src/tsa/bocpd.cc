@@ -1,0 +1,161 @@
+#include "src/tsa/bocpd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fbdetect {
+
+BocpdState::BocpdState(const Config& config) : config_(config) {
+  if (config_.max_run_length < 1) {
+    config_.max_run_length = 1;
+  }
+  config_.hazard = std::clamp(config_.hazard, 1e-12, 1.0 - 1e-12);
+  const size_t buckets = static_cast<size_t>(config_.max_run_length) + 1;
+  mass_.assign(buckets, 0.0);
+  params_.assign(buckets,
+                 RunParams{config_.mu0, config_.kappa0, config_.alpha0,
+                           config_.beta0});
+  next_mass_.assign(buckets, 0.0);
+  next_params_ = params_;
+  mass_[0] = 1.0;  // Before any data the run has length zero, certainly.
+}
+
+double BocpdState::LogPredictive(const RunParams& params, double value) const {
+  // Posterior predictive of the Normal-Gamma model: Student-t with
+  // nu = 2*alpha, location mu, scale^2 = beta*(kappa+1)/(alpha*kappa).
+  const double nu = 2.0 * params.alpha;
+  const double scale2 =
+      params.beta * (params.kappa + 1.0) / (params.alpha * params.kappa);
+  const double z2 = (value - params.mu) * (value - params.mu) / scale2;
+  return std::lgamma(0.5 * (nu + 1.0)) - std::lgamma(0.5 * nu) -
+         0.5 * std::log(nu * M_PI * scale2) -
+         0.5 * (nu + 1.0) * std::log1p(z2 / nu);
+}
+
+BocpdState::RunParams BocpdState::PosteriorUpdate(const RunParams& params,
+                                                  double value) {
+  RunParams next;
+  next.kappa = params.kappa + 1.0;
+  next.mu = (params.kappa * params.mu + value) / next.kappa;
+  next.alpha = params.alpha + 0.5;
+  next.beta = params.beta + params.kappa * (value - params.mu) *
+                                (value - params.mu) / (2.0 * next.kappa);
+  return next;
+}
+
+void BocpdState::Observe(double value) {
+  if (!std::isfinite(value)) {
+    ++ignored_non_finite_;
+    return;
+  }
+  standardizer_.Add(value);
+  const double sd = std::sqrt(standardizer_.sample_variance());
+  const double floor = 1e-9 * std::max(1.0, std::fabs(standardizer_.mean()));
+  const double x = (value - standardizer_.mean()) / std::max(sd, floor);
+
+  const size_t buckets = mass_.size();
+  const size_t cap = buckets - 1;
+  const RunParams prior{config_.mu0, config_.kappa0, config_.alpha0,
+                        config_.beta0};
+
+  // weight[i] ∝ mass[i] * predictive(x | run i), computed in log space and
+  // shifted by the max so the exponentials stay in range even when every
+  // bucket finds x surprising. weight_ is member scratch (no per-point
+  // allocation).
+  weight_.assign(buckets, 0.0);
+  double max_joint = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < buckets; ++i) {
+    if (mass_[i] > 0.0) {
+      weight_[i] = std::log(mass_[i]) + LogPredictive(params_[i], x);
+      max_joint = std::max(max_joint, weight_[i]);
+    } else {
+      weight_[i] = -std::numeric_limits<double>::infinity();
+    }
+  }
+  if (!std::isfinite(max_joint)) {
+    // Degenerate posterior (should not happen); restart from a fresh run.
+    std::fill(mass_.begin(), mass_.end(), 0.0);
+    mass_[0] = 1.0;
+    std::fill(params_.begin(), params_.end(), prior);
+    ++observations_;
+    return;
+  }
+  for (size_t i = 0; i < buckets; ++i) {
+    weight_[i] =
+        std::isfinite(weight_[i]) ? std::exp(weight_[i] - max_joint) : 0.0;
+  }
+
+  // growth[i+1] = weight[i]*(1-h); change mass pools into bucket 0; run
+  // lengths past the cap fold into the sticky cap bucket.
+  std::fill(next_mass_.begin(), next_mass_.end(), 0.0);
+  double change = 0.0;
+  for (size_t i = 0; i < buckets; ++i) {
+    if (weight_[i] <= 0.0) {
+      continue;
+    }
+    change += weight_[i] * config_.hazard;
+    next_mass_[std::min(i + 1, cap)] += weight_[i] * (1.0 - config_.hazard);
+  }
+  next_mass_[0] += change;
+
+  // Parameter propagation: bucket i+1 inherits the posterior update of
+  // bucket i; bucket 0 restarts from the prior; the sticky cap bucket is a
+  // mass-weighted blend of the two runs that land there (an approximation —
+  // exact tracking would need unbounded buckets).
+  next_params_[0] = prior;
+  for (size_t i = 0; i + 1 < cap; ++i) {
+    next_params_[i + 1] = PosteriorUpdate(params_[i], x);
+  }
+  if (cap >= 1) {
+    const RunParams from_below = PosteriorUpdate(params_[cap - 1], x);
+    const RunParams stayed = PosteriorUpdate(params_[cap], x);
+    const double wb = weight_[cap - 1] * (1.0 - config_.hazard);
+    const double ws = weight_[cap] * (1.0 - config_.hazard);
+    if (wb + ws > 0.0) {
+      const double f = wb / (wb + ws);
+      next_params_[cap] = RunParams{
+          f * from_below.mu + (1.0 - f) * stayed.mu,
+          f * from_below.kappa + (1.0 - f) * stayed.kappa,
+          f * from_below.alpha + (1.0 - f) * stayed.alpha,
+          f * from_below.beta + (1.0 - f) * stayed.beta,
+      };
+    } else {
+      next_params_[cap] = stayed;
+    }
+  }
+
+  double total = 0.0;
+  for (double m : next_mass_) {
+    total += m;
+  }
+  for (size_t i = 0; i < buckets; ++i) {
+    mass_[i] = next_mass_[i] / total;
+  }
+  params_.swap(next_params_);
+  ++observations_;
+}
+
+int BocpdState::map_run_length() const {
+  size_t best = 0;
+  for (size_t i = 1; i < mass_.size(); ++i) {
+    if (mass_[i] > mass_[best]) {
+      best = i;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+double BocpdState::change_probability(int within) const {
+  if (within <= 0) {
+    return 0.0;
+  }
+  const size_t limit = std::min(static_cast<size_t>(within), mass_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < limit; ++i) {
+    total += mass_[i];
+  }
+  return std::min(total, 1.0);
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,83 @@
+// Bayesian Online Changepoint Detection (Adams & MacKay 2007).
+//
+// BocpdState maintains a truncated posterior over the current run length
+// (time since the last change point) under a constant hazard and a
+// Normal-Gamma conjugate model per run, updated in O(max_run_length) per
+// observation with no window re-extraction. The streaming detector state
+// (src/core/detector_state.h) uses it as an early-warning signal: a high
+// probability of a short run length means the series recently changed.
+//
+// Inputs are standardized against a running Welford estimate of the whole
+// history before entering the conjugate machinery, so the Student-t
+// predictive densities stay in a numerically safe range regardless of the
+// series' raw scale.
+#ifndef FBDETECT_SRC_TSA_BOCPD_H_
+#define FBDETECT_SRC_TSA_BOCPD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/accumulator.h"
+
+namespace fbdetect {
+
+class BocpdState {
+ public:
+  struct Config {
+    double hazard = 1.0 / 256.0;  // Per-step change probability.
+    int max_run_length = 64;      // Posterior truncation cap (sticky bucket).
+    // Normal-Gamma prior over the per-run mean/precision (standardized
+    // units, so the defaults are deliberately uninformative near N(0,1)).
+    double mu0 = 0.0;
+    double kappa0 = 1.0;
+    double alpha0 = 1.0;
+    double beta0 = 1.0;
+  };
+
+  BocpdState() : BocpdState(Config{}) {}
+  explicit BocpdState(const Config& config);
+
+  // Feeds one observation and advances the run-length posterior.
+  // Non-finite values are ignored (counted in ignored_non_finite()).
+  void Observe(double value);
+
+  int64_t observations() const { return observations_; }
+  int64_t ignored_non_finite() const { return ignored_non_finite_; }
+
+  // Maximum-a-posteriori run length. Run lengths >= max_run_length are
+  // collapsed into the cap bucket and reported as max_run_length.
+  int map_run_length() const;
+
+  // P(run length < within): posterior mass on a change within the last
+  // `within` observations. The early-warning trigger in the streaming scan
+  // is change_probability(k) > p for small k.
+  double change_probability(int within) const;
+
+ private:
+  struct RunParams {
+    double mu;
+    double kappa;
+    double alpha;
+    double beta;
+  };
+
+  double LogPredictive(const RunParams& params, double value) const;
+  static RunParams PosteriorUpdate(const RunParams& params, double value);
+
+  Config config_;
+  int64_t observations_ = 0;
+  int64_t ignored_non_finite_ = 0;
+  WelfordAccumulator standardizer_;
+  // mass_[i] = P(run length == i), i in [0, max_run_length]; the last
+  // bucket is sticky (holds all mass for run lengths >= cap).
+  std::vector<double> mass_;
+  std::vector<RunParams> params_;
+  // Scratch reused across Observe calls to avoid per-point allocation.
+  std::vector<double> weight_;
+  std::vector<double> next_mass_;
+  std::vector<RunParams> next_params_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSA_BOCPD_H_

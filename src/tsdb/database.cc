@@ -75,6 +75,17 @@ InternedMetricId TimeSeriesDatabase::Intern(const MetricId& id) {
                           symbols_.Intern(id.entity), symbols_.Intern(id.metadata)};
 }
 
+std::optional<InternedMetricId> TimeSeriesDatabase::TryIntern(
+    const MetricId& id) const {
+  const auto service = symbols_.Find(id.service);
+  const auto entity = symbols_.Find(id.entity);
+  const auto metadata = symbols_.Find(id.metadata);
+  if (!service || !entity || !metadata) {
+    return std::nullopt;
+  }
+  return InternedMetricId{*service, id.kind, *entity, *metadata};
+}
+
 MetricId TimeSeriesDatabase::Resolve(const InternedMetricId& id) const {
   return MetricId{symbols_.Name(id.service), id.kind, symbols_.Name(id.entity),
                   symbols_.Name(id.metadata)};
@@ -111,14 +122,32 @@ bool TimeSeriesDatabase::AppendCounted(Shard& shard, SeriesEntry& entry,
   return false;  // Unreachable.
 }
 
+void TimeSeriesDatabase::NotifyAppendLocked(const InternedMetricId& id,
+                                            const SeriesEntry& entry,
+                                            size_t tail_before) const {
+  if (append_observer_ == nullptr) {
+    return;
+  }
+  const TimeSeries& tail = entry.data.tail();
+  if (tail.size() <= tail_before) {
+    return;  // Nothing accepted (appends go to the tail only).
+  }
+  const size_t count = tail.size() - tail_before;
+  append_observer_->OnAppend(
+      id, std::span<const TimePoint>(tail.timestamps()).subspan(tail_before, count),
+      std::span<const double>(tail.values()).subspan(tail_before, count));
+}
+
 void TimeSeriesDatabase::Write(const InternedMetricId& id, TimePoint timestamp,
                                double value) {
   Shard& shard = shards_[ShardIndex(id)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   SeriesEntry& entry = EntryLocked(shard, id);
+  const size_t tail_before = entry.data.tail().size();
   if (AppendCounted(shard, entry, timestamp, value)) {
     ++entry.version;
     shard.generation.fetch_add(1, std::memory_order_relaxed);
+    NotifyAppendLocked(id, entry, tail_before);
   }
 }
 
@@ -127,6 +156,7 @@ void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
   Shard& shard = shards_[ShardIndex(interned)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   SeriesEntry& entry = EntryLocked(shard, interned);
+  const size_t tail_before = entry.data.tail().size();
   bool stored = false;
   for (size_t i = 0; i < series.size(); ++i) {
     stored |= AppendCounted(shard, entry, series.timestamps()[i], series.values()[i]);
@@ -134,6 +164,7 @@ void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
   if (stored) {
     ++entry.version;
     shard.generation.fetch_add(1, std::memory_order_relaxed);
+    NotifyAppendLocked(interned, entry, tail_before);
   }
 }
 
@@ -153,6 +184,7 @@ void TimeSeriesDatabase::Apply(WriteBatch& batch) {
         continue;  // Staged in an earlier fill of this batch, idle since.
       }
       SeriesEntry& entry = EntryLocked(shard, column.id);
+      const size_t tail_before = entry.data.tail().size();
       bool stored = false;
       for (size_t i = 0; i < column.timestamps.size(); ++i) {
         stored |= AppendCounted(shard, entry, column.timestamps[i], column.values[i]);
@@ -160,6 +192,7 @@ void TimeSeriesDatabase::Apply(WriteBatch& batch) {
       if (stored) {
         ++entry.version;
         changed = true;
+        NotifyAppendLocked(column.id, entry, tail_before);
       }
     }
     if (changed) {
@@ -216,13 +249,8 @@ const TimeSeries* TimeSeriesDatabase::MaterializedLocked(const SeriesEntry& entr
 }
 
 const TimeSeries* TimeSeriesDatabase::Find(const MetricId& id) const {
-  const auto service = symbols_.Find(id.service);
-  const auto entity = symbols_.Find(id.entity);
-  const auto metadata = symbols_.Find(id.metadata);
-  if (!service || !entity || !metadata) {
-    return nullptr;
-  }
-  return Find(InternedMetricId{*service, id.kind, *entity, *metadata});
+  const auto interned = TryIntern(id);
+  return interned ? Find(*interned) : nullptr;
 }
 
 const TimeSeries* TimeSeriesDatabase::Find(const InternedMetricId& id) const {
@@ -239,13 +267,8 @@ const TimeSeries* TimeSeriesDatabase::Find(const InternedMetricId& id) const {
 }
 
 bool TimeSeriesDatabase::Contains(const MetricId& id) const {
-  const auto service = symbols_.Find(id.service);
-  const auto entity = symbols_.Find(id.entity);
-  const auto metadata = symbols_.Find(id.metadata);
-  if (!service || !entity || !metadata) {
-    return false;
-  }
-  return Contains(InternedMetricId{*service, id.kind, *entity, *metadata});
+  const auto interned = TryIntern(id);
+  return interned && Contains(*interned);
 }
 
 bool TimeSeriesDatabase::Contains(const InternedMetricId& id) const {
@@ -257,17 +280,14 @@ bool TimeSeriesDatabase::Contains(const InternedMetricId& id) const {
 const TimeSeries* TimeSeriesDatabase::SeriesForScan(const MetricId& id, TimePoint begin,
                                                     TimeSeries& scratch,
                                                     Status* status) const {
-  const auto service = symbols_.Find(id.service);
-  const auto entity = symbols_.Find(id.entity);
-  const auto metadata = symbols_.Find(id.metadata);
-  if (!service || !entity || !metadata) {
+  const auto interned = TryIntern(id);
+  if (!interned) {
     if (status != nullptr) {
       *status = Status::Ok();  // Absent, not corrupt.
     }
     return nullptr;
   }
-  return SeriesForScan(InternedMetricId{*service, id.kind, *entity, *metadata}, begin,
-                       scratch, status);
+  return SeriesForScan(*interned, begin, scratch, status);
 }
 
 const TimeSeries* TimeSeriesDatabase::SeriesForScan(const InternedMetricId& id,
@@ -310,6 +330,8 @@ TimeSeriesDatabase::ScanStats TimeSeriesDatabase::scan_stats() const {
   stats.misses = scan_misses_.load(std::memory_order_relaxed);
   stats.list_cache_hits = list_cache_hits_.load(std::memory_order_relaxed);
   stats.list_cache_misses = list_cache_misses_.load(std::memory_order_relaxed);
+  stats.list_cache_shard_refreshes =
+      list_cache_shard_refreshes_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -325,22 +347,57 @@ std::vector<MetricId> TimeSeriesDatabase::ListMetrics(const std::string& service
     return cached.ids;
   }
   list_cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  cached.ids.clear();
+  const bool cold = cached.shard_generations.size() != shards_.size();
+  if (cold) {
+    cached.shard_generations.assign(shards_.size(), 0);
+    cached.per_shard.assign(shards_.size(), {});
+  }
   const auto service_symbol =
       service.empty() ? std::optional<uint32_t>(SymbolTable::kEmptySymbol)
                       : symbols_.Find(service);
-  if (service_symbol) {
-    for (const Shard& shard : shards_) {
+  // Re-enumerate only shards whose generation moved since their slice was
+  // built (all of them when cold); each slice is sorted on its own so the
+  // merge below never re-sorts unchanged shards' ids.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!cold && cached.shard_generations[i] == generations[i]) {
+      continue;
+    }
+    list_cache_shard_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<MetricId>& slice = cached.per_shard[i];
+    slice.clear();
+    if (service_symbol) {
+      const Shard& shard = shards_[i];
       std::lock_guard<std::mutex> lock(shard.mutex);
       for (const auto& [id, unused] : shard.series) {
         if (service.empty() || id.service == *service_symbol) {
-          cached.ids.push_back(Resolve(id));
+          slice.push_back(Resolve(id));
         }
       }
+      // Deterministic canonical order for reproducible pipeline runs;
+      // MetricId's field-wise operator< avoids ToString() allocations.
+      std::sort(slice.begin(), slice.end());
     }
-    // Deterministic canonical order for reproducible pipeline runs;
-    // MetricId's field-wise operator< avoids ToString() allocations.
-    std::sort(cached.ids.begin(), cached.ids.end());
+  }
+  // K-way merge of the sorted per-shard slices (shard count is small, so a
+  // linear min-scan per output element is fine and allocation-free).
+  cached.ids.clear();
+  std::vector<size_t> cursor(shards_.size(), 0);
+  for (;;) {
+    size_t best = shards_.size();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (cursor[i] >= cached.per_shard[i].size()) {
+        continue;
+      }
+      if (best == shards_.size() ||
+          cached.per_shard[i][cursor[i]] < cached.per_shard[best][cursor[best]]) {
+        best = i;
+      }
+    }
+    if (best == shards_.size()) {
+      break;
+    }
+    cached.ids.push_back(cached.per_shard[best][cursor[best]]);
+    ++cursor[best];
   }
   cached.shard_generations = std::move(generations);
   return cached.ids;
@@ -430,6 +487,13 @@ uint64_t TimeSeriesDatabase::generation() const {
     total += shard.generation.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+uint64_t TimeSeriesDatabase::SeriesVersion(const InternedMetricId& id) const {
+  const Shard& shard = shards_[ShardIndex(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.series.find(id);
+  return it == shard.series.end() ? 0 : it->second.version;
 }
 
 }  // namespace fbdetect

@@ -24,6 +24,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +40,21 @@
 namespace fbdetect {
 
 class TimeSeriesDatabase;
+
+// Observer of accepted appends, the hook the streaming detector state hangs
+// off the write path. Called while the owning shard's mutex is held, once
+// per (series, flush) with the run of points that were actually stored —
+// rejected duplicates/out-of-order points are never reported. The spans
+// point into the series' raw tail and are valid only for the duration of
+// the call. Implementations must be cheap and must not call back into the
+// database (the shard lock is held).
+class AppendObserver {
+ public:
+  virtual ~AppendObserver() = default;
+  virtual void OnAppend(const InternedMetricId& id,
+                        std::span<const TimePoint> timestamps,
+                        std::span<const double> values) = 0;
+};
 
 struct TsdbOptions {
   // Number of lock-striped shards; rounded up to a power of two. 1 gives the
@@ -122,7 +139,11 @@ class TimeSeriesDatabase {
     uint64_t decode_failures = 0;  // Recoverable sealed-chunk decode errors.
     uint64_t misses = 0;           // SeriesForScan on an absent series.
     uint64_t list_cache_hits = 0;  // ListMetrics served from the cache.
-    uint64_t list_cache_misses = 0;  // ListMetrics re-enumerated the shards.
+    uint64_t list_cache_misses = 0;  // ListMetrics re-enumerated >= 1 shard.
+    // Shards actually re-enumerated by ListMetrics misses. A miss after one
+    // shard moved refreshes 1 shard, not shard_count — this is what makes
+    // the incremental cache observable (and testable).
+    uint64_t list_cache_shard_refreshes = 0;
   };
   ScanStats scan_stats() const;
 
@@ -145,6 +166,10 @@ class TimeSeriesDatabase {
 
   // Interns all string components of `id` (creating symbols on first sight).
   InternedMetricId Intern(const MetricId& id);
+  // Read-only interning: nullopt if any component string has never been
+  // interned (the series cannot exist). Never creates symbols, so it is safe
+  // on the read path.
+  std::optional<InternedMetricId> TryIntern(const MetricId& id) const;
   // Recovers the canonical MetricId of an interned key.
   MetricId Resolve(const InternedMetricId& id) const;
   const SymbolTable& symbols() const { return symbols_; }
@@ -162,6 +187,13 @@ class TimeSeriesDatabase {
   // Applies a staged batch: each touched shard is locked once and its
   // generation bumped once. Called by WriteBatch::Commit.
   void Apply(WriteBatch& batch);
+
+  // Registers (or clears, with nullptr) the single append observer. Must be
+  // called while no writer is active — same phase discipline as the scan
+  // readers; the pointer is read by writers under their shard lock without
+  // further synchronization.
+  void SetAppendObserver(AppendObserver* observer) { append_observer_ = observer; }
+  AppendObserver* append_observer() const { return append_observer_; }
 
   // Aggregate accept/drop counters across all shards.
   IngestStats ingest_stats() const;
@@ -226,6 +258,12 @@ class TimeSeriesDatabase {
   // (sum of per-shard counters); never changed by reads.
   uint64_t generation() const;
 
+  // Per-series mutation counter: bumped on every stored append, seal, and
+  // retention trim of the series; 0 when the series is absent. The
+  // generation-gated scan compares this against the version its cached
+  // verdict was computed at to decide dirty vs clean.
+  uint64_t SeriesVersion(const InternedMetricId& id) const;
+
  private:
   friend class WriteBatch;
 
@@ -250,9 +288,14 @@ class TimeSeriesDatabase {
     std::unordered_map<InternedMetricId, SeriesEntry, InternedMetricIdHash> series;
   };
 
+  // Per-service ListMetrics cache. Each shard's matching ids are kept as a
+  // separately sorted slice stamped with the generation it was built at;
+  // a mutation to one shard re-enumerates only that shard, then the slices
+  // are k-way merged (already sorted, so no re-sort of the full set).
   struct ListCacheEntry {
     std::vector<uint64_t> shard_generations;
-    std::vector<MetricId> ids;
+    std::vector<std::vector<MetricId>> per_shard;
+    std::vector<MetricId> ids;  // Merge of per_shard, canonical order.
   };
 
   size_t ShardIndex(const InternedMetricId& id) const {
@@ -271,10 +314,16 @@ class TimeSeriesDatabase {
   // Full decoded view of an entry (cached). Caller holds the shard mutex.
   const TimeSeries* MaterializedLocked(const SeriesEntry& entry) const;
 
+  // Reports the tail suffix [tail_before, tail.size()) — the points a write
+  // call just stored — to the append observer. Caller holds the shard mutex.
+  void NotifyAppendLocked(const InternedMetricId& id, const SeriesEntry& entry,
+                          size_t tail_before) const;
+
   TsdbOptions options_;
   size_t shard_mask_ = 0;
   SymbolTable symbols_;
   std::vector<Shard> shards_;
+  AppendObserver* append_observer_ = nullptr;
 
   mutable std::mutex list_cache_mutex_;
   mutable std::unordered_map<std::string, ListCacheEntry> list_cache_;
@@ -286,6 +335,7 @@ class TimeSeriesDatabase {
   mutable std::atomic<uint64_t> scan_misses_{0};
   mutable std::atomic<uint64_t> list_cache_hits_{0};
   mutable std::atomic<uint64_t> list_cache_misses_{0};
+  mutable std::atomic<uint64_t> list_cache_shard_refreshes_{0};
 };
 
 }  // namespace fbdetect
