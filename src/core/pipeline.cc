@@ -111,6 +111,10 @@ Pipeline::Pipeline(const TimeSeriesDatabase* db, const ChangeLog* change_log,
   telemetry_.set_enabled(options_.telemetry.enabled);
   if (options_.telemetry.enabled) {
     RegisterInstruments();
+    if (options_.telemetry.self_host_db != nullptr) {
+      self_sink_ = std::make_unique<TelemetrySink>(
+          options_.telemetry.self_host_db, options_.telemetry.self_host_service);
+    }
   }
 }
 
@@ -182,6 +186,32 @@ void Pipeline::RegisterInstruments() {
   obs_.scan_cache_hit = counter(kCounterScanCacheHit);
   obs_.run_short_circuits = counter(kCounterRunShortCircuits);
   obs_.streaming_alerts = counter(kCounterStreamingAlerts);
+
+  // Durable-tier mirrors only exist when the scanned database has the tier
+  // on, so pipelines over RAM-only databases keep an unchanged instrument
+  // set. All kRuntime: values depend on commit batching, memory budgets, and
+  // crash/recovery history, none of which are part of the deterministic
+  // contract.
+  if (db_->durable_stats().enabled) {
+    obs_.durable = true;
+    obs_.durable_group_commits = runtime("tsdb.durable.group_commits");
+    obs_.durable_checkpoint_rewrites = runtime("tsdb.durable.checkpoint_rewrites");
+    obs_.durable_log_bytes = runtime("tsdb.durable.log_bytes");
+    obs_.durable_chunk_file_bytes = runtime("tsdb.durable.chunk_file_bytes");
+    obs_.durable_chunks_persisted = runtime("tsdb.durable.chunks_persisted");
+    obs_.durable_chunks_evicted = runtime("tsdb.durable.chunks_evicted");
+    obs_.durable_evicted_bytes = runtime("tsdb.durable.evicted_bytes");
+    obs_.durable_mapped_readback_decodes =
+        runtime("tsdb.durable.mapped_readback_decodes");
+    obs_.durable_recoveries = runtime("tsdb.durable.recoveries");
+    obs_.durable_recovered_points = runtime("tsdb.durable.recovered_points");
+    obs_.durable_materialized_evictions =
+        runtime("tsdb.durable.materialized_evictions");
+    obs_.memory_resident_sealed_bytes =
+        runtime("tsdb.memory.resident_sealed_bytes");
+    obs_.memory_mapped_sealed_bytes = runtime("tsdb.memory.mapped_sealed_bytes");
+    obs_.memory_materialized_bytes = runtime("tsdb.memory.materialized_bytes");
+  }
 }
 
 void Pipeline::SyncTelemetry() {
@@ -201,6 +231,24 @@ void Pipeline::SyncTelemetry() {
   obs_.pool_tasks->Set(pool.tasks);
   obs_.pool_max_batch_tasks->Set(pool.max_batch_tasks);
   obs_.pool_wall_ns->Set(pool.wall_ns);
+  if (obs_.durable) {
+    const TimeSeriesDatabase::DurableStats durable = db_->durable_stats();
+    obs_.durable_group_commits->Set(durable.group_commits);
+    obs_.durable_checkpoint_rewrites->Set(durable.checkpoint_rewrites);
+    obs_.durable_log_bytes->Set(durable.log_bytes);
+    obs_.durable_chunk_file_bytes->Set(durable.chunk_file_bytes);
+    obs_.durable_chunks_persisted->Set(durable.chunks_persisted);
+    obs_.durable_chunks_evicted->Set(durable.chunks_evicted);
+    obs_.durable_evicted_bytes->Set(durable.evicted_bytes);
+    obs_.durable_mapped_readback_decodes->Set(durable.mapped_readback_decodes);
+    obs_.durable_recoveries->Set(durable.recoveries);
+    obs_.durable_recovered_points->Set(durable.recovered_points);
+    obs_.durable_materialized_evictions->Set(durable.materialized_evictions);
+    const TimeSeriesDatabase::MemoryStats memory = db_->memory_stats();
+    obs_.memory_resident_sealed_bytes->Set(memory.resident_sealed_bytes);
+    obs_.memory_mapped_sealed_bytes->Set(memory.mapped_sealed_bytes);
+    obs_.memory_materialized_bytes->Set(memory.materialized_bytes);
+  }
 }
 
 void Pipeline::StageWallSums(uint64_t* sums) const {
@@ -644,6 +692,9 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
       obs_.run_short_circuits->Increment();
       obs_.scan_clean->Add(CachedMetrics(service).size());
       SyncTelemetry();
+      if (self_sink_ != nullptr) {
+        self_sink_->Persist(telemetry_, as_of);
+      }
     }
     return {};
   }
@@ -884,6 +935,13 @@ std::vector<Regression> Pipeline::RunAt(const std::string& service, TimePoint as
     obs_.run_wall_ns->Record(run_wall_ns);
     ++run_counter_;
     EmitTrace(service, stage_sums_before, scan_wall_before, run_wall_ns);
+    if (self_sink_ != nullptr) {
+      // Self-hosting: persist this run's registry snapshot as ordinary series
+      // (DESIGN.md §15). Runs after the scan's readers are done, so the sink
+      // may target the scanned database itself; the resulting generation bump
+      // correctly disarms the short-circuit when it does.
+      self_sink_->Persist(telemetry_, as_of);
+    }
   }
   // Arm the next run's short-circuit with the generation observed before the
   // scan (writers never run concurrently with a scan, so it is also the

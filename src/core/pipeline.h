@@ -41,6 +41,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/observe/telemetry.h"
+#include "src/observe/telemetry_sink.h"
 #include "src/tracing/trace.h"
 #include "src/core/change_point_stage.h"
 #include "src/core/code_info.h"
@@ -93,6 +94,16 @@ struct TelemetryOptions {
   bool enabled = false;
   // Per-run traces retained (oldest dropped first); 0 disables tracing.
   size_t max_traces = 64;
+  // Self-hosting (DESIGN.md §15): when set (and telemetry is enabled), every
+  // RunAt ends by persisting a registry snapshot into this database as
+  // ordinary series under `self_host_service` — counters as kApplication
+  // levels, histogram per-interval means as kLatency series — so the
+  // pipeline's own attrition/latency metrics are scanned for regressions by
+  // the standard detection stack. May point at the scanned database itself
+  // (the write happens after the run's readers are done). Must outlive the
+  // pipeline.
+  TimeSeriesDatabase* self_host_db = nullptr;
+  std::string self_host_service = "fbdetect.self";
 };
 
 struct PipelineOptions {
@@ -234,6 +245,25 @@ class Pipeline {
     Counter* run_short_circuits = nullptr;
     // Deterministic mirror of DetectorStateStore::alerts_raised().
     Counter* streaming_alerts = nullptr;
+    // Runtime mirrors of the durable tier (tsdb.durable.* / tsdb.memory.*).
+    // Registered only when the scanned database has the tier enabled, so
+    // non-durable pipelines see an unchanged instrument set. All kRuntime:
+    // their values depend on budgets, commit batching, and crash history.
+    bool durable = false;
+    Counter* durable_group_commits = nullptr;
+    Counter* durable_checkpoint_rewrites = nullptr;
+    Counter* durable_log_bytes = nullptr;
+    Counter* durable_chunk_file_bytes = nullptr;
+    Counter* durable_chunks_persisted = nullptr;
+    Counter* durable_chunks_evicted = nullptr;
+    Counter* durable_evicted_bytes = nullptr;
+    Counter* durable_mapped_readback_decodes = nullptr;
+    Counter* durable_recoveries = nullptr;
+    Counter* durable_recovered_points = nullptr;
+    Counter* durable_materialized_evictions = nullptr;
+    Counter* memory_resident_sealed_bytes = nullptr;
+    Counter* memory_mapped_sealed_bytes = nullptr;
+    Counter* memory_materialized_bytes = nullptr;
   };
 
   // Registers every instrument with the registry and fills `obs_`.
@@ -370,6 +400,8 @@ class Pipeline {
   Instruments obs_;
   std::vector<Trace> run_traces_;
   int64_t run_counter_ = 0;
+  // Self-hosting sink; null unless TelemetryOptions::self_host_db is set.
+  std::unique_ptr<TelemetrySink> self_sink_;
 
   // Accumulated dirty-series accounting across re-runs; std::map keeps
   // canonical MetricId order for the report snapshot.

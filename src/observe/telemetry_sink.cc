@@ -1,0 +1,35 @@
+#include "src/observe/telemetry_sink.h"
+
+#include <utility>
+
+namespace fbdetect {
+
+TelemetrySink::TelemetrySink(TimeSeriesDatabase* db, std::string service)
+    : db_(db), service_(std::move(service)), batch_(db) {}
+
+size_t TelemetrySink::Persist(const TelemetryRegistry& registry, TimePoint now) {
+  size_t points = 0;
+  for (const CounterSnapshot& counter : registry.SnapshotCounters()) {
+    batch_.Add(MetricId{service_, MetricKind::kApplication, counter.name, {}}, now,
+               static_cast<double>(counter.value));
+    ++points;
+  }
+  for (const HistogramSnapshot& histogram : registry.SnapshotHistograms()) {
+    HistogramCursor& cursor = histogram_cursor_[histogram.name];
+    const uint64_t delta_count = histogram.count - cursor.count;
+    const uint64_t delta_sum = histogram.sum - cursor.sum;
+    cursor.count = histogram.count;
+    cursor.sum = histogram.sum;
+    if (delta_count == 0) {
+      continue;  // No recordings this interval: a gap, not a zero.
+    }
+    batch_.Add(
+        MetricId{service_, MetricKind::kLatency, histogram.name + ".mean", {}}, now,
+        static_cast<double>(delta_sum) / static_cast<double>(delta_count));
+    ++points;
+  }
+  batch_.Commit();
+  return points;
+}
+
+}  // namespace fbdetect

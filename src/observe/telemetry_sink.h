@@ -1,0 +1,62 @@
+// Self-hosted telemetry retention (DESIGN.md §15): periodic TelemetryRegistry
+// snapshots persisted into the TSDB as ordinary time series, so the
+// pipeline's own attrition and latency metrics are scanned for regressions by
+// the same detection stack that watches the fleet — FBDetect monitoring
+// FBDetect.
+//
+// Mapping:
+//   counter `name`    -> MetricId{service, kApplication, entity = name}
+//                        absolute value at snapshot time (monotonic).
+//   histogram `name`  -> MetricId{service, kLatency, entity = name + ".mean"}
+//                        mean of the values recorded SINCE THE LAST snapshot
+//                        (delta sum / delta count) — a per-interval latency
+//                        level, which is what the change-point detectors
+//                        expect. Intervals with no recordings write nothing
+//                        (a gap, not a zero).
+//
+// The sink writes through the normal ingest path (WriteBatch), so persisted
+// telemetry participates in sealing, retention, durability, and scanning
+// exactly like fleet telemetry.
+#ifndef FBDETECT_SRC_OBSERVE_TELEMETRY_SINK_H_
+#define FBDETECT_SRC_OBSERVE_TELEMETRY_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/sim_time.h"
+#include "src/observe/telemetry.h"
+#include "src/tsdb/database.h"
+
+namespace fbdetect {
+
+class TelemetrySink {
+ public:
+  // Writes snapshots into `db` under `service` (e.g. "fbdetect.self").
+  // `db` must outlive the sink.
+  TelemetrySink(TimeSeriesDatabase* db, std::string service);
+
+  // Persists one snapshot stamped `now`. Timestamps must be strictly
+  // increasing across calls (the database drops a repeated timestamp as a
+  // duplicate, which is harmless but wasted work). Returns the number of
+  // points written.
+  size_t Persist(const TelemetryRegistry& registry, TimePoint now);
+
+  const std::string& service() const { return service_; }
+
+ private:
+  struct HistogramCursor {
+    uint64_t sum = 0;
+    uint64_t count = 0;
+  };
+
+  TimeSeriesDatabase* db_;
+  std::string service_;
+  WriteBatch batch_;
+  // Last-seen histogram totals, for per-interval deltas.
+  std::unordered_map<std::string, HistogramCursor> histogram_cursor_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_OBSERVE_TELEMETRY_SINK_H_

@@ -1,6 +1,10 @@
 #include "src/tsdb/database.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 
 #include "src/common/check.h"
 
@@ -14,6 +18,20 @@ size_t RoundUpPow2(size_t value) {
   }
   return pow2;
 }
+
+// Durable-tier I/O failures are fatal: once the tier is open, the database
+// treats the filesystem as reliable (same stance as FBD_CHECK for invariant
+// violations), and a void write path cannot propagate a Status.
+void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "durable tier I/O failure: %s\n", status.message().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+// Heap cost of a materialized TimeSeries (parallel timestamp/value vectors).
+size_t MaterializedBytes(const TimeSeries& series) { return series.size() * 16; }
 
 }  // namespace
 
@@ -68,6 +86,132 @@ TimeSeriesDatabase::TimeSeriesDatabase(const TsdbOptions& options)
     : options_(options),
       shards_(RoundUpPow2(std::max<size_t>(1, options.shard_count))) {
   shard_mask_ = shards_.size() - 1;
+  if (options_.durable.enabled()) {
+    OpenDurable();
+  }
+}
+
+TimeSeriesDatabase::~TimeSeriesDatabase() { SyncDurable(); }
+
+void TimeSeriesDatabase::OpenDurable() {
+  const std::string& dir = options_.durable.directory;
+  const bool fsync = options_.durable.fsync;
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    FBD_CHECK(errno == EEXIST);
+  }
+  // Symbols first: replaying the names log in append (= interning) order
+  // reproduces the identical dense ids every chunk and WAL record refers to.
+  symbols_log_ = std::make_unique<WriteAheadLog>();
+  WriteAheadLog::ReplayHandler symbol_handler;
+  symbol_handler.symbol = [this](std::string_view name) { symbols_.Intern(name); };
+  CheckOk(symbols_log_->Open(dir + "/symbols.log", symbol_handler, fsync));
+  symbols_logged_ = symbols_.size();  // Includes the pre-interned "".
+
+  const auto symbols_known = [this](const InternedMetricId& id) {
+    const size_t n = symbols_.size();
+    return id.service < n && id.entity < n && id.metadata < n;
+  };
+  bool recovered_any = symbols_logged_ > 1;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    const std::string suffix = "." + std::to_string(i);
+    shard.chunk_store = std::make_unique<ChunkStore>();
+    shard.wal = std::make_unique<WriteAheadLog>();
+    // Sealed history: restore chunk records in file order. Re-persisted
+    // chunks (grown or retention-trimmed) appear later and supersede what
+    // they overlap (TieredSeries::RestoreSealedChunk). Records whose symbols
+    // the names log does not know cannot have been committed by a correct
+    // writer (symbols are fsync'd first); skipping them is belt-and-braces.
+    CheckOk(shard.chunk_store->Open(
+        dir + "/chunks" + suffix,
+        [this, &shard, &symbols_known](const ChunkStore::RestoredChunk& chunk) {
+          if (!symbols_known(chunk.id) || chunk.count == 0) {
+            return;
+          }
+          SeriesEntry& entry = EntryLocked(shard, chunk.id);
+          entry.data.RestoreSealedChunk(chunk.payload_offset, chunk.payload_len,
+                                        chunk.bit_count, chunk.count, chunk.first,
+                                        chunk.last);
+        },
+        fsync));
+    // Then the log: the checkpoint frame (retention cutoff, seal boundary,
+    // tail snapshots) followed by post-checkpoint appends. Replay is not
+    // ingest — outcomes are not counted, and points at or before restored
+    // sealed history (tail snapshots overlapping chunks) skip naturally.
+    WriteAheadLog::ReplayHandler handler;
+    handler.points = [this, &shard, &symbols_known](const InternedMetricId& id,
+                                                    std::span<const TimePoint> timestamps,
+                                                    std::span<const double> values) {
+      if (!symbols_known(id)) {
+        return;
+      }
+      SeriesEntry& entry = EntryLocked(shard, id);
+      for (size_t k = 0; k < timestamps.size(); ++k) {
+        (void)entry.data.TryAppend(timestamps[k], values[k]);
+      }
+    };
+    handler.drop_before = [this, &shard](TimePoint cutoff) {
+      for (auto& [id, entry] : shard.series) {
+        entry.data.DropBefore(cutoff);
+      }
+      last_drop_cutoff_ = std::max(last_drop_cutoff_, cutoff);
+      have_drop_cutoff_ = true;
+    };
+    handler.seal_boundary = [this](TimePoint boundary) {
+      last_seal_boundary_ = std::max(last_seal_boundary_, boundary);
+    };
+    CheckOk(shard.wal->Open(dir + "/wal" + suffix, handler, fsync));
+    // A replayed retention record can empty a series entirely.
+    for (auto it = shard.series.begin(); it != shard.series.end();) {
+      it = it->second.data.empty() ? shard.series.erase(it) : std::next(it);
+    }
+    const WriteAheadLog::Stats& wal_stats = shard.wal->stats();
+    const ChunkStore::Stats& chunk_stats = shard.chunk_store->stats();
+    recovered_points_ += wal_stats.replayed_points;
+    recovered_chunks_ += chunk_stats.restored_chunks;
+    recovered_truncated_bytes_ += wal_stats.truncated_bytes + chunk_stats.truncated_bytes;
+    recovered_any = recovered_any || wal_stats.replayed_points > 0 ||
+                    chunk_stats.restored_chunks > 0;
+  }
+  recoveries_ = recovered_any ? 1 : 0;
+}
+
+void TimeSeriesDatabase::CommitSymbols() {
+  if (!symbols_log_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(symbols_log_mutex_);
+  const size_t total = symbols_.size();
+  for (size_t i = symbols_logged_; i < total; ++i) {
+    symbols_log_->BufferSymbol(symbols_.Name(static_cast<uint32_t>(i)));
+  }
+  symbols_logged_ = total;
+  if (symbols_log_->pending_bytes() > 0) {
+    CheckOk(symbols_log_->Commit());
+  }
+}
+
+void TimeSeriesDatabase::MaybeGroupCommitLocked(Shard& shard) {
+  if (shard.wal == nullptr ||
+      shard.wal->pending_bytes() < options_.durable.group_commit_bytes) {
+    return;
+  }
+  // Symbols must reach disk before any record that references them.
+  CommitSymbols();
+  CheckOk(shard.wal->Commit());
+}
+
+void TimeSeriesDatabase::SyncDurable() {
+  if (!options_.durable.enabled()) {
+    return;
+  }
+  CommitSymbols();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.wal->pending_bytes() > 0) {
+      CheckOk(shard.wal->Commit());
+    }
+  }
 }
 
 InternedMetricId TimeSeriesDatabase::Intern(const MetricId& id) {
@@ -96,6 +240,9 @@ TimeSeriesDatabase::SeriesEntry& TimeSeriesDatabase::EntryLocked(
   auto it = shard.series.find(id);
   if (it == shard.series.end()) {
     it = shard.series.emplace(id, SeriesEntry(options_.seal_chunk_points)).first;
+    if (shard.chunk_store != nullptr) {
+      it->second.data.set_chunk_source(shard.chunk_store.get());
+    }
   }
   return it->second;
 }
@@ -122,50 +269,62 @@ bool TimeSeriesDatabase::AppendCounted(Shard& shard, SeriesEntry& entry,
   return false;  // Unreachable.
 }
 
-void TimeSeriesDatabase::NotifyAppendLocked(const InternedMetricId& id,
+void TimeSeriesDatabase::NotifyAppendLocked(Shard& shard, const InternedMetricId& id,
                                             const SeriesEntry& entry,
-                                            size_t tail_before) const {
-  if (append_observer_ == nullptr) {
-    return;
-  }
+                                            size_t tail_before) {
   const TimeSeries& tail = entry.data.tail();
   if (tail.size() <= tail_before) {
     return;  // Nothing accepted (appends go to the tail only).
   }
   const size_t count = tail.size() - tail_before;
-  append_observer_->OnAppend(
-      id, std::span<const TimePoint>(tail.timestamps()).subspan(tail_before, count),
-      std::span<const double>(tail.values()).subspan(tail_before, count));
+  const auto timestamps =
+      std::span<const TimePoint>(tail.timestamps()).subspan(tail_before, count);
+  const auto values =
+      std::span<const double>(tail.values()).subspan(tail_before, count);
+  if (append_observer_ != nullptr) {
+    append_observer_->OnAppend(id, timestamps, values);
+  }
+  if (shard.wal != nullptr) {
+    shard.wal->BufferPoints(id, timestamps, values);
+  }
 }
 
 void TimeSeriesDatabase::Write(const InternedMetricId& id, TimePoint timestamp,
                                double value) {
   Shard& shard = shards_[ShardIndex(id)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  SeriesEntry& entry = EntryLocked(shard, id);
-  const size_t tail_before = entry.data.tail().size();
-  if (AppendCounted(shard, entry, timestamp, value)) {
-    ++entry.version;
-    shard.generation.fetch_add(1, std::memory_order_relaxed);
-    NotifyAppendLocked(id, entry, tail_before);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    SeriesEntry& entry = EntryLocked(shard, id);
+    const size_t tail_before = entry.data.tail().size();
+    if (AppendCounted(shard, entry, timestamp, value)) {
+      ++entry.version;
+      shard.generation.fetch_add(1, std::memory_order_relaxed);
+      NotifyAppendLocked(shard, id, entry, tail_before);
+      MaybeGroupCommitLocked(shard);
+    }
   }
+  MaybeEvictMaterialized();
 }
 
 void TimeSeriesDatabase::WriteSeries(const MetricId& id, TimeSeries series) {
   const InternedMetricId interned = Intern(id);
   Shard& shard = shards_[ShardIndex(interned)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  SeriesEntry& entry = EntryLocked(shard, interned);
-  const size_t tail_before = entry.data.tail().size();
-  bool stored = false;
-  for (size_t i = 0; i < series.size(); ++i) {
-    stored |= AppendCounted(shard, entry, series.timestamps()[i], series.values()[i]);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    SeriesEntry& entry = EntryLocked(shard, interned);
+    const size_t tail_before = entry.data.tail().size();
+    bool stored = false;
+    for (size_t i = 0; i < series.size(); ++i) {
+      stored |= AppendCounted(shard, entry, series.timestamps()[i], series.values()[i]);
+    }
+    if (stored) {
+      ++entry.version;
+      shard.generation.fetch_add(1, std::memory_order_relaxed);
+      NotifyAppendLocked(shard, interned, entry, tail_before);
+      MaybeGroupCommitLocked(shard);
+    }
   }
-  if (stored) {
-    ++entry.version;
-    shard.generation.fetch_add(1, std::memory_order_relaxed);
-    NotifyAppendLocked(interned, entry, tail_before);
-  }
+  MaybeEvictMaterialized();
 }
 
 void TimeSeriesDatabase::Apply(WriteBatch& batch) {
@@ -192,13 +351,15 @@ void TimeSeriesDatabase::Apply(WriteBatch& batch) {
       if (stored) {
         ++entry.version;
         changed = true;
-        NotifyAppendLocked(column.id, entry, tail_before);
+        NotifyAppendLocked(shard, column.id, entry, tail_before);
       }
     }
     if (changed) {
       shard.generation.fetch_add(1, std::memory_order_relaxed);
     }
+    MaybeGroupCommitLocked(shard);
   }
+  MaybeEvictMaterialized();
 }
 
 TimeSeriesDatabase::IngestStats TimeSeriesDatabase::ingest_stats() const {
@@ -241,8 +402,16 @@ const TimeSeries* TimeSeriesDatabase::MaterializedLocked(const SeriesEntry& entr
     entry.materialized = std::make_unique<TimeSeries>();
   }
   if (entry.materialized_version != entry.version) {
+    materialized_bytes_.fetch_sub(MaterializedBytes(*entry.materialized),
+                                  std::memory_order_relaxed);
     entry.materialized->Clear();
-    entry.data.MaterializeAll(*entry.materialized);
+    size_t mapped = 0;
+    entry.data.MaterializeAll(*entry.materialized, &mapped);
+    if (mapped > 0) {
+      mapped_readback_decodes_.fetch_add(mapped, std::memory_order_relaxed);
+    }
+    materialized_bytes_.fetch_add(MaterializedBytes(*entry.materialized),
+                                  std::memory_order_relaxed);
     entry.materialized_version = entry.version;
   }
   return entry.materialized.get();
@@ -310,11 +479,18 @@ const TimeSeries* TimeSeriesDatabase::SeriesForScan(const InternedMetricId& id,
   }
   scan_sealed_decodes_.fetch_add(1, std::memory_order_relaxed);
   scratch.Clear();
+  size_t mapped = 0;
   if (status == nullptr) {
-    data.MaterializeFrom(begin, scratch);  // Aborts on corrupt sealed history.
+    data.MaterializeFrom(begin, scratch, &mapped);  // Aborts on corrupt history.
+    if (mapped > 0) {
+      mapped_readback_decodes_.fetch_add(mapped, std::memory_order_relaxed);
+    }
     return &scratch;
   }
-  *status = data.TryMaterializeFrom(begin, scratch);
+  *status = data.TryMaterializeFrom(begin, scratch, &mapped);
+  if (mapped > 0) {
+    mapped_readback_decodes_.fetch_add(mapped, std::memory_order_relaxed);
+  }
   if (!status->ok()) {
     scan_decode_failures_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
@@ -442,12 +618,20 @@ TimeSeriesDatabase::MemoryStats TimeSeriesDatabase::memory_stats() const {
       stats.raw_points += entry.data.tail().size();
       stats.sealed_points += entry.data.sealed_points();
       stats.sealed_bytes += entry.data.sealed_bytes();
+      stats.resident_sealed_bytes += entry.data.resident_sealed_bytes();
     }
   }
+  stats.mapped_sealed_bytes = stats.sealed_bytes - stats.resident_sealed_bytes;
+  stats.materialized_bytes = materialized_bytes_.load(std::memory_order_relaxed);
   return stats;
 }
 
 void TimeSeriesDatabase::SealBefore(TimePoint boundary) {
+  const bool durable = options_.durable.enabled();
+  if (durable) {
+    // New symbols must reach disk before chunk/WAL records referencing them.
+    CommitSymbols();
+  }
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     bool changed = false;
@@ -462,23 +646,168 @@ void TimeSeriesDatabase::SealBefore(TimePoint boundary) {
     if (changed) {
       shard.generation.fetch_add(1, std::memory_order_relaxed);
     }
+    if (!durable) {
+      continue;
+    }
+    // Persist every chunk holding points the store has not seen (new chunks,
+    // chunks grown by this seal, chunks trimmed by retention) — one batch of
+    // appends, one fsync per shard.
+    for (auto& [id, entry] : shard.series) {
+      for (size_t i = 0; i < entry.data.chunk_count(); ++i) {
+        if (!entry.data.ChunkNeedsPersist(i)) {
+          continue;
+        }
+        const CompressedTimeSeries& data = entry.data.ChunkData(i);
+        const TieredSeries::ChunkInfo info = entry.data.GetChunkInfo(i);
+        uint64_t offset = 0;
+        CheckOk(shard.chunk_store->Append(id, data.bytes(), data.bit_count(),
+                                          info.count, info.first, info.last, &offset));
+        entry.data.MarkChunkDurable(i, offset, static_cast<uint32_t>(data.byte_size()),
+                                    data.bit_count());
+      }
+    }
+    CheckOk(shard.chunk_store->Sync());
+    // Checkpoint: the sealed history is now in the chunk file, so the WAL
+    // shrinks to {latest retention cutoff, seal boundary, tail snapshots} —
+    // recovery cost is bounded by the working set, not the ingest history.
+    // Uncommitted appends still in the buffer are subsumed by the chunk
+    // records just synced plus the tail snapshots below; left in place they
+    // would lead the checkpoint frame and, replaying as newer points, make
+    // recovery reject the snapshots behind them.
+    shard.wal->DiscardPending();
+    if (have_drop_cutoff_) {
+      shard.wal->BufferDropBefore(last_drop_cutoff_);
+    }
+    shard.wal->BufferSealBoundary(boundary);
+    for (auto& [id, entry] : shard.series) {
+      const TimeSeries& tail = entry.data.tail();
+      if (!tail.empty()) {
+        shard.wal->BufferPoints(id, tail.timestamps(), tail.values());
+      }
+    }
+    CheckOk(shard.wal->Rewrite());
   }
+  if (durable) {
+    last_seal_boundary_ = std::max(last_seal_boundary_, boundary);
+    EnforceSealedBudget();
+  }
+  MaybeEvictMaterialized();
 }
 
 void TimeSeriesDatabase::Expire(TimePoint cutoff) {
+  const bool durable = options_.durable.enabled();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.series.begin(); it != shard.series.end();) {
       it->second.data.DropBefore(cutoff);
       ++it->second.version;
       if (it->second.data.empty()) {
+        if (it->second.materialized) {
+          materialized_bytes_.fetch_sub(MaterializedBytes(*it->second.materialized),
+                                        std::memory_order_relaxed);
+        }
         it = shard.series.erase(it);
       } else {
         ++it;
       }
     }
     shard.generation.fetch_add(1, std::memory_order_relaxed);
+    if (durable) {
+      // Force-commit the cutoff (after any buffered appends): recovery must
+      // never resurrect dropped points from stale checkpoint snapshots or
+      // chunk records still in the chunk file.
+      shard.wal->BufferDropBefore(cutoff);
+      CommitSymbols();
+      CheckOk(shard.wal->Commit());
+    }
   }
+  if (durable) {
+    last_drop_cutoff_ = std::max(last_drop_cutoff_, cutoff);
+    have_drop_cutoff_ = true;
+  }
+  MaybeEvictMaterialized();
+}
+
+void TimeSeriesDatabase::EnforceSealedBudget() {
+  const size_t budget = options_.durable.resident_sealed_budget_bytes;
+  if (budget == 0) {
+    return;
+  }
+  // Single-writer phase: collect, then evict, with no mutation in between —
+  // chunk indices stay stable. Oldest chunks first, with a full identity
+  // tiebreak so the eviction order (and thus the runtime counters) is
+  // deterministic for a fixed ingest schedule.
+  struct Candidate {
+    TimePoint first;
+    InternedMetricId id;
+    uint32_t shard;
+    uint32_t index;
+  };
+  size_t resident = 0;
+  std::vector<Candidate> candidates;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [id, entry] : shard.series) {
+      resident += entry.data.resident_sealed_bytes();
+      for (size_t i = 0; i < entry.data.chunk_count(); ++i) {
+        const TieredSeries::ChunkInfo info = entry.data.GetChunkInfo(i);
+        if (info.resident && info.count > 0 && info.durable_count == info.count) {
+          candidates.push_back(Candidate{info.first, id, static_cast<uint32_t>(s),
+                                         static_cast<uint32_t>(i)});
+        }
+      }
+    }
+  }
+  if (resident <= budget) {
+    return;
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (a.id.service != b.id.service) return a.id.service < b.id.service;
+              if (a.id.kind != b.id.kind) return a.id.kind < b.id.kind;
+              if (a.id.entity != b.id.entity) return a.id.entity < b.id.entity;
+              if (a.id.metadata != b.id.metadata) return a.id.metadata < b.id.metadata;
+              return a.index < b.index;
+            });
+  for (const Candidate& candidate : candidates) {
+    if (resident <= budget) {
+      break;
+    }
+    Shard& shard = shards_[candidate.shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.series.find(candidate.id);
+    if (it == shard.series.end()) {
+      continue;
+    }
+    const size_t freed = it->second.data.EvictChunk(candidate.index);
+    resident -= freed;
+    chunks_evicted_.fetch_add(1, std::memory_order_relaxed);
+    evicted_bytes_.fetch_add(freed, std::memory_order_relaxed);
+    // No version/generation bump: eviction changes where bytes live, not
+    // what the series contains — readers' caches and the generation-gated
+    // scan must not observe it.
+  }
+}
+
+void TimeSeriesDatabase::MaybeEvictMaterialized() {
+  const size_t budget = options_.materialized_budget_bytes;
+  if (budget == 0 || materialized_bytes_.load(std::memory_order_relaxed) <= budget) {
+    return;
+  }
+  // Drop-all policy: sweeps are rare (write-phase boundary, over budget) and
+  // the caches rebuild lazily on the next Find, so precision isn't worth
+  // tracking per-entry recency.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [unused, entry] : shard.series) {
+      entry.materialized.reset();
+      entry.materialized_version = 0;
+    }
+  }
+  materialized_bytes_.store(0, std::memory_order_relaxed);
+  materialized_evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t TimeSeriesDatabase::generation() const {
@@ -494,6 +823,48 @@ uint64_t TimeSeriesDatabase::SeriesVersion(const InternedMetricId& id) const {
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.series.find(id);
   return it == shard.series.end() ? 0 : it->second.version;
+}
+
+TimeSeriesDatabase::DurableStats TimeSeriesDatabase::durable_stats() const {
+  DurableStats stats;
+  stats.enabled = options_.durable.enabled();
+  if (!stats.enabled) {
+    return stats;
+  }
+  {
+    std::lock_guard<std::mutex> lock(symbols_log_mutex_);
+    const WriteAheadLog::Stats& log = symbols_log_->stats();
+    stats.group_commits += log.group_commits;
+    stats.log_bytes += log.file_bytes;
+    stats.log_bytes_written += log.bytes_written;
+  }
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const WriteAheadLog::Stats& log = shard.wal->stats();
+    stats.group_commits += log.group_commits;
+    stats.checkpoint_rewrites += log.rewrites;
+    stats.log_bytes += log.file_bytes;
+    stats.log_bytes_written += log.bytes_written;
+    const ChunkStore::Stats& chunks = shard.chunk_store->stats();
+    stats.chunk_file_bytes += chunks.file_bytes;
+    stats.chunks_persisted += chunks.appends;
+  }
+  stats.chunks_evicted = chunks_evicted_.load(std::memory_order_relaxed);
+  stats.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  stats.mapped_readback_decodes =
+      mapped_readback_decodes_.load(std::memory_order_relaxed);
+  stats.materialized_evictions =
+      materialized_evictions_.load(std::memory_order_relaxed);
+  stats.recoveries = recoveries_.load(std::memory_order_relaxed);
+  stats.recovered_points = recovered_points_.load(std::memory_order_relaxed);
+  stats.recovered_chunks = recovered_chunks_.load(std::memory_order_relaxed);
+  stats.recovered_truncated_bytes =
+      recovered_truncated_bytes_.load(std::memory_order_relaxed);
+  // Write-phase fields; reading them from the stats (read) phase is safe
+  // because no writer is concurrent by the phase discipline.
+  stats.last_seal_boundary = last_seal_boundary_;
+  stats.last_drop_cutoff = last_drop_cutoff_;
+  return stats;
 }
 
 }  // namespace fbdetect

@@ -32,10 +32,12 @@
 
 #include "src/common/sim_time.h"
 #include "src/common/status.h"
+#include "src/tsdb/chunk_store.h"
 #include "src/tsdb/metric_id.h"
 #include "src/tsdb/symbol_table.h"
 #include "src/tsdb/tiered_series.h"
 #include "src/tsdb/timeseries.h"
+#include "src/tsdb/wal.h"
 
 namespace fbdetect {
 
@@ -56,12 +58,41 @@ class AppendObserver {
                         std::span<const double> values) = 0;
 };
 
+// Durable storage tier (DESIGN.md §15). When `directory` is set, every shard
+// gets a group-commit write-ahead log and a memory-mapped chunk file there;
+// opening the database replays both into a consistent state (symbols first,
+// then chunks, then each shard's log). Durability is group-granular: points
+// buffered since the last group commit are lost on a crash, never torn.
+struct DurableOptions {
+  // Empty = durable tier disabled.
+  std::string directory;
+  // Heap budget for resident sealed-chunk bytes across all shards. After each
+  // durable seal, fully persisted chunks are evicted oldest-first until
+  // resident sealed bytes fit; readback decodes the mapped chunk file.
+  // 0 = never evict.
+  size_t resident_sealed_budget_bytes = 0;
+  // Pending WAL bytes that trigger an automatic group commit on the write
+  // path. Commits also happen at every seal (checkpoint) and on SyncDurable.
+  size_t group_commit_bytes = 256 * 1024;
+  // fsync after commits and chunk persists. Tests that only exercise logical
+  // recovery (clean close + reopen) can turn this off for speed.
+  bool fsync = true;
+
+  bool enabled() const { return !directory.empty(); }
+};
+
 struct TsdbOptions {
   // Number of lock-striped shards; rounded up to a power of two. 1 gives the
   // unsharded behavior (useful for baselines and small tests).
   size_t shard_count = 16;
   // Target points per sealed Gorilla chunk.
   size_t seal_chunk_points = 1024;
+  // Heap budget for Find()'s lazily materialized full-series caches on sealed
+  // entries. When the accounted bytes exceed the budget at a write-phase
+  // boundary, all materialized caches are dropped (they are rebuilt on the
+  // next Find). 0 = unbounded. See Find() for the pointer-validity contract.
+  size_t materialized_budget_bytes = 0;
+  DurableOptions durable;
 };
 
 // A batch of points staged for one Commit() into the database. Points are
@@ -122,10 +153,41 @@ class TimeSeriesDatabase {
   struct MemoryStats {
     size_t raw_points = 0;     // Points in mutable tails.
     size_t sealed_points = 0;  // Points in Gorilla chunks.
-    size_t sealed_bytes = 0;   // Compressed bytes of sealed history.
+    size_t sealed_bytes = 0;   // Compressed bytes of sealed history (all tiers).
+    // Split of sealed_bytes by tier: heap-resident encoded chunks vs chunks
+    // evicted to the memory-mapped chunk file (page cache, not heap).
+    size_t resident_sealed_bytes = 0;
+    size_t mapped_sealed_bytes = 0;
+    // Heap bytes held by Find()'s materialized full-series caches.
+    size_t materialized_bytes = 0;
     // What the sealed points would occupy as raw (timestamp, value) pairs.
     size_t sealed_raw_bytes() const { return sealed_points * 16; }
   };
+
+  // Durable-tier observability. All counters are runtime telemetry (they
+  // depend on budgets, commit batching, and crash history, not on detection
+  // inputs); the pipeline mirrors them with kRuntime stability.
+  struct DurableStats {
+    bool enabled = false;
+    uint64_t group_commits = 0;         // WAL frames written (all shards).
+    uint64_t checkpoint_rewrites = 0;   // WAL checkpoint rewrites.
+    uint64_t log_bytes = 0;             // Current WAL bytes (incl. symbols log).
+    uint64_t log_bytes_written = 0;     // WAL bytes written since open.
+    uint64_t chunk_file_bytes = 0;      // Current chunk-file bytes.
+    uint64_t chunks_persisted = 0;      // Chunk records appended since open.
+    uint64_t chunks_evicted = 0;        // Sealed chunks evicted from heap.
+    uint64_t evicted_bytes = 0;         // Heap bytes freed by eviction.
+    uint64_t mapped_readback_decodes = 0;  // Non-resident chunk decodes.
+    uint64_t materialized_evictions = 0;   // Find()-cache budget sweeps.
+    // Recovery: what the constructor's replay found.
+    uint64_t recoveries = 0;            // 1 if this open replayed prior state.
+    uint64_t recovered_points = 0;      // Points replayed from WALs.
+    uint64_t recovered_chunks = 0;      // Chunk records restored.
+    uint64_t recovered_truncated_bytes = 0;  // Torn-tail bytes dropped.
+    TimePoint last_seal_boundary = 0;   // From the newest checkpoint.
+    TimePoint last_drop_cutoff = 0;     // From the newest retention record.
+  };
+  DurableStats durable_stats() const;
 
   // Read-path observability: how scans are actually served by the tiered
   // storage. One relaxed atomic increment per lookup (not per point), so the
@@ -158,7 +220,13 @@ class TimeSeriesDatabase {
   };
 
   TimeSeriesDatabase() : TimeSeriesDatabase(TsdbOptions{}) {}
+  // With durable options set, the constructor recovers prior on-disk state:
+  // symbols log, then each shard's chunk file, then each shard's WAL (torn
+  // tails truncated). Recovered state is always an exact prefix of committed
+  // groups. Durable I/O failures abort — the tier treats the filesystem as
+  // reliable once opened.
   explicit TimeSeriesDatabase(const TsdbOptions& options);
+  ~TimeSeriesDatabase();
   TimeSeriesDatabase(const TimeSeriesDatabase&) = delete;
   TimeSeriesDatabase& operator=(const TimeSeriesDatabase&) = delete;
 
@@ -209,7 +277,12 @@ class TimeSeriesDatabase {
   // nullptr when absent. For a series with sealed history this returns a
   // lazily materialized (decoded) full series, rebuilt only after mutations;
   // for a tail-only series it returns the tail storage directly (zero-copy).
-  // The pointer stays valid until the metric is erased by Expire.
+  // Pointer validity: until the metric is erased by Expire, and — for sealed
+  // entries when materialized_budget_bytes is set — until the next
+  // write-phase boundary (Write/Apply/SealBefore/Expire), which may sweep
+  // over-budget materialized caches. Sweeps never run concurrently with
+  // readers (phase discipline), so a pointer obtained in a read phase stays
+  // valid for that phase.
   const TimeSeries* Find(const MetricId& id) const;
   const TimeSeries* Find(const InternedMetricId& id) const;
 
@@ -245,11 +318,23 @@ class TimeSeriesDatabase {
 
   // Seals all points strictly older than `boundary` into compressed chunks.
   // Invalidates outstanding spans/pointers into the affected tails.
+  // With the durable tier on, sealing is also the checkpoint: new/grown
+  // chunks are persisted to the chunk file (one fsync per shard), each
+  // shard's WAL is rewritten to {retention cutoff, seal boundary, tail
+  // snapshots}, and the resident-sealed budget is enforced by evicting fully
+  // durable chunks oldest-first.
   void SealBefore(TimePoint boundary);
 
   // Applies retention: drops points older than `cutoff` and removes metrics
-  // that become empty.
+  // that become empty. With the durable tier on, the cutoff is group-
+  // committed to every shard's WAL so recovery cannot resurrect dropped
+  // points.
   void Expire(TimePoint cutoff);
+
+  // Durable tier: group-commits all buffered WAL records (symbols first) so
+  // everything accepted so far survives a crash. No-op when disabled. Also
+  // runs on destruction, so a clean close loses nothing.
+  void SyncDurable();
 
   // Bumped on every mutation (Write/Apply/WriteSeries/SealBefore/Expire).
   // Readers that cache derived data — e.g. the pipeline's sorted per-service
@@ -286,6 +371,11 @@ class TimeSeriesDatabase {
     std::atomic<uint64_t> generation{0};
     IngestStats ingest;  // Guarded by `mutex`.
     std::unordered_map<InternedMetricId, SeriesEntry, InternedMetricIdHash> series;
+    // Durable tier (null when disabled). Guarded by `mutex` on the write
+    // path; the chunk store's Payload() is safe for lock-free readers (see
+    // chunk_store.h).
+    std::unique_ptr<WriteAheadLog> wal;
+    std::unique_ptr<ChunkStore> chunk_store;
   };
 
   // Per-service ListMetrics cache. Each shard's matching ids are kept as a
@@ -302,8 +392,9 @@ class TimeSeriesDatabase {
     return InternedMetricIdHash{}(id) & shard_mask_;
   }
 
-  // Returns the entry for `id` in `shard`, creating it if absent. Caller
-  // holds the shard mutex.
+  // Returns the entry for `id` in `shard`, creating it if absent (with the
+  // shard's chunk store attached as its payload source). Caller holds the
+  // shard mutex.
   SeriesEntry& EntryLocked(Shard& shard, const InternedMetricId& id);
 
   // Appends one point with reject accounting (shard + per-series counters).
@@ -315,15 +406,58 @@ class TimeSeriesDatabase {
   const TimeSeries* MaterializedLocked(const SeriesEntry& entry) const;
 
   // Reports the tail suffix [tail_before, tail.size()) — the points a write
-  // call just stored — to the append observer. Caller holds the shard mutex.
-  void NotifyAppendLocked(const InternedMetricId& id, const SeriesEntry& entry,
-                          size_t tail_before) const;
+  // call just stored — to the append observer and, with the durable tier on,
+  // buffers the same suffix into the shard's WAL. Caller holds the shard
+  // mutex.
+  void NotifyAppendLocked(Shard& shard, const InternedMetricId& id,
+                          const SeriesEntry& entry, size_t tail_before);
+
+  // --- Durable tier internals ---
+
+  // Opens (and replays) the symbols log, every shard's chunk file, and every
+  // shard's WAL. Constructor-only, single-threaded.
+  void OpenDurable();
+
+  // Appends any not-yet-logged symbols to the symbols log and commits it.
+  // Must run before committing any shard WAL or chunk file referencing those
+  // symbols (symbol records are replayed first on recovery, in interning
+  // order, which reproduces identical dense ids). Leaf lock.
+  void CommitSymbols();
+
+  // Group-commits the shard's WAL when the pending buffer crossed the
+  // group-commit threshold. Caller holds the shard mutex.
+  void MaybeGroupCommitLocked(Shard& shard);
+
+  // Evicts fully durable sealed chunks, oldest first across all shards,
+  // until resident sealed bytes fit the budget. Write phase only.
+  void EnforceSealedBudget();
+
+  // Drops all materialized Find() caches when their accounted bytes exceed
+  // the budget. Write phase only.
+  void MaybeEvictMaterialized();
 
   TsdbOptions options_;
   size_t shard_mask_ = 0;
   SymbolTable symbols_;
   std::vector<Shard> shards_;
   AppendObserver* append_observer_ = nullptr;
+
+  // Durable tier (members valid only when options_.durable.enabled()).
+  std::unique_ptr<WriteAheadLog> symbols_log_;
+  mutable std::mutex symbols_log_mutex_;
+  size_t symbols_logged_ = 0;  // Symbols already in the log. Guarded above.
+  TimePoint last_seal_boundary_ = 0;   // Write phase only.
+  TimePoint last_drop_cutoff_ = 0;     // Write phase only.
+  bool have_drop_cutoff_ = false;
+  std::atomic<uint64_t> chunks_evicted_{0};
+  std::atomic<uint64_t> evicted_bytes_{0};
+  std::atomic<uint64_t> recovered_points_{0};
+  std::atomic<uint64_t> recovered_chunks_{0};
+  std::atomic<uint64_t> recovered_truncated_bytes_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  mutable std::atomic<uint64_t> mapped_readback_decodes_{0};
+  mutable std::atomic<uint64_t> materialized_bytes_{0};
+  std::atomic<uint64_t> materialized_evictions_{0};
 
   mutable std::mutex list_cache_mutex_;
   mutable std::unordered_map<std::string, ListCacheEntry> list_cache_;

@@ -156,10 +156,10 @@ struct ParsedChunk {
 // Stops at the first malformed or truncated field; `decoded` then names the
 // valid prefix. Phase 2 turns these arrays into timestamps and values with
 // the SIMD prefix kernels.
-ParsedChunk ParseChunk(const std::vector<uint8_t>& bytes, size_t bit_count,
+ParsedChunk ParseChunk(const uint8_t* bytes, size_t size_bytes, size_t bit_count,
                        size_t count, int64_t* dods, uint64_t* xors) {
   ParsedChunk parsed;
-  FastBitReader reader(bytes.data(), bytes.size(), bit_count);
+  FastBitReader reader(bytes, size_bytes, bit_count);
   uint64_t raw = 0;
   uint64_t value_bits = 0;
   if (!reader.TryReadBits(64, raw) || !reader.TryReadBits(64, value_bits)) {
@@ -418,7 +418,8 @@ TimeSeries CompressedTimeSeries::Decode() const {
   return series;
 }
 
-// Two-phase batch decode shared by DecodeInto and TryDecodeInto.
+// Two-phase batch decode shared by CompressedTimeSeries and
+// CompressedChunkView (the latter over memory-mapped chunk-file payloads).
 //
 // Phase 1 (ParseChunk) walks the bit stream once with word-sized reads and
 // leaves flat dod/xor arrays in arena scratch. Phase 2 reconstructs the
@@ -431,15 +432,16 @@ TimeSeries CompressedTimeSeries::Decode() const {
 // Matches the historical point-at-a-time decoder exactly: same points
 // appended (the valid prefix), same error precedence (a non-increasing
 // timestamp reports before a later parse failure).
-Status CompressedTimeSeries::DecodeCore(TimeSeries& out, bool checked) const {
-  if (count_ == 0) {
+Status DecodeGorillaStream(const uint8_t* bytes, size_t size_bytes, size_t bit_count,
+                           size_t count, TimeSeries& out, bool checked) {
+  if (count == 0) {
     return Status::Ok();
   }
   ArenaScope scope(Arena::ThreadLocal());
-  const std::span<int64_t> dods = scope.MakeUninitializedSpan<int64_t>(count_);
-  const std::span<uint64_t> xors = scope.MakeUninitializedSpan<uint64_t>(count_);
+  const std::span<int64_t> dods = scope.MakeUninitializedSpan<int64_t>(count);
+  const std::span<uint64_t> xors = scope.MakeUninitializedSpan<uint64_t>(count);
   const ParsedChunk parsed =
-      ParseChunk(stream_.bytes(), stream_.bit_count(), count_, dods.data(), xors.data());
+      ParseChunk(bytes, size_bytes, bit_count, count, dods.data(), xors.data());
   if (!checked) {
     // The abort-on-corruption contract of DecodeInto/Decode.
     FBD_CHECK(parsed.error == nullptr);
@@ -478,6 +480,11 @@ Status CompressedTimeSeries::DecodeCore(TimeSeries& out, bool checked) const {
   return Status::Ok();
 }
 
+Status CompressedTimeSeries::DecodeCore(TimeSeries& out, bool checked) const {
+  return DecodeGorillaStream(stream_.bytes().data(), stream_.bytes().size(),
+                             stream_.bit_count(), count_, out, checked);
+}
+
 void CompressedTimeSeries::DecodeInto(TimeSeries& out) const {
   const Status status = DecodeCore(out, /*checked=*/false);
   FBD_CHECK(status.ok());
@@ -485,6 +492,17 @@ void CompressedTimeSeries::DecodeInto(TimeSeries& out) const {
 
 Status CompressedTimeSeries::TryDecodeInto(TimeSeries& out) const {
   return DecodeCore(out, /*checked=*/true);
+}
+
+void CompressedChunkView::DecodeInto(TimeSeries& out) const {
+  const Status status =
+      DecodeGorillaStream(data_, size_bytes_, bit_count_, count_, out, /*checked=*/false);
+  FBD_CHECK(status.ok());
+}
+
+Status CompressedChunkView::TryDecodeInto(TimeSeries& out) const {
+  return DecodeGorillaStream(data_, size_bytes_, bit_count_, count_, out,
+                             /*checked=*/true);
 }
 
 CompressedTimeSeries CompressedTimeSeries::FromRaw(std::vector<uint8_t> bytes,

@@ -58,6 +58,37 @@ class BitReader {
   size_t position_ = 0;
 };
 
+// Zero-copy view of an encoded Gorilla stream that lives in storage the view
+// does not own — in practice a chunk payload inside a memory-mapped chunk
+// file (src/tsdb/chunk_store.h). Decodes through the same two-phase
+// FastBitReader + prefix-kernel path as CompressedTimeSeries, reading the
+// mapped bytes in place (page-cache-served, no copy into a vector). The view
+// is only valid while the underlying bytes are; chunk-file mappings are
+// never unmapped before database destruction, which is what makes handing
+// these spans to the scan path safe.
+class CompressedChunkView {
+ public:
+  CompressedChunkView(const uint8_t* data, size_t size_bytes, size_t bit_count,
+                      size_t count)
+      : data_(data), size_bytes_(size_bytes), bit_count_(bit_count), count_(count) {}
+
+  size_t size() const { return count_; }
+
+  // Appends all points to `out` (which must end before this chunk's first
+  // timestamp). Same contracts as the CompressedTimeSeries forms: DecodeInto
+  // aborts on corruption; TryDecodeInto returns kDataLoss with `out` holding
+  // the valid prefix. Mapped storage survived a crash/recovery cycle, so the
+  // durable read path always uses the Try form.
+  void DecodeInto(TimeSeries& out) const;
+  Status TryDecodeInto(TimeSeries& out) const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_bytes_;
+  size_t bit_count_;
+  size_t count_;
+};
+
 class CompressedTimeSeries {
  public:
   // Appends a point; timestamps must be strictly increasing.

@@ -1,5 +1,6 @@
 #include "src/tsdb/tiered_series.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -25,7 +26,17 @@ AppendOutcome TieredSeries::TryAppend(TimePoint timestamp, double value) {
 size_t TieredSeries::sealed_bytes() const {
   size_t bytes = 0;
   for (const Chunk& chunk : chunks_) {
-    bytes += chunk.data.byte_size();
+    bytes += chunk.resident ? chunk.data.byte_size() : chunk.store_len;
+  }
+  return bytes;
+}
+
+size_t TieredSeries::resident_sealed_bytes() const {
+  size_t bytes = 0;
+  for (const Chunk& chunk : chunks_) {
+    if (chunk.resident) {
+      bytes += chunk.data.byte_size();
+    }
   }
   return bytes;
 }
@@ -43,38 +54,62 @@ void TieredSeries::SealBefore(TimePoint boundary) {
   const std::vector<TimePoint>& timestamps = tail_.timestamps();
   const std::vector<double>& values = tail_.values();
   for (size_t i = 0; i < split; ++i) {
-    if (chunks_.empty() || chunks_.back().data.size() >= seal_chunk_points_) {
+    // A non-resident newest chunk is immutable (its heap copy is gone), so
+    // sealing after an eviction starts a fresh chunk. Chunk boundaries may
+    // therefore differ from a RAM-only run, which is fine: boundaries are a
+    // storage detail and window extraction slices exact spans either way.
+    if (chunks_.empty() || !chunks_.back().resident ||
+        chunks_.back().count >= seal_chunk_points_) {
       chunks_.emplace_back();
       chunks_.back().first = timestamps[i];
     }
     Chunk& chunk = chunks_.back();
     chunk.data.Append(timestamps[i], values[i]);
     chunk.last = timestamps[i];
+    ++chunk.count;
   }
   sealed_points_ += split;
   tail_.DropBefore(boundary);
 }
 
-void TieredSeries::MaterializeAll(TimeSeries& out) const {
-  const Status status = TryMaterializeAll(out);
+void TieredSeries::MaterializeAll(TimeSeries& out, size_t* mapped_decodes) const {
+  const Status status = TryMaterializeAll(out, mapped_decodes);
   FBD_CHECK(status.ok());
 }
 
-void TieredSeries::MaterializeFrom(TimePoint begin, TimeSeries& out) const {
-  const Status status = TryMaterializeFrom(begin, out);
+void TieredSeries::MaterializeFrom(TimePoint begin, TimeSeries& out,
+                                   size_t* mapped_decodes) const {
+  const Status status = TryMaterializeFrom(begin, out, mapped_decodes);
   FBD_CHECK(status.ok());
 }
 
-Status TieredSeries::TryMaterializeAll(TimeSeries& out) const {
-  return TryMaterializeFrom(std::numeric_limits<TimePoint>::min(), out);
+Status TieredSeries::TryMaterializeAll(TimeSeries& out, size_t* mapped_decodes) const {
+  return TryMaterializeFrom(std::numeric_limits<TimePoint>::min(), out, mapped_decodes);
 }
 
-Status TieredSeries::TryMaterializeFrom(TimePoint begin, TimeSeries& out) const {
+Status TieredSeries::DecodeChunkInto(const Chunk& chunk, TimeSeries& out,
+                                     size_t* mapped_decodes) const {
+  if (chunk.resident) {
+    return chunk.data.TryDecodeInto(out);
+  }
+  FBD_CHECK(chunk_source_ != nullptr);
+  const std::span<const uint8_t> payload =
+      chunk_source_->ChunkPayload(chunk.store_offset, chunk.store_len);
+  const CompressedChunkView view(payload.data(), payload.size(),
+                                 chunk.store_bit_count, chunk.count);
+  if (mapped_decodes != nullptr) {
+    ++*mapped_decodes;
+  }
+  return view.TryDecodeInto(out);
+}
+
+Status TieredSeries::TryMaterializeFrom(TimePoint begin, TimeSeries& out,
+                                        size_t* mapped_decodes) const {
   for (const Chunk& chunk : chunks_) {
     if (chunk.last < begin) {
       continue;
     }
-    FBD_RETURN_IF_ERROR(chunk.data.TryDecodeInto(out));
+    FBD_RETURN_IF_ERROR(DecodeChunkInto(chunk, out, mapped_decodes));
   }
   // The tail is a TimeSeries, so it is internally strictly increasing by
   // invariant; only the seam against the decoded chunks needs checking
@@ -91,18 +126,22 @@ Status TieredSeries::TryMaterializeFrom(TimePoint begin, TimeSeries& out) const 
 void TieredSeries::DropBefore(TimePoint cutoff) {
   size_t drop = 0;
   while (drop < chunks_.size() && chunks_[drop].last < cutoff) {
-    sealed_points_ -= chunks_[drop].data.size();
+    sealed_points_ -= chunks_[drop].count;
     ++drop;
   }
   if (drop > 0) {
     chunks_.erase(chunks_.begin(), chunks_.begin() + static_cast<long>(drop));
   }
   if (!chunks_.empty() && chunks_.front().first < cutoff) {
-    // Straddling chunk: decode, trim, re-encode.
+    // Straddling chunk: decode (from heap or the mapped store), trim,
+    // re-encode resident. The trimmed chunk no longer matches what the store
+    // holds, so it must be re-persisted before it can be evicted again.
     Chunk& chunk = chunks_.front();
-    TimeSeries decoded = chunk.data.Decode();
+    TimeSeries decoded;
+    const Status status = DecodeChunkInto(chunk, decoded, nullptr);
+    FBD_CHECK(status.ok());
     decoded.DropBefore(cutoff);
-    sealed_points_ -= chunk.data.size() - decoded.size();
+    sealed_points_ -= chunk.count - decoded.size();
     CompressedTimeSeries reencoded;
     const std::vector<TimePoint>& timestamps = decoded.timestamps();
     const std::vector<double>& values = decoded.values();
@@ -111,8 +150,100 @@ void TieredSeries::DropBefore(TimePoint cutoff) {
     }
     chunk.data = std::move(reencoded);
     chunk.first = decoded.start_time();
+    chunk.count = static_cast<uint32_t>(decoded.size());
+    chunk.durable_count = 0;
+    chunk.resident = true;
   }
   tail_.DropBefore(cutoff);
+}
+
+void TieredSeries::RestoreSealedChunk(uint64_t store_offset, uint32_t store_len,
+                                      uint64_t store_bit_count, uint32_t count,
+                                      TimePoint first, TimePoint last) {
+  FBD_CHECK(tail_.empty());
+  FBD_CHECK(count > 0);
+  // Later records supersede earlier ones they INTERSECT: a chunk grown by a
+  // later seal (same first, later last) or trimmed by retention and
+  // re-encoded (later first, same last) was re-appended in full, so any
+  // earlier record overlapping [first, last] is stale. Only intersecting
+  // chunks are removed — a trimmed oldest chunk re-appended after its
+  // neighbors must not swallow the later, disjoint ranges — and the incoming
+  // chunk is inserted at its sorted position, keeping chunks_ ordered and
+  // non-overlapping.
+  const auto intersects = [&](const Chunk& c) {
+    return c.last >= first && c.first <= last;
+  };
+  for (const Chunk& c : chunks_) {
+    if (intersects(c)) {
+      sealed_points_ -= c.count;
+    }
+  }
+  chunks_.erase(std::remove_if(chunks_.begin(), chunks_.end(), intersects),
+                chunks_.end());
+  Chunk chunk;
+  chunk.first = first;
+  chunk.last = last;
+  chunk.count = count;
+  chunk.durable_count = count;
+  chunk.resident = false;
+  chunk.store_offset = store_offset;
+  chunk.store_len = store_len;
+  chunk.store_bit_count = store_bit_count;
+  const auto at = std::upper_bound(
+      chunks_.begin(), chunks_.end(), chunk,
+      [](const Chunk& a, const Chunk& b) { return a.first < b.first; });
+  chunks_.insert(at, std::move(chunk));
+  sealed_points_ += count;
+}
+
+TieredSeries::ChunkInfo TieredSeries::GetChunkInfo(size_t index) const {
+  FBD_CHECK(index < chunks_.size());
+  const Chunk& chunk = chunks_[index];
+  ChunkInfo info;
+  info.first = chunk.first;
+  info.last = chunk.last;
+  info.count = chunk.count;
+  info.durable_count = chunk.durable_count;
+  info.resident = chunk.resident;
+  info.store_offset = chunk.store_offset;
+  info.store_len = chunk.store_len;
+  info.store_bit_count = chunk.store_bit_count;
+  return info;
+}
+
+bool TieredSeries::ChunkNeedsPersist(size_t index) const {
+  FBD_CHECK(index < chunks_.size());
+  const Chunk& chunk = chunks_[index];
+  return chunk.resident && chunk.count > chunk.durable_count;
+}
+
+const CompressedTimeSeries& TieredSeries::ChunkData(size_t index) const {
+  FBD_CHECK(index < chunks_.size());
+  FBD_CHECK(chunks_[index].resident);
+  return chunks_[index].data;
+}
+
+void TieredSeries::MarkChunkDurable(size_t index, uint64_t store_offset,
+                                    uint32_t store_len, uint64_t store_bit_count) {
+  FBD_CHECK(index < chunks_.size());
+  Chunk& chunk = chunks_[index];
+  FBD_CHECK(chunk.resident);
+  chunk.durable_count = chunk.count;
+  chunk.store_offset = store_offset;
+  chunk.store_len = store_len;
+  chunk.store_bit_count = store_bit_count;
+}
+
+size_t TieredSeries::EvictChunk(size_t index) {
+  FBD_CHECK(index < chunks_.size());
+  Chunk& chunk = chunks_[index];
+  FBD_CHECK(chunk.resident);
+  FBD_CHECK(chunk.durable_count == chunk.count);
+  FBD_CHECK(chunk_source_ != nullptr);
+  const size_t freed = chunk.data.byte_size();
+  chunk.data = CompressedTimeSeries();
+  chunk.resident = false;
+  return freed;
 }
 
 }  // namespace fbdetect
