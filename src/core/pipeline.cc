@@ -207,6 +207,8 @@ void Pipeline::RegisterInstruments() {
     obs_.durable_recovered_points = runtime("tsdb.durable.recovered_points");
     obs_.durable_materialized_evictions =
         runtime("tsdb.durable.materialized_evictions");
+    obs_.durable_io_errors = runtime("tsdb.durable.io_errors");
+    obs_.durable_degraded = runtime("tsdb.durable.degraded");
     obs_.memory_resident_sealed_bytes =
         runtime("tsdb.memory.resident_sealed_bytes");
     obs_.memory_mapped_sealed_bytes = runtime("tsdb.memory.mapped_sealed_bytes");
@@ -244,6 +246,8 @@ void Pipeline::SyncTelemetry() {
     obs_.durable_recoveries->Set(durable.recoveries);
     obs_.durable_recovered_points->Set(durable.recovered_points);
     obs_.durable_materialized_evictions->Set(durable.materialized_evictions);
+    obs_.durable_io_errors->Set(durable.io_errors);
+    obs_.durable_degraded->Set(durable.degraded ? 1 : 0);
     const TimeSeriesDatabase::MemoryStats memory = db_->memory_stats();
     obs_.memory_resident_sealed_bytes->Set(memory.resident_sealed_bytes);
     obs_.memory_mapped_sealed_bytes->Set(memory.mapped_sealed_bytes);

@@ -261,6 +261,8 @@ class Pipeline {
     Counter* durable_recoveries = nullptr;
     Counter* durable_recovered_points = nullptr;
     Counter* durable_materialized_evictions = nullptr;
+    Counter* durable_io_errors = nullptr;
+    Counter* durable_degraded = nullptr;  // 0/1 gauge.
     Counter* memory_resident_sealed_bytes = nullptr;
     Counter* memory_mapped_sealed_bytes = nullptr;
     Counter* memory_materialized_bytes = nullptr;

@@ -1,0 +1,79 @@
+// Token-bucket admission control for the ingest front door (DESIGN.md §16).
+//
+// Tokens are POINTS, not requests: a 10k-point batch costs 10k tokens, so
+// capacity is expressed in the same unit the pipeline's throughput is — the
+// wire header's total_points peek prices a request before it is parsed.
+// Refill is computed lazily from the caller-supplied clock, which keeps the
+// bucket deterministic under test (feed a fake clock) and syscall-free in
+// production (the event loop already reads the time per wakeup).
+//
+// Single-threaded by design: only the event-loop thread admits. Shed
+// decisions are therefore strictly ordered, which is what makes the
+// offered == admitted + shed accounting exact rather than racy.
+#ifndef FBDETECT_SRC_SERVICE_ADMISSION_H_
+#define FBDETECT_SRC_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+
+namespace fbdetect {
+
+class TokenBucket {
+ public:
+  // rate = points/second sustained; burst = bucket depth (points admitted in
+  // an instant from a full bucket). rate == 0 disables limiting entirely.
+  TokenBucket(uint64_t rate_points_per_sec, uint64_t burst_points)
+      : rate_(rate_points_per_sec),
+        burst_(burst_points > 0 ? burst_points : rate_points_per_sec),
+        tokens_(static_cast<double>(burst_)) {}
+
+  // Debits `points` if the bucket (refilled to `now_ns`) covers them.
+  bool Admit(uint64_t points, uint64_t now_ns) {
+    if (rate_ == 0) {
+      return true;
+    }
+    Refill(now_ns);
+    if (tokens_ < static_cast<double>(points)) {
+      return false;
+    }
+    tokens_ -= static_cast<double>(points);
+    return true;
+  }
+
+  // Returns a debit that was never used (the request was shed downstream of
+  // the bucket, e.g. by a full parse queue) so double-charging cannot starve
+  // honest load.
+  void Refund(uint64_t points) {
+    if (rate_ == 0) {
+      return;
+    }
+    tokens_ += static_cast<double>(points);
+    if (tokens_ > static_cast<double>(burst_)) {
+      tokens_ = static_cast<double>(burst_);
+    }
+  }
+
+  double tokens() const { return tokens_; }
+  uint64_t rate() const { return rate_; }
+  uint64_t burst() const { return burst_; }
+
+ private:
+  void Refill(uint64_t now_ns) {
+    if (last_ns_ != 0 && now_ns > last_ns_) {
+      tokens_ += static_cast<double>(now_ns - last_ns_) * 1e-9 *
+                 static_cast<double>(rate_);
+      if (tokens_ > static_cast<double>(burst_)) {
+        tokens_ = static_cast<double>(burst_);
+      }
+    }
+    last_ns_ = now_ns;
+  }
+
+  uint64_t rate_;
+  uint64_t burst_;
+  double tokens_;
+  uint64_t last_ns_ = 0;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_SERVICE_ADMISSION_H_

@@ -1,0 +1,139 @@
+// Bounded multi-producer single-consumer (or multi-consumer) queue with
+// cost accounting, the coupling element between the service's pipeline
+// stages (accept -> parse -> flush -> seal; DESIGN.md §16).
+//
+// Each item carries a cost (points for ingest batches, 1 for control jobs);
+// the queue bounds the SUM of costs, not the item count, so memory is
+// bounded by configured watermarks regardless of batch-size mix. Producers
+// choose the overload policy at the call site: TryPush fails fast (the front
+// door sheds instead of blocking the event loop), Push blocks (interior
+// stages propagate backpressure upstream). Close() wakes everyone; a closed
+// queue rejects producers and drains remaining items to consumers.
+//
+// The high-water mark of the summed cost is tracked so tests can assert the
+// bound actually held under a 4x-capacity slam.
+#ifndef FBDETECT_SRC_SERVICE_BOUNDED_QUEUE_H_
+#define FBDETECT_SRC_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace fbdetect {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  // `capacity_cost` bounds the sum of item costs held at once. One oversized
+  // item (cost > capacity) is still accepted when the queue is empty —
+  // otherwise it could never transit.
+  explicit BoundedQueue(uint64_t capacity_cost) : capacity_(capacity_cost) {}
+
+  // Blocks until the item fits (or the queue is empty) — interior-stage
+  // backpressure. Returns false iff the queue was closed.
+  bool Push(T item, uint64_t cost) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return closed_ || items_.empty() || cost_ + cost <= capacity_;
+    });
+    if (closed_) {
+      return false;
+    }
+    Enqueue(std::move(item), cost);
+    return true;
+  }
+
+  // Fails fast when the item does not fit — front-door shed path. Never
+  // blocks.
+  bool TryPush(T item, uint64_t cost) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_ || (!items_.empty() && cost_ + cost > capacity_)) {
+      return false;
+    }
+    Enqueue(std::move(item), cost);
+    return true;
+  }
+
+  // Blocks until an item is available; false iff closed AND drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return false;
+    }
+    Dequeue(out);
+    return true;
+  }
+
+  // Non-blocking pop; false when nothing is queued right now.
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return false;
+    }
+    Dequeue(out);
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  // Current summed cost of queued items.
+  uint64_t cost() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cost_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  // Highest summed cost ever held — the bound the overload tests assert on.
+  uint64_t max_cost_observed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_cost_;
+  }
+
+ private:
+  void Enqueue(T item, uint64_t cost) {
+    items_.emplace_back(std::move(item), cost);
+    cost_ += cost;
+    if (cost_ > max_cost_) {
+      max_cost_ = cost_;
+    }
+    not_empty_.notify_one();
+  }
+
+  void Dequeue(T* out) {
+    *out = std::move(items_.front().first);
+    cost_ -= items_.front().second;
+    items_.pop_front();
+    not_full_.notify_all();
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::pair<T, uint64_t>> items_;
+  uint64_t capacity_;
+  uint64_t cost_ = 0;
+  uint64_t max_cost_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_SERVICE_BOUNDED_QUEUE_H_

@@ -1,0 +1,184 @@
+#include "src/service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace fbdetect {
+namespace {
+
+Status Errno(const char* op) {
+  return Status::Internal(std::string(op) + " failed: " + std::strerror(errno));
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Status HttpClient::Connect(const std::string& host, uint16_t port, int timeout_ms) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status HttpClient::SendAll(const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status HttpClient::Request(std::string_view method, std::string_view target,
+                           std::string_view content_type, std::string_view body,
+                           HttpResponse* response) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("not connected");
+  }
+  std::string head;
+  head.reserve(160);
+  head.append(method);
+  head.push_back(' ');
+  head.append(target);
+  head.append(" HTTP/1.1\r\nHost: fbdetect\r\nContent-Length: ");
+  head.append(std::to_string(body.size()));
+  if (!content_type.empty()) {
+    head.append("\r\nContent-Type: ");
+    head.append(content_type);
+  }
+  head.append("\r\n\r\n");
+  Status status = SendAll(head.data(), head.size());
+  if (status.ok() && !body.empty()) {
+    status = SendAll(body.data(), body.size());
+  }
+  if (!status.ok()) {
+    Close();
+    return status;
+  }
+
+  // Read one response: status line + headers, then Content-Length body.
+  size_t header_end = std::string::npos;
+  while ((header_end = read_buffer_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      const Status error =
+          n == 0 ? Status::Internal("connection closed mid-response") : Errno("recv");
+      Close();
+      return error;
+    }
+    read_buffer_.append(chunk, static_cast<size_t>(n));
+    if (read_buffer_.size() > (64u << 20)) {
+      Close();
+      return Status::Internal("response headers never terminated");
+    }
+  }
+  const std::string_view head_view(read_buffer_.data(), header_end);
+  if (head_view.size() < 12 || head_view.substr(0, 5) != "HTTP/") {
+    Close();
+    return Status::Internal("malformed response status line");
+  }
+  response->status = 0;
+  std::from_chars(head_view.data() + 9, head_view.data() + 12, response->status);
+  size_t content_length = 0;
+  response->keep_alive = true;
+  size_t line_start = head_view.find("\r\n");
+  while (line_start != std::string_view::npos && line_start + 2 < head_view.size()) {
+    line_start += 2;
+    size_t line_end = head_view.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) {
+      line_end = head_view.size();
+    }
+    const std::string_view line = head_view.substr(line_start, line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string name(line.substr(0, colon));
+      for (char& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') {
+        value.remove_prefix(1);
+      }
+      if (name == "content-length") {
+        std::from_chars(value.data(), value.data() + value.size(), content_length);
+      } else if (name == "connection" && value == "close") {
+        response->keep_alive = false;
+      }
+    }
+    line_start = line_end;
+  }
+  const size_t body_start = header_end + 4;
+  while (read_buffer_.size() - body_start < content_length) {
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      const Status error =
+          n == 0 ? Status::Internal("connection closed mid-body") : Errno("recv");
+      Close();
+      return error;
+    }
+    read_buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response->body.assign(read_buffer_, body_start, content_length);
+  read_buffer_.erase(0, body_start + content_length);
+  if (!response->keep_alive) {
+    Close();
+  }
+  return Status::Ok();
+}
+
+}  // namespace fbdetect

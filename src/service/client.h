@@ -1,0 +1,59 @@
+// Minimal blocking HTTP/1.1 client for the bench load generator and the
+// service tests. One connection per client; requests are serial (send,
+// then read exactly one Content-Length-framed response) — deliberately the
+// same discipline the server enforces.
+#ifndef FBDETECT_SRC_SERVICE_CLIENT_H_
+#define FBDETECT_SRC_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace fbdetect {
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+  bool keep_alive = true;
+};
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  // Connects (or reconnects) to host:port. `timeout_ms` bounds every socket
+  // operation (connect, send, recv); 0 = no timeout.
+  Status Connect(const std::string& host, uint16_t port, int timeout_ms = 10000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // One round trip. On a transport error the connection is closed and a
+  // non-ok Status returned; HTTP-level errors (4xx/5xx) are SUCCESSFUL calls
+  // with response->status set — shed responses are data, not failures.
+  Status Request(std::string_view method, std::string_view target,
+                 std::string_view content_type, std::string_view body,
+                 HttpResponse* response);
+
+  Status Get(std::string_view target, HttpResponse* response) {
+    return Request("GET", target, "", "", response);
+  }
+  Status Post(std::string_view target, std::string_view content_type,
+              std::string_view body, HttpResponse* response) {
+    return Request("POST", target, content_type, body, response);
+  }
+
+ private:
+  Status SendAll(const char* data, size_t size);
+
+  int fd_ = -1;
+  std::string read_buffer_;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_SERVICE_CLIENT_H_

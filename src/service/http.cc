@@ -1,0 +1,253 @@
+#include "src/service/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace fbdetect {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool TokenEquals(std::string_view value, std::string_view token) {
+  return value.size() == token.size() &&
+         std::equal(value.begin(), value.end(), token.begin(),
+                    [](unsigned char a, unsigned char b) {
+                      return std::tolower(a) == std::tolower(b);
+                    });
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return {};
+}
+
+std::string_view HttpPath(std::string_view target) {
+  const size_t q = target.find('?');
+  return q == std::string_view::npos ? target : target.substr(0, q);
+}
+
+std::string HttpQueryParam(std::string_view target, std::string_view key) {
+  const size_t q = target.find('?');
+  if (q == std::string_view::npos) {
+    return {};
+  }
+  std::string_view query = target.substr(q + 1);
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (eq == std::string_view::npos && pair == key) {
+      return {};
+    }
+    if (amp == std::string_view::npos) {
+      break;
+    }
+    query.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+HttpParser::Result HttpParser::Fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return Result::kError;
+}
+
+HttpParser::Result HttpParser::Feed(const char* data, size_t size) {
+  if (state_ == State::kError) {
+    return Result::kError;
+  }
+  if (state_ == State::kComplete) {
+    return Result::kComplete;
+  }
+  if (size > 0) {
+    buffer_.append(data, size);
+  }
+  if (state_ == State::kHeaders) {
+    const Result result = ParseHeaders();
+    if (result != Result::kComplete || state_ != State::kBody) {
+      return result;
+    }
+  }
+  // kBody: wait for Content-Length bytes past the parsed prefix.
+  const size_t available = buffer_.size() - parsed_;
+  if (available < body_remaining_) {
+    return Result::kNeedMore;
+  }
+  request_.body.assign(buffer_, parsed_, body_remaining_);
+  parsed_ += body_remaining_;
+  body_remaining_ = 0;
+  state_ = State::kComplete;
+  return Result::kComplete;
+}
+
+// Returns kComplete with state_ == kBody when the header block parsed clean
+// (the caller then continues with the body), kNeedMore, or kError.
+HttpParser::Result HttpParser::ParseHeaders() {
+  const std::string_view pending(buffer_.data() + parsed_, buffer_.size() - parsed_);
+  const size_t end = pending.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    if (pending.size() > limits_.max_header_bytes) {
+      return Fail(431, "header block exceeds limit");
+    }
+    return Result::kNeedMore;
+  }
+  if (end > limits_.max_header_bytes) {
+    return Fail(431, "header block exceeds limit");
+  }
+  std::string_view block = pending.substr(0, end);
+  request_ = HttpRequest{};
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t line_end = block.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? block : block.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1) {
+    return Fail(400, "malformed request line");
+  }
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(505, "unsupported HTTP version");
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.keep_alive = version == "HTTP/1.1";
+  if (request_.target.empty() || request_.target[0] != '/') {
+    return Fail(400, "target must be origin-form");
+  }
+
+  size_t content_length = 0;
+  bool have_length = false;
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{} : block.substr(line_end + 2);
+  while (!rest.empty()) {
+    size_t eol = rest.find("\r\n");
+    const std::string_view header =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{} : rest.substr(eol + 2);
+    if (header.empty()) {
+      continue;
+    }
+    const size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header line");
+    }
+    std::string name = ToLower(header.substr(0, colon));
+    if (name.find(' ') != std::string::npos || name.find('\t') != std::string::npos) {
+      return Fail(400, "whitespace in header name");
+    }
+    const std::string_view value = Trim(header.substr(colon + 1));
+    if (name == "content-length") {
+      size_t length = 0;
+      const auto [p, err] = std::from_chars(value.data(), value.data() + value.size(), length);
+      if (err != std::errc() || p != value.data() + value.size() ||
+          (have_length && length != content_length)) {
+        return Fail(400, "bad content-length");
+      }
+      content_length = length;
+      have_length = true;
+    } else if (name == "transfer-encoding") {
+      return Fail(501, "chunked transfer not supported");
+    } else if (name == "connection") {
+      if (TokenEquals(value, "close")) {
+        request_.keep_alive = false;
+      } else if (TokenEquals(value, "keep-alive")) {
+        request_.keep_alive = true;
+      }
+    }
+    request_.headers.emplace_back(std::move(name), std::string(value));
+  }
+  if (content_length > limits_.max_body_bytes) {
+    return Fail(413, "body exceeds limit");
+  }
+  parsed_ += end + 4;
+  body_remaining_ = content_length;
+  state_ = State::kBody;
+  return Result::kComplete;
+}
+
+void HttpParser::Reset() {
+  if (state_ != State::kComplete) {
+    return;
+  }
+  // Compact: drop the consumed prefix, keep pipelined bytes for the next
+  // request so a client that batched two requests is not stalled.
+  buffer_.erase(0, parsed_);
+  parsed_ = 0;
+  state_ = State::kHeaders;
+  request_ = HttpRequest{};
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive,
+                              const std::vector<std::string>& extra_headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(status));
+  out.push_back(' ');
+  out.append(HttpStatusText(status));
+  out.append("\r\nContent-Type: ");
+  out.append(content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append(keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close");
+  for (const std::string& header : extra_headers) {
+    out.append("\r\n");
+    out.append(header);
+  }
+  out.append("\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace fbdetect

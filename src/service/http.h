@@ -1,0 +1,102 @@
+// Minimal HTTP/1.1 for the service surface (DESIGN.md §16). No external
+// deps: the server speaks exactly the subset its endpoints need —
+// Content-Length framed requests, serial per connection (no pipelining
+// trickery: a second request queued behind an unanswered first simply waits
+// in the parser buffer), keep-alive by default.
+//
+// The parser is incremental — feed it bytes as epoll delivers them — and
+// hardened: header and body size caps, strict Content-Length validation,
+// chunked transfer rejected with 501, malformed input always lands in
+// kError with an HTTP status to send back, never an abort or unbounded
+// buffer (fuzzed by tools/fuzz_wire).
+#ifndef FBDETECT_SRC_SERVICE_HTTP_H_
+#define FBDETECT_SRC_SERVICE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fbdetect {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  // Path + optional ?query, as received.
+  std::vector<std::pair<std::string, std::string>> headers;  // Names lowercased.
+  std::string body;
+  bool keep_alive = true;
+
+  // First header value under `name` (lowercase), or "".
+  std::string_view Header(std::string_view name) const;
+};
+
+// Path component of a request target ("/ingest?x=1" -> "/ingest").
+std::string_view HttpPath(std::string_view target);
+// Value of query parameter `key` ("" when absent). No %-decoding — the
+// service's parameters are identifiers and integers.
+std::string HttpQueryParam(std::string_view target, std::string_view key);
+
+class HttpParser {
+ public:
+  enum class Result {
+    kNeedMore,   // Feed more bytes.
+    kComplete,   // request() is valid; call Reset() before the next one.
+    kError,      // Protocol error; send error_status() and close.
+  };
+
+  struct Limits {
+    // Defaults: 16 KiB headers, 8 MiB body (the service's one-batch unit).
+    Limits() : max_header_bytes(16 * 1024), max_body_bytes(8 * 1024 * 1024) {}
+    size_t max_header_bytes;
+    size_t max_body_bytes;
+  };
+
+  explicit HttpParser(Limits limits = Limits()) : limits_(limits) {}
+
+  // Consumes bytes into the internal buffer and advances the state machine.
+  // After kComplete, unconsumed bytes (the start of the next request) are
+  // retained internally; Reset() keeps them for the next parse.
+  Result Feed(const char* data, size_t size);
+  // Continues parsing from already-buffered bytes (after Reset()).
+  Result Continue() { return Feed(nullptr, 0); }
+
+  const HttpRequest& request() const { return request_; }
+  // Mutable access after kComplete so the caller can move a large body out
+  // instead of copying it; Reset() discards whatever is left either way.
+  HttpRequest& mutable_request() { return request_; }
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+  // Bytes buffered but not yet parsed into a request.
+  size_t buffered_bytes() const { return buffer_.size() - parsed_; }
+
+  // Forgets the completed request and re-arms for the next one on the same
+  // connection (pipelined bytes already received are kept).
+  void Reset();
+
+ private:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  Result Fail(int status, std::string reason);
+  Result ParseHeaders();
+
+  Limits limits_;
+  std::string buffer_;
+  size_t parsed_ = 0;  // Bytes of buffer_ consumed by completed parsing.
+  State state_ = State::kHeaders;
+  size_t body_remaining_ = 0;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+// Serializes a response. `extra_headers` are raw "Name: value" lines.
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive,
+                              const std::vector<std::string>& extra_headers = {});
+
+const char* HttpStatusText(int status);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_SERVICE_HTTP_H_

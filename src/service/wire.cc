@@ -1,0 +1,233 @@
+#include "src/service/wire.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+namespace fbdetect {
+namespace {
+
+constexpr int kMaxKind = static_cast<int>(MetricKind::kApplication);
+constexpr size_t kSeriesHeaderBytes = 1 + 1 + 2 + 2 + 4;
+
+template <typename T>
+void PutRaw(std::string& out, const T& value) {
+  const size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+// Resolves a kind name back to the enum; -1 when unknown.
+int KindFromName(std::string_view name) {
+  for (int k = 0; k <= kMaxKind; ++k) {
+    if (name == MetricKindName(static_cast<MetricKind>(k))) {
+      return k;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+void EncodeWireBatch(const WireBatch& batch, std::string& out) {
+  PutRaw<uint32_t>(out, kWireMagic);
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(batch.total_points));
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(batch.series.size()));
+  for (const WireSeries& series : batch.series) {
+    PutRaw<uint8_t>(out, static_cast<uint8_t>(series.id.kind));
+    PutRaw<uint8_t>(out, static_cast<uint8_t>(series.id.service.size()));
+    PutRaw<uint16_t>(out, static_cast<uint16_t>(series.id.entity.size()));
+    PutRaw<uint16_t>(out, static_cast<uint16_t>(series.id.metadata.size()));
+    PutRaw<uint32_t>(out, static_cast<uint32_t>(series.timestamps.size()));
+    out.append(series.id.service);
+    out.append(series.id.entity);
+    out.append(series.id.metadata);
+    for (size_t i = 0; i < series.timestamps.size(); ++i) {
+      PutRaw<TimePoint>(out, series.timestamps[i]);
+      PutRaw<double>(out, series.values[i]);
+    }
+  }
+}
+
+Status PeekWirePoints(std::span<const uint8_t> data, uint32_t* total_points) {
+  if (data.size() < kWireHeaderBytes) {
+    return Status::InvalidArgument("wire batch shorter than header");
+  }
+  if (GetRaw<uint32_t>(data.data()) != kWireMagic) {
+    return Status::InvalidArgument("wire batch has bad magic");
+  }
+  const uint32_t points = GetRaw<uint32_t>(data.data() + 4);
+  if (points > kWireMaxPoints) {
+    return Status::InvalidArgument("wire batch point count exceeds cap");
+  }
+  *total_points = points;
+  return Status::Ok();
+}
+
+Status ParseWireBatch(std::span<const uint8_t> data, WireBatch* out) {
+  out->Clear();
+  uint32_t declared_points = 0;
+  FBD_RETURN_IF_ERROR(PeekWirePoints(data, &declared_points));
+  const uint32_t series_count = GetRaw<uint32_t>(data.data() + 8);
+  if (series_count > kWireMaxSeries) {
+    return Status::InvalidArgument("wire batch series count exceeds cap");
+  }
+  size_t at = kWireHeaderBytes;
+  uint64_t summed_points = 0;
+  out->series.reserve(std::min<uint32_t>(series_count, 1024));
+  for (uint32_t s = 0; s < series_count; ++s) {
+    if (data.size() - at < kSeriesHeaderBytes) {
+      return Status::InvalidArgument("wire series header truncated");
+    }
+    const uint8_t* p = data.data() + at;
+    const int kind = GetRaw<uint8_t>(p);
+    const size_t service_len = GetRaw<uint8_t>(p + 1);
+    const size_t entity_len = GetRaw<uint16_t>(p + 2);
+    const size_t metadata_len = GetRaw<uint16_t>(p + 4);
+    const uint32_t count = GetRaw<uint32_t>(p + 6);
+    at += kSeriesHeaderBytes;
+    if (kind > kMaxKind) {
+      return Status::InvalidArgument("wire series has unknown metric kind");
+    }
+    if (count == 0 || count > kWireMaxPoints) {
+      return Status::InvalidArgument("wire series has bad point count");
+    }
+    const size_t strings = service_len + entity_len + metadata_len;
+    if (data.size() - at < strings) {
+      return Status::InvalidArgument("wire series identity truncated");
+    }
+    summed_points += count;
+    if (summed_points > declared_points) {
+      return Status::InvalidArgument("wire batch points exceed declared total");
+    }
+    WireSeries series;
+    series.id.kind = static_cast<MetricKind>(kind);
+    const char* str = reinterpret_cast<const char*>(data.data() + at);
+    series.id.service.assign(str, service_len);
+    series.id.entity.assign(str + service_len, entity_len);
+    series.id.metadata.assign(str + service_len + entity_len, metadata_len);
+    at += strings;
+    if ((data.size() - at) / 16 < count) {
+      return Status::InvalidArgument("wire series points truncated");
+    }
+    series.timestamps.reserve(count);
+    series.values.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      series.timestamps.push_back(GetRaw<TimePoint>(data.data() + at));
+      series.values.push_back(GetRaw<double>(data.data() + at + 8));
+      at += 16;
+    }
+    out->series.push_back(std::move(series));
+  }
+  if (at != data.size()) {
+    return Status::InvalidArgument("wire batch has trailing bytes");
+  }
+  if (summed_points != declared_points) {
+    return Status::InvalidArgument("wire batch declared total != summed points");
+  }
+  out->total_points = summed_points;
+  return Status::Ok();
+}
+
+uint32_t CountTextPoints(std::string_view body) {
+  uint32_t points = 0;
+  size_t at = 0;
+  while (at < body.size()) {
+    size_t end = body.find('\n', at);
+    if (end == std::string_view::npos) {
+      end = body.size();
+    }
+    const std::string_view line = body.substr(at, end - at);
+    if (!line.empty() && line[0] != '#' && line != "\r") {
+      ++points;
+    }
+    at = end + 1;
+  }
+  return points;
+}
+
+Status ParseTextBatch(std::string_view body, WireBatch* out) {
+  out->Clear();
+  size_t at = 0;
+  size_t line_no = 0;
+  while (at < body.size()) {
+    size_t end = body.find('\n', at);
+    if (end == std::string_view::npos) {
+      end = body.size();
+    }
+    std::string_view line = body.substr(at, end - at);
+    at = end + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    // service|kind|entity|metadata|timestamp|value
+    std::string_view fields[6];
+    size_t field = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size() && field < 6; ++i) {
+      if (i == line.size() || line[i] == '|') {
+        fields[field++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (field != 6 || start <= line.size()) {
+      return Status::InvalidArgument("text batch line " + std::to_string(line_no) +
+                                     ": want 6 |-separated fields");
+    }
+    const int kind = KindFromName(fields[1]);
+    if (kind < 0) {
+      return Status::InvalidArgument("text batch line " + std::to_string(line_no) +
+                                     ": unknown kind");
+    }
+    TimePoint ts = 0;
+    auto [ts_end, ts_err] =
+        std::from_chars(fields[4].data(), fields[4].data() + fields[4].size(), ts);
+    if (ts_err != std::errc() || ts_end != fields[4].data() + fields[4].size()) {
+      return Status::InvalidArgument("text batch line " + std::to_string(line_no) +
+                                     ": bad timestamp");
+    }
+    double value = 0;
+    auto [v_end, v_err] =
+        std::from_chars(fields[5].data(), fields[5].data() + fields[5].size(), value);
+    if (v_err != std::errc() || v_end != fields[5].data() + fields[5].size()) {
+      return Status::InvalidArgument("text batch line " + std::to_string(line_no) +
+                                     ": bad value");
+    }
+    if (fields[0].size() > 255 || fields[2].size() > 65535 || fields[3].size() > 65535) {
+      return Status::InvalidArgument("text batch line " + std::to_string(line_no) +
+                                     ": identity component too long");
+    }
+    // Coalesce consecutive lines of the same series into one column.
+    if (out->series.empty() || out->series.back().id.service != fields[0] ||
+        out->series.back().id.kind != static_cast<MetricKind>(kind) ||
+        out->series.back().id.entity != fields[2] ||
+        out->series.back().id.metadata != fields[3]) {
+      WireSeries series;
+      series.id.service = std::string(fields[0]);
+      series.id.kind = static_cast<MetricKind>(kind);
+      series.id.entity = std::string(fields[2]);
+      series.id.metadata = std::string(fields[3]);
+      out->series.push_back(std::move(series));
+    }
+    out->series.back().timestamps.push_back(ts);
+    out->series.back().values.push_back(value);
+    ++out->total_points;
+    if (out->total_points > kWireMaxPoints) {
+      return Status::InvalidArgument("text batch point count exceeds cap");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,80 @@
+// Ingest wire format for the service endpoint (DESIGN.md §16).
+//
+// Binary batches ('FBIN') are the hot path: the 12-byte header carries the
+// batch's total point count so admission control can price a request BEFORE
+// parsing it — the front door peeks, debits the token bucket, and only then
+// pays for the decode on a parse worker. A pipe-separated text form exists
+// for curl-ability; it is priced by line count at the same peek step.
+//
+// Layout (little-endian, matching the WAL/chunk stores on the platforms this
+// repo targets):
+//   u32 magic 'FBIN'   u32 total_points   u32 series_count
+//   per series:
+//     u8  kind         u8  service_len    u16 entity_len   u16 metadata_len
+//     u32 count
+//     service bytes, entity bytes, metadata bytes
+//     count x (i64 timestamp, f64 value)
+//
+// Parsing is strict and allocation-bounded: every length is validated
+// against the remaining buffer before use, total_points must equal the sum
+// of per-series counts, and hard caps reject absurd counts outright — a
+// malformed or adversarial batch yields Status, never an abort, oversized
+// allocation, or hang (fuzzed by tools/fuzz_wire).
+#ifndef FBDETECT_SRC_SERVICE_WIRE_H_
+#define FBDETECT_SRC_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/tsdb/metric_id.h"
+
+namespace fbdetect {
+
+inline constexpr uint32_t kWireMagic = 0x4E494246;  // "FBIN".
+inline constexpr size_t kWireHeaderBytes = 12;
+// Caps: one request is one WriteBatch flush unit, not a bulk import.
+inline constexpr uint32_t kWireMaxSeries = 1u << 20;
+inline constexpr uint32_t kWireMaxPoints = 1u << 24;
+
+struct WireSeries {
+  MetricId id;
+  std::vector<TimePoint> timestamps;
+  std::vector<double> values;
+};
+
+struct WireBatch {
+  std::vector<WireSeries> series;
+  size_t total_points = 0;
+
+  void Clear() {
+    series.clear();
+    total_points = 0;
+  }
+};
+
+// Serializes `batch` in the binary format, appending to `out`.
+void EncodeWireBatch(const WireBatch& batch, std::string& out);
+
+// Reads only the fixed header: magic + total point count. This is the
+// admission peek — O(1), no allocation.
+Status PeekWirePoints(std::span<const uint8_t> data, uint32_t* total_points);
+
+// Full strict parse of a binary batch into `out` (cleared first).
+Status ParseWireBatch(std::span<const uint8_t> data, WireBatch* out);
+
+// Text form, one point per line:
+//   service|kind_name|entity|metadata|timestamp|value
+// Blank lines and lines starting with '#' are skipped. `metadata` may be
+// empty. Kind names are MetricKindName() strings ("gcpu", "latency", ...).
+Status ParseTextBatch(std::string_view body, WireBatch* out);
+
+// Number of point-bearing lines, for pricing a text batch before parsing.
+uint32_t CountTextPoints(std::string_view body);
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_SERVICE_WIRE_H_

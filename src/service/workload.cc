@@ -1,0 +1,112 @@
+#include "src/service/workload.h"
+
+#include <cstring>
+
+namespace fbdetect {
+namespace {
+
+// Scratch database tuned for staging only: the workload never scans it.
+TsdbOptions ScratchOptions() {
+  TsdbOptions options;
+  options.shard_count = 4;
+  return options;
+}
+
+}  // namespace
+
+WireWorkload::WireWorkload(const WireWorkloadOptions& options)
+    : options_(options),
+      scratch_db_(ScratchOptions()),
+      simulator_(options.service),
+      batch_(&scratch_db_),
+      next_tick_(options.start) {
+  if (options_.inject_faults) {
+    injector_ = std::make_unique<FaultInjector>(options_.faults);
+  }
+}
+
+WireWorkload::~WireWorkload() = default;
+
+std::string WireWorkload::NextBody(uint32_t* points) {
+  simulator_.Tick(next_tick_, batch_);
+  next_tick_ += simulator_.config().tick;
+  if (injector_ != nullptr) {
+    injector_->Corrupt(batch_);
+  }
+  WireBatch wire;
+  // Export the staged columns and clear them in place: the scratch database
+  // never sees a Commit, so it stays a pure interning/layout donor.
+  batch_.MutateColumns([&](const InternedMetricId& id,
+                           std::vector<TimePoint>& timestamps,
+                           std::vector<double>& values) {
+    if (!timestamps.empty()) {
+      WireSeries series;
+      series.id = scratch_db_.Resolve(id);
+      series.timestamps = timestamps;
+      series.values = values;
+      wire.total_points += timestamps.size();
+      wire.series.push_back(std::move(series));
+    }
+    timestamps.clear();
+    values.clear();
+  });
+  if (points != nullptr) {
+    *points = static_cast<uint32_t>(wire.total_points);
+  }
+  std::string body;
+  EncodeWireBatch(wire, body);
+  return body;
+}
+
+SyntheticWorkload::SyntheticWorkload(const std::string& service, int series_count,
+                                     int points_per_series, TimePoint start,
+                                     Duration step)
+    : next_start_(start), step_(step) {
+  WireBatch batch;
+  batch.series.reserve(static_cast<size_t>(series_count));
+  for (int s = 0; s < series_count; ++s) {
+    WireSeries series;
+    series.id.service = service;
+    series.id.kind = MetricKind::kApplication;
+    series.id.entity = "synthetic_" + std::to_string(s);
+    series.timestamps.assign(static_cast<size_t>(points_per_series), 0);
+    series.values.assign(static_cast<size_t>(points_per_series), 0.0);
+    batch.series.push_back(std::move(series));
+    batch.total_points += static_cast<size_t>(points_per_series);
+  }
+  points_per_batch_ = static_cast<uint32_t>(batch.total_points);
+  EncodeWireBatch(batch, template_);
+  // Record where each series' point array landed so NextBody can patch
+  // timestamps/values without re-encoding identities.
+  size_t at = kWireHeaderBytes;
+  slots_.reserve(batch.series.size());
+  for (const WireSeries& series : batch.series) {
+    at += 1 + 1 + 2 + 2 + 4;  // Series header.
+    at += series.id.service.size() + series.id.entity.size() +
+          series.id.metadata.size();
+    slots_.push_back(SeriesSlot{at, static_cast<uint32_t>(series.timestamps.size())});
+    at += series.timestamps.size() * 16;
+  }
+}
+
+uint32_t SyntheticWorkload::NextBody(std::string& body) {
+  body = template_;
+  char* base = body.data();
+  for (const SeriesSlot& slot : slots_) {
+    char* p = base + slot.offset;
+    for (uint32_t i = 0; i < slot.count; ++i) {
+      const TimePoint ts = next_start_ + static_cast<TimePoint>(i) * step_;
+      // Cheap deterministic wiggle so Gorilla sees non-constant values.
+      const double value =
+          100.0 + static_cast<double>((batch_index_ * 31 + i * 7) % 97) * 0.125;
+      std::memcpy(p, &ts, 8);
+      std::memcpy(p + 8, &value, 8);
+      p += 16;
+    }
+  }
+  next_start_ += static_cast<TimePoint>(slots_.empty() ? 0 : slots_[0].count) * step_;
+  ++batch_index_;
+  return points_per_batch_;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,94 @@
+// Load generators for the service endpoint (bench + tests), reusing the
+// fleet layer instead of inventing a second telemetry model.
+//
+// WireWorkload drives a PR-1 ServiceSimulator tick-by-tick, stages each tick
+// into a WriteBatch against a private scratch database (so interning and
+// column layout match the real ingest path), optionally corrupts the staged
+// columns through the PR-4 FaultInjector (dirty-telemetry realism for the
+// overload tests), and exports the staged columns as an encoded wire body.
+//
+// SyntheticWorkload is the throughput instrument: a fixed series population
+// whose encoded body is built once and then timestamp/value-patched in
+// place per batch — generation costs one 16-byte write per point, so the
+// bench measures the server, not the client.
+#ifndef FBDETECT_SRC_SERVICE_WORKLOAD_H_
+#define FBDETECT_SRC_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fault_injector.h"
+#include "src/fleet/service.h"
+#include "src/service/wire.h"
+#include "src/tsdb/database.h"
+
+namespace fbdetect {
+
+struct WireWorkloadOptions {
+  ServiceConfig service;
+  // When set, staged columns pass through FaultInjector::Corrupt before
+  // export — duplicated, reordered, and garbage points ride the wire like
+  // real retransmitted fleet telemetry.
+  bool inject_faults = false;
+  FaultInjectorConfig faults;
+  TimePoint start = 0;
+};
+
+class WireWorkload {
+ public:
+  explicit WireWorkload(const WireWorkloadOptions& options);
+  ~WireWorkload();
+
+  // Advances one simulator tick and returns the encoded binary request body
+  // for it. `points` (optional) receives the batch's point count.
+  std::string NextBody(uint32_t* points = nullptr);
+
+  // Schedules a simulator event (regression, cost shift, ...) so the wire
+  // stream carries a detectable anomaly — the byte-identity tests compare
+  // /run output against an offline pipeline over the same bodies.
+  void ScheduleEvent(const InjectedEvent& event) { simulator_.ScheduleEvent(event); }
+
+  TimePoint next_tick() const { return next_tick_; }
+  const ServiceConfig& config() const { return simulator_.config(); }
+
+ private:
+  WireWorkloadOptions options_;
+  TimeSeriesDatabase scratch_db_;
+  ServiceSimulator simulator_;
+  WriteBatch batch_;
+  std::unique_ptr<FaultInjector> injector_;
+  TimePoint next_tick_;
+};
+
+class SyntheticWorkload {
+ public:
+  // `series_count` distinct application series under `service`, each
+  // contributing `points_per_series` points per batch, starting at `start`
+  // with `step` seconds between consecutive points of a series.
+  SyntheticWorkload(const std::string& service, int series_count,
+                    int points_per_series, TimePoint start, Duration step);
+
+  // Overwrites `body` with the next batch. Returns the batch's point count.
+  uint32_t NextBody(std::string& body);
+
+  uint32_t points_per_batch() const { return points_per_batch_; }
+
+ private:
+  struct SeriesSlot {
+    size_t offset;  // Byte offset of the series' first point in template_.
+    uint32_t count;
+  };
+
+  std::string template_;
+  std::vector<SeriesSlot> slots_;
+  uint32_t points_per_batch_ = 0;
+  TimePoint next_start_;
+  Duration step_;
+  uint64_t batch_index_ = 0;
+};
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_SERVICE_WORKLOAD_H_

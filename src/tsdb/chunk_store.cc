@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/tsdb/durable_io.h"
 #include "src/tsdb/wal.h"  // Crc32c
 
 namespace fbdetect {
@@ -54,7 +55,7 @@ Status ChunkStore::Open(const std::string& path, const RestoreFn& restore,
   FBD_CHECK(fd_ < 0);
   path_ = path;
   fsync_ = fsync;
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  const int fd = durable_io::Open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return ErrnoStatus("open", path);
   }
@@ -140,8 +141,9 @@ Status ChunkStore::Append(const InternedMetricId& id,
 
   size_t written = 0;
   while (written < record.size()) {
-    const ssize_t n = ::pwrite(fd_, record.data() + written, record.size() - written,
-                               static_cast<off_t>(append_offset_ + written));
+    const ssize_t n =
+        durable_io::Pwrite(fd_, record.data() + written, record.size() - written,
+                           static_cast<off_t>(append_offset_ + written));
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -162,7 +164,7 @@ Status ChunkStore::Append(const InternedMetricId& id,
 
 Status ChunkStore::Sync() {
   FBD_CHECK(fd_ >= 0);
-  if (fsync_ && ::fsync(fd_) != 0) {
+  if (fsync_ && durable_io::Fsync(fd_) != 0) {
     return ErrnoStatus("fsync", path_);
   }
   return EnsureMapped(append_offset_);

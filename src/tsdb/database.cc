@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "src/common/check.h"
 
@@ -17,17 +18,6 @@ size_t RoundUpPow2(size_t value) {
     pow2 <<= 1;
   }
   return pow2;
-}
-
-// Durable-tier I/O failures are fatal: once the tier is open, the database
-// treats the filesystem as reliable (same stance as FBD_CHECK for invariant
-// violations), and a void write path cannot propagate a Status.
-void CheckOk(const Status& status) {
-  if (!status.ok()) {
-    std::fprintf(stderr, "durable tier I/O failure: %s\n", status.message().c_str());
-    std::fflush(stderr);
-    std::abort();
-  }
 }
 
 // Heap cost of a materialized TimeSeries (parallel timestamp/value vectors).
@@ -93,18 +83,36 @@ TimeSeriesDatabase::TimeSeriesDatabase(const TsdbOptions& options)
 
 TimeSeriesDatabase::~TimeSeriesDatabase() { SyncDurable(); }
 
+bool TimeSeriesDatabase::HandleDurableError(const Status& status) {
+  if (status.ok()) {
+    return true;
+  }
+  durable_io_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (!durable_degraded_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "durable tier degraded to memory-only after I/O failure: %s\n",
+                 status.message().c_str());
+    std::fflush(stderr);
+  }
+  return false;
+}
+
 void TimeSeriesDatabase::OpenDurable() {
   const std::string& dir = options_.durable.directory;
   const bool fsync = options_.durable.fsync;
-  if (::mkdir(dir.c_str(), 0755) != 0) {
-    FBD_CHECK(errno == EEXIST);
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    HandleDurableError(Status::Internal("mkdir failed for " + dir + ": " +
+                                        std::strerror(errno)));
+    return;
   }
   // Symbols first: replaying the names log in append (= interning) order
   // reproduces the identical dense ids every chunk and WAL record refers to.
   symbols_log_ = std::make_unique<WriteAheadLog>();
   WriteAheadLog::ReplayHandler symbol_handler;
   symbol_handler.symbol = [this](std::string_view name) { symbols_.Intern(name); };
-  CheckOk(symbols_log_->Open(dir + "/symbols.log", symbol_handler, fsync));
+  if (!HandleDurableError(symbols_log_->Open(dir + "/symbols.log", symbol_handler, fsync))) {
+    return;
+  }
   symbols_logged_ = symbols_.size();  // Includes the pre-interned "".
 
   const auto symbols_known = [this](const InternedMetricId& id) {
@@ -122,7 +130,7 @@ void TimeSeriesDatabase::OpenDurable() {
     // they overlap (TieredSeries::RestoreSealedChunk). Records whose symbols
     // the names log does not know cannot have been committed by a correct
     // writer (symbols are fsync'd first); skipping them is belt-and-braces.
-    CheckOk(shard.chunk_store->Open(
+    const Status chunks_opened = shard.chunk_store->Open(
         dir + "/chunks" + suffix,
         [this, &shard, &symbols_known](const ChunkStore::RestoredChunk& chunk) {
           if (!symbols_known(chunk.id) || chunk.count == 0) {
@@ -133,7 +141,10 @@ void TimeSeriesDatabase::OpenDurable() {
                                         chunk.bit_count, chunk.count, chunk.first,
                                         chunk.last);
         },
-        fsync));
+        fsync);
+    if (!HandleDurableError(chunks_opened)) {
+      return;
+    }
     // Then the log: the checkpoint frame (retention cutoff, seal boundary,
     // tail snapshots) followed by post-checkpoint appends. Replay is not
     // ingest — outcomes are not counted, and points at or before restored
@@ -160,7 +171,9 @@ void TimeSeriesDatabase::OpenDurable() {
     handler.seal_boundary = [this](TimePoint boundary) {
       last_seal_boundary_ = std::max(last_seal_boundary_, boundary);
     };
-    CheckOk(shard.wal->Open(dir + "/wal" + suffix, handler, fsync));
+    if (!HandleDurableError(shard.wal->Open(dir + "/wal" + suffix, handler, fsync))) {
+      return;
+    }
     // A replayed retention record can empty a series entirely.
     for (auto it = shard.series.begin(); it != shard.series.end();) {
       it = it->second.data.empty() ? shard.series.erase(it) : std::next(it);
@@ -177,7 +190,7 @@ void TimeSeriesDatabase::OpenDurable() {
 }
 
 void TimeSeriesDatabase::CommitSymbols() {
-  if (!symbols_log_) {
+  if (!symbols_log_ || !DurableActive()) {
     return;
   }
   std::lock_guard<std::mutex> lock(symbols_log_mutex_);
@@ -187,29 +200,32 @@ void TimeSeriesDatabase::CommitSymbols() {
   }
   symbols_logged_ = total;
   if (symbols_log_->pending_bytes() > 0) {
-    CheckOk(symbols_log_->Commit());
+    HandleDurableError(symbols_log_->Commit());
   }
 }
 
 void TimeSeriesDatabase::MaybeGroupCommitLocked(Shard& shard) {
-  if (shard.wal == nullptr ||
+  if (shard.wal == nullptr || !DurableActive() ||
       shard.wal->pending_bytes() < options_.durable.group_commit_bytes) {
     return;
   }
   // Symbols must reach disk before any record that references them.
   CommitSymbols();
-  CheckOk(shard.wal->Commit());
+  HandleDurableError(shard.wal->Commit());
 }
 
 void TimeSeriesDatabase::SyncDurable() {
-  if (!options_.durable.enabled()) {
+  if (!DurableActive()) {
     return;
   }
   CommitSymbols();
   for (Shard& shard : shards_) {
+    if (!DurableActive()) {
+      break;  // A commit above just degraded the tier.
+    }
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.wal->pending_bytes() > 0) {
-      CheckOk(shard.wal->Commit());
+    if (shard.wal != nullptr && shard.wal->pending_bytes() > 0) {
+      HandleDurableError(shard.wal->Commit());
     }
   }
 }
@@ -284,7 +300,9 @@ void TimeSeriesDatabase::NotifyAppendLocked(Shard& shard, const InternedMetricId
   if (append_observer_ != nullptr) {
     append_observer_->OnAppend(id, timestamps, values);
   }
-  if (shard.wal != nullptr) {
+  // Degraded tier: stop buffering — nothing will ever commit the buffer, so
+  // feeding it would grow pending bytes without bound.
+  if (shard.wal != nullptr && DurableActive()) {
     shard.wal->BufferPoints(id, timestamps, values);
   }
 }
@@ -627,8 +645,7 @@ TimeSeriesDatabase::MemoryStats TimeSeriesDatabase::memory_stats() const {
 }
 
 void TimeSeriesDatabase::SealBefore(TimePoint boundary) {
-  const bool durable = options_.durable.enabled();
-  if (durable) {
+  if (DurableActive()) {
     // New symbols must reach disk before chunk/WAL records referencing them.
     CommitSymbols();
   }
@@ -646,27 +663,38 @@ void TimeSeriesDatabase::SealBefore(TimePoint boundary) {
     if (changed) {
       shard.generation.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!durable) {
+    // Re-checked per shard: a failure below degrades the tier mid-loop, and
+    // the remaining shards must still get their in-memory seal (above) while
+    // skipping all durable work.
+    if (!DurableActive() || shard.wal == nullptr) {
       continue;
     }
     // Persist every chunk holding points the store has not seen (new chunks,
     // chunks grown by this seal, chunks trimmed by retention) — one batch of
     // appends, one fsync per shard.
     for (auto& [id, entry] : shard.series) {
-      for (size_t i = 0; i < entry.data.chunk_count(); ++i) {
+      for (size_t i = 0; i < entry.data.chunk_count() && DurableActive(); ++i) {
         if (!entry.data.ChunkNeedsPersist(i)) {
           continue;
         }
         const CompressedTimeSeries& data = entry.data.ChunkData(i);
         const TieredSeries::ChunkInfo info = entry.data.GetChunkInfo(i);
         uint64_t offset = 0;
-        CheckOk(shard.chunk_store->Append(id, data.bytes(), data.bit_count(),
-                                          info.count, info.first, info.last, &offset));
+        if (!HandleDurableError(shard.chunk_store->Append(
+                id, data.bytes(), data.bit_count(), info.count, info.first,
+                info.last, &offset))) {
+          break;  // Not appended — leave the chunk marked non-durable.
+        }
         entry.data.MarkChunkDurable(i, offset, static_cast<uint32_t>(data.byte_size()),
                                     data.bit_count());
       }
     }
-    CheckOk(shard.chunk_store->Sync());
+    if (!DurableActive() ||
+        !HandleDurableError(shard.chunk_store->Sync())) {
+      // No checkpoint for this shard: the WAL keeps its committed appends, so
+      // nothing already durable is discarded on the failure path.
+      continue;
+    }
     // Checkpoint: the sealed history is now in the chunk file, so the WAL
     // shrinks to {latest retention cutoff, seal boundary, tail snapshots} —
     // recovery cost is bounded by the working set, not the ingest history.
@@ -685,17 +713,20 @@ void TimeSeriesDatabase::SealBefore(TimePoint boundary) {
         shard.wal->BufferPoints(id, tail.timestamps(), tail.values());
       }
     }
-    CheckOk(shard.wal->Rewrite());
+    HandleDurableError(shard.wal->Rewrite());
   }
-  if (durable) {
+  if (options_.durable.enabled()) {
     last_seal_boundary_ = std::max(last_seal_boundary_, boundary);
+  }
+  if (DurableActive()) {
+    // Degraded: keep everything resident — eviction's mapped readback is only
+    // guaranteed for chunks persisted before the failure.
     EnforceSealedBudget();
   }
   MaybeEvictMaterialized();
 }
 
 void TimeSeriesDatabase::Expire(TimePoint cutoff) {
-  const bool durable = options_.durable.enabled();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.series.begin(); it != shard.series.end();) {
@@ -712,16 +743,19 @@ void TimeSeriesDatabase::Expire(TimePoint cutoff) {
       }
     }
     shard.generation.fetch_add(1, std::memory_order_relaxed);
-    if (durable) {
+    if (DurableActive() && shard.wal != nullptr) {
       // Force-commit the cutoff (after any buffered appends): recovery must
       // never resurrect dropped points from stale checkpoint snapshots or
       // chunk records still in the chunk file.
       shard.wal->BufferDropBefore(cutoff);
       CommitSymbols();
-      CheckOk(shard.wal->Commit());
+      HandleDurableError(shard.wal->Commit());
     }
   }
-  if (durable) {
+  if (options_.durable.enabled()) {
+    // Tracked even when degraded: the next successful checkpoint (if the
+    // tier recovers in a future process) and SealBefore's snapshot both
+    // consult the in-memory cutoff.
     last_drop_cutoff_ = std::max(last_drop_cutoff_, cutoff);
     have_drop_cutoff_ = true;
   }
@@ -831,7 +865,11 @@ TimeSeriesDatabase::DurableStats TimeSeriesDatabase::durable_stats() const {
   if (!stats.enabled) {
     return stats;
   }
-  {
+  stats.io_errors = durable_io_errors_.load(std::memory_order_relaxed);
+  stats.degraded = durable_degraded_.load(std::memory_order_relaxed);
+  // Null checks: a degraded open may have left later shards (or even the
+  // symbols log) unopened.
+  if (symbols_log_) {
     std::lock_guard<std::mutex> lock(symbols_log_mutex_);
     const WriteAheadLog::Stats& log = symbols_log_->stats();
     stats.group_commits += log.group_commits;
@@ -840,14 +878,18 @@ TimeSeriesDatabase::DurableStats TimeSeriesDatabase::durable_stats() const {
   }
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const WriteAheadLog::Stats& log = shard.wal->stats();
-    stats.group_commits += log.group_commits;
-    stats.checkpoint_rewrites += log.rewrites;
-    stats.log_bytes += log.file_bytes;
-    stats.log_bytes_written += log.bytes_written;
-    const ChunkStore::Stats& chunks = shard.chunk_store->stats();
-    stats.chunk_file_bytes += chunks.file_bytes;
-    stats.chunks_persisted += chunks.appends;
+    if (shard.wal != nullptr) {
+      const WriteAheadLog::Stats& log = shard.wal->stats();
+      stats.group_commits += log.group_commits;
+      stats.checkpoint_rewrites += log.rewrites;
+      stats.log_bytes += log.file_bytes;
+      stats.log_bytes_written += log.bytes_written;
+    }
+    if (shard.chunk_store != nullptr) {
+      const ChunkStore::Stats& chunks = shard.chunk_store->stats();
+      stats.chunk_file_bytes += chunks.file_bytes;
+      stats.chunks_persisted += chunks.appends;
+    }
   }
   stats.chunks_evicted = chunks_evicted_.load(std::memory_order_relaxed);
   stats.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);

@@ -186,8 +186,23 @@ class TimeSeriesDatabase {
     uint64_t recovered_truncated_bytes = 0;  // Torn-tail bytes dropped.
     TimePoint last_seal_boundary = 0;   // From the newest checkpoint.
     TimePoint last_drop_cutoff = 0;     // From the newest retention record.
+    // Durable I/O failures observed (write/fsync/rename/open). The first one
+    // flips `degraded`: the tier stops issuing durable I/O and the database
+    // keeps running memory-only (see durable_degraded()).
+    uint64_t io_errors = 0;
+    bool degraded = false;
   };
   DurableStats durable_stats() const;
+
+  // True once a durable-tier I/O failure has switched the database to
+  // memory-only tiering: no further WAL commits, chunk persists, checkpoint
+  // rewrites, or budget evictions. Already-evicted chunks stay readable (the
+  // chunk file's mappings outlive the failure); everything newer simply stays
+  // on the heap. Ingest, scans, seals, and retention all keep working —
+  // losing the durable tier must not take down detection.
+  bool durable_degraded() const {
+    return durable_degraded_.load(std::memory_order_relaxed);
+  }
 
   // Read-path observability: how scans are actually served by the tiered
   // storage. One relaxed atomic increment per lookup (not per point), so the
@@ -223,8 +238,8 @@ class TimeSeriesDatabase {
   // With durable options set, the constructor recovers prior on-disk state:
   // symbols log, then each shard's chunk file, then each shard's WAL (torn
   // tails truncated). Recovered state is always an exact prefix of committed
-  // groups. Durable I/O failures abort — the tier treats the filesystem as
-  // reliable once opened.
+  // groups. Durable I/O failures never abort: the tier degrades to
+  // memory-only (durable_degraded()), counted in DurableStats::io_errors.
   explicit TimeSeriesDatabase(const TsdbOptions& options);
   ~TimeSeriesDatabase();
   TimeSeriesDatabase(const TimeSeriesDatabase&) = delete;
@@ -414,8 +429,21 @@ class TimeSeriesDatabase {
 
   // --- Durable tier internals ---
 
+  // Durable tier configured and not degraded by an earlier I/O failure.
+  bool DurableActive() const {
+    return options_.durable.enabled() &&
+           !durable_degraded_.load(std::memory_order_relaxed);
+  }
+
+  // Records a durable I/O failure: counts it and, on the first one, flips the
+  // database to memory-only tiering (with one stderr warning). Returns
+  // status.ok() so call sites read `if (!HandleDurableError(op())) ...`.
+  bool HandleDurableError(const Status& status);
+
   // Opens (and replays) the symbols log, every shard's chunk file, and every
-  // shard's WAL. Constructor-only, single-threaded.
+  // shard's WAL. Constructor-only, single-threaded. An I/O failure degrades
+  // to memory-only and stops opening (later shards keep null wal/chunk_store;
+  // every durable call site tolerates both).
   void OpenDurable();
 
   // Appends any not-yet-logged symbols to the symbols log and commits it.
@@ -449,6 +477,8 @@ class TimeSeriesDatabase {
   TimePoint last_seal_boundary_ = 0;   // Write phase only.
   TimePoint last_drop_cutoff_ = 0;     // Write phase only.
   bool have_drop_cutoff_ = false;
+  std::atomic<uint64_t> durable_io_errors_{0};
+  std::atomic<bool> durable_degraded_{false};
   std::atomic<uint64_t> chunks_evicted_{0};
   std::atomic<uint64_t> evicted_bytes_{0};
   std::atomic<uint64_t> recovered_points_{0};

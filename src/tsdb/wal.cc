@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/tsdb/durable_io.h"
 
 namespace fbdetect {
 namespace {
@@ -86,7 +87,7 @@ Status ErrnoStatus(const char* op, const std::string& path) {
 
 bool WriteAll(int fd, const uint8_t* data, size_t size) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = durable_io::Write(fd, data, size);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -97,6 +98,27 @@ bool WriteAll(int fd, const uint8_t* data, size_t size) {
     size -= static_cast<size_t>(n);
   }
   return true;
+}
+
+// fsyncs the directory containing `path`. An atomic temp+rename replace is
+// only durable once the DIRECTORY entry is: without this, a crash right
+// after the rename can come back up with the old file contents (the rename
+// itself lived only in the page cache), resurrecting log history the
+// checkpoint had retired.
+Status FsyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = durable_io::Open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoStatus("open(dir)", dir);
+  }
+  if (durable_io::Fsync(fd) != 0) {
+    const Status status = ErrnoStatus("fsync(dir)", dir);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
 }
 
 // Dispatches one frame's records; false on a malformed record (which a CRC-
@@ -200,7 +222,7 @@ Status WriteAheadLog::Open(const std::string& path, const ReplayHandler& handler
   FBD_CHECK(fd_ < 0);
   path_ = path;
   fsync_ = fsync;
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  const int fd = durable_io::Open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return ErrnoStatus("open", path);
   }
@@ -305,7 +327,7 @@ Status WriteAheadLog::WriteFrame(int fd, bool do_fsync) {
   if (!WriteAll(fd, frame.data(), frame.size())) {
     return ErrnoStatus("write", path_);
   }
-  if (do_fsync && ::fsync(fd) != 0) {
+  if (do_fsync && durable_io::Fsync(fd) != 0) {
     return ErrnoStatus("fsync", path_);
   }
   stats_.bytes_written += frame.size();
@@ -330,7 +352,8 @@ Status WriteAheadLog::Commit() {
 Status WriteAheadLog::Rewrite() {
   FBD_CHECK(fd_ >= 0);
   const std::string temp_path = path_ + ".tmp";
-  const int temp_fd = ::open(temp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  const int temp_fd =
+      durable_io::Open(temp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (temp_fd < 0) {
     pending_.clear();
     return ErrnoStatus("open", temp_path);
@@ -339,20 +362,31 @@ Status WriteAheadLog::Rewrite() {
   const size_t frame_bytes = wrote_frame ? kFrameHeaderBytes + pending_.size() : 0;
   Status status = wrote_frame ? WriteFrame(temp_fd, fsync_) : Status::Ok();
   pending_.clear();
-  if (status.ok() && ::rename(temp_path.c_str(), path_.c_str()) != 0) {
-    status = ErrnoStatus("rename", temp_path);
+  bool renamed = false;
+  if (status.ok()) {
+    renamed = durable_io::Rename(temp_path.c_str(), path_.c_str()) == 0;
+    if (!renamed) {
+      status = ErrnoStatus("rename", temp_path);
+    }
   }
-  if (!status.ok()) {
+  // The rename only becomes crash-durable once the directory entry does;
+  // without the directory fsync a crash here can resurrect the old log.
+  if (status.ok() && fsync_) {
+    status = FsyncParentDirectory(path_);
+  }
+  if (!renamed) {
     ::close(temp_fd);
     ::unlink(temp_path.c_str());
     return status;
   }
-  // The old fd now refers to the unlinked previous log; swap in the new one.
+  // The old fd now refers to the unlinked previous log; swap in the new one
+  // (even if the directory fsync failed — in-memory state must track the
+  // on-disk file, and the caller degrades on the returned error).
   ::close(fd_);
   fd_ = temp_fd;
   stats_.file_bytes = frame_bytes;
   ++stats_.rewrites;
-  return Status::Ok();
+  return status;
 }
 
 }  // namespace fbdetect

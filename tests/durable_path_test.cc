@@ -39,6 +39,7 @@
 #include "src/report/report.h"
 #include "src/tsdb/chunk_store.h"
 #include "src/tsdb/database.h"
+#include "src/tsdb/durable_io.h"
 #include "src/tsdb/metric_id.h"
 #include "src/tsdb/wal.h"
 
@@ -1201,6 +1202,100 @@ TEST(DurableTelemetryTest, RuntimeExportCarriesDiskTierGauges) {
   ram_pipeline.RunAt("svc", kFirstRun);
   const std::string ram_json = RenderTelemetryJson(ram_pipeline.telemetry(), true);
   EXPECT_EQ(ram_json.find("tsdb.durable."), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Durable I/O hardening: Rewrite's rename must be made crash-durable by a
+// parent-directory fsync, and injected syscall failures must degrade the
+// tier to memory-only — never abort, never stop detection.
+// ---------------------------------------------------------------------------
+
+struct ScopedIoFailure {
+  ~ScopedIoFailure() { durable_io::ClearFailure(); }
+};
+
+TEST(WalGroupCommitTest, RewriteFsyncsTheParentDirectory) {
+  const ScopedIoFailure guard;
+  const ScopedDir dir("walfsync");
+  const std::string path = dir.path + "/wal.0";
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path, {}, /*fsync=*/true).ok());
+  const TimePoint t[] = {TimePoint{60}};
+  const double v[] = {1.0};
+  wal.BufferPoints(kIdA, t, v);
+  ASSERT_TRUE(wal.Commit().ok());
+
+  durable_io::ClearFailure();  // Reset counters; nothing armed yet.
+  wal.BufferDropBefore(30);
+  ASSERT_TRUE(wal.Rewrite().ok());
+  // Exactly two fsyncs: the rewritten file's frame, then the directory entry
+  // — without the latter a crash after the rename can resurrect the old log.
+  EXPECT_EQ(durable_io::CallCount(durable_io::Op::kFsync), 2u);
+  EXPECT_EQ(durable_io::CallCount(durable_io::Op::kRename), 1u);
+
+  // Regression tripwire: fail the SECOND fsync (the directory one). If the
+  // directory fsync were ever dropped, this Rewrite would spuriously
+  // succeed.
+  durable_io::SetFailure(durable_io::Op::kFsync, 2);
+  wal.BufferDropBefore(40);
+  EXPECT_FALSE(wal.Rewrite().ok());
+  EXPECT_EQ(durable_io::InjectedFailureCount(durable_io::Op::kFsync), 1u);
+  durable_io::ClearFailure();
+
+  // The log stays usable after the failed directory fsync (the caller is
+  // expected to degrade; the WAL itself tracks the renamed file).
+  wal.BufferPoints(kIdA, t, v);
+  EXPECT_TRUE(wal.Commit().ok());
+}
+
+TEST(DurableDegradationTest, StickyWriteFailureDegradesToMemoryWithoutAbort) {
+  const ScopedIoFailure guard;
+  const ScopedDir dir("degrade");
+  TsdbOptions tsdb;
+  tsdb.durable.directory = dir.path;
+  tsdb.durable.fsync = false;
+
+  TimeSeriesDatabase db(tsdb);
+  const MetricId id{"svc", MetricKind::kLatency, "endpoint", ""};
+  // Two days of 10-minute buckets with a 20% step at 36h — detectable even
+  // though the durable tier dies partway through the stream.
+  int tick = 0;
+  for (TimePoint at = kTick; at <= kDataEnd; at += kTick, ++tick) {
+    const double base = at < Hours(36) ? 10000.0 : 12000.0;
+    db.Write(id, at, base + static_cast<double>(tick % 7) * 20.0);
+    if (at == Hours(20)) {
+      // The disk dies mid-stream: every write syscall from here on fails.
+      durable_io::SetFailure(durable_io::Op::kWrite, 1, /*sticky=*/true);
+      db.SealBefore(Hours(12));  // Forces durable traffic into the failure.
+    }
+  }
+  db.SealBefore(Hours(40));
+  db.SyncDurable();  // Best effort against the dead disk; must not abort.
+
+  // The tier degraded instead of aborting, and counted why.
+  EXPECT_TRUE(db.durable_degraded());
+  EXPECT_GT(db.durable_stats().io_errors, 0u);
+  EXPECT_GT(durable_io::InjectedFailureCount(durable_io::Op::kWrite), 0u);
+
+  // Detection still runs over the in-memory data and catches the step.
+  PipelineOptions options = DetectOptions(/*scan_threads=*/2);
+  options.telemetry.enabled = true;
+  Pipeline pipeline(&db, nullptr, nullptr, options);
+  const std::vector<Regression> reports = pipeline.RunPeriod("svc", kFirstRun, kDataEnd);
+  bool caught = false;
+  for (const Regression& report : reports) {
+    if (report.metric.kind == MetricKind::kLatency &&
+        std::llabs(report.change_time - Hours(36)) <= Hours(2)) {
+      caught = true;
+    }
+  }
+  EXPECT_TRUE(caught) << "regression lost to durable degradation:\n"
+                      << Serialize(reports);
+
+  // The pipeline's runtime telemetry mirrors the degradation, so /metrics
+  // surfaces it fleet-wide.
+  EXPECT_GT(pipeline.telemetry().GetCounter("tsdb.durable.io_errors")->value(), 0u);
+  EXPECT_EQ(pipeline.telemetry().GetCounter("tsdb.durable.degraded")->value(), 1u);
 }
 
 }  // namespace
