@@ -4,10 +4,21 @@
 #include <cmath>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/stats/descriptive.h"
-#include "src/tsa/em_changepoint.h"
 
 namespace fbdetect {
+
+ChangePointStage::ChangePointStage(const DetectionConfig& config)
+    : config_(config), backend_(MakeChangePointBackend(config.change_point_backend)) {
+  // A misconfigured detector must fail loudly at construction, not silently
+  // skip every scan.
+  if (backend_ == nullptr) {
+    std::fprintf(stderr, "unknown change-point backend: %s\n",
+                 config.change_point_backend.c_str());
+  }
+  FBD_CHECK(backend_ != nullptr);
+}
 
 std::optional<ScanCandidate> ChangePointStage::DetectCandidate(const ScanView& view) const {
   // Minimum data requirements: the statistics below need a meaningful
@@ -29,11 +40,11 @@ std::optional<ScanCandidate> ChangePointStage::DetectCandidate(const ScanView& v
   const size_t context = std::min(view.historical_size, view.analysis_size);
   const std::span<const double> scan = view.full.subspan(view.historical_size - context);
 
-  ChangePointConfig cp_config;
-  cp_config.min_segment = config_.min_segment;
-  cp_config.max_iterations = config_.max_em_iterations;
-  cp_config.significance_level = config_.significance_level;
-  const ChangePoint cp = DetectChangePoint(scan, cp_config);
+  ChangePointBackendOptions backend_options;
+  backend_options.min_segment = config_.min_segment;
+  backend_options.significance_level = config_.significance_level;
+  backend_options.max_em_iterations = config_.max_em_iterations;
+  const ChangePoint cp = backend_->Detect(scan, backend_options);
   if (!cp.found) {
     return std::nullopt;
   }

@@ -31,6 +31,10 @@ struct DetectionConfig {
   double significance_level = 0.01;   // Likelihood-ratio test level.
   size_t min_segment = 4;             // Min points per change-point segment.
   int max_em_iterations = 20;
+  // Registered ChangePointBackend name (src/tsa/changepoint_backend.h).
+  // "cusum_em" is the paper's detector and stays byte-identical to the
+  // historical hard-wired path; alternatives: "e_divisive", "pelt", "bocpd".
+  std::string change_point_backend = "cusum_em";
 
   // Went-away detector (§5.2.2).
   int sax_buckets = 20;               // N.

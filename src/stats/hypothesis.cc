@@ -24,9 +24,14 @@ TTestResult WelchTTest(std::span<const double> group_a, std::span<const double> 
   const double var_b = SampleVariance(group_b);
   const double se2 = var_a / na + var_b / nb;
   if (se2 <= 0.0) {
-    // Degenerate (constant) groups: significant iff the means differ at all.
+    // Degenerate (constant) groups have no scale of their own, and exact
+    // mean equality here declared 1-ulp rounding wobble significant with
+    // p = 0 (the KSigma lesson, PR 5). The difference must clear a
+    // relative-tolerance floor of the constant levels to count.
     result.degrees_of_freedom = na + nb - 2.0;
-    result.significant = mean_a != mean_b;
+    const double tolerance =
+        1e-9 * std::max({std::fabs(mean_a), std::fabs(mean_b), 1.0});
+    result.significant = std::fabs(mean_a - mean_b) > tolerance;
     result.p_value = result.significant ? 0.0 : 1.0;
     result.t_statistic = result.significant ? std::numeric_limits<double>::infinity() : 0.0;
     return result;
@@ -71,8 +76,13 @@ LikelihoodRatioResult MeanShiftLikelihoodRatioTest(std::span<const double> value
     rss1 += d * d;
   }
   if (rss1 <= 0.0) {
-    // Perfect two-segment fit: a nonzero mean difference is unambiguous.
-    result.significant = mean_before != mean_after;
+    // Perfect two-segment fit (both segments constant). Exact mean equality
+    // here suffered the same 1-ulp bug as WelchTTest above: a rounding
+    // wobble between two constant plateaus produced p = 0. Require the jump
+    // to clear a relative-tolerance floor of the plateau levels.
+    const double tolerance =
+        1e-9 * std::max({std::fabs(mean_before), std::fabs(mean_after), 1.0});
+    result.significant = std::fabs(mean_before - mean_after) > tolerance;
     result.p_value = result.significant ? 0.0 : 1.0;
     result.statistic = result.significant ? std::numeric_limits<double>::infinity() : 0.0;
     return result;

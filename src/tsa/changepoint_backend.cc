@@ -1,0 +1,267 @@
+#include "src/tsa/changepoint_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/hypothesis.h"
+#include "src/tsa/bocpd.h"
+#include "src/tsa/dp_changepoint.h"
+#include "src/tsa/e_divisive.h"
+
+namespace fbdetect {
+namespace {
+
+// Fills the segment-mean fields of a ChangePoint once a split is fixed.
+void FillSegmentMeans(std::span<const double> values, size_t split, ChangePoint* cp) {
+  cp->index = split;
+  cp->mean_before = Mean(values.subspan(0, split));
+  cp->mean_after = Mean(values.subspan(split));
+  cp->delta = cp->mean_after - cp->mean_before;
+}
+
+// Validates a candidate split with the §5.2.1 likelihood-ratio test and
+// fills the result. Shared by the backends that localize first and test
+// second (pelt, bocpd).
+ChangePoint ValidateSplit(std::span<const double> values, size_t split,
+                          const ChangePointBackendOptions& options) {
+  ChangePoint cp;
+  const size_t n = values.size();
+  if (split < options.min_segment || split + options.min_segment > n) {
+    return cp;
+  }
+  const LikelihoodRatioResult lr =
+      MeanShiftLikelihoodRatioTest(values, split, options.significance_level);
+  FillSegmentMeans(values, split, &cp);
+  cp.p_value = lr.p_value;
+  cp.found = lr.significant;
+  return cp;
+}
+
+// Robust noise-scale estimate from first differences: for a piecewise-
+// constant signal with noise sigma, diffs are ~N(0, 2 sigma^2) except at the
+// (few) change points, which the median absolute value shrugs off.
+// 0.67448975 is the normal quartile that makes MAD consistent for sigma.
+double RobustNoiseSigma(std::span<const double> values) {
+  if (values.size() < 3) {
+    return 0.0;
+  }
+  std::vector<double> abs_diffs;
+  abs_diffs.reserve(values.size() - 1);
+  for (size_t i = 1; i < values.size(); ++i) {
+    abs_diffs.push_back(std::fabs(values[i] - values[i - 1]));
+  }
+  const size_t mid = abs_diffs.size() / 2;
+  std::nth_element(abs_diffs.begin(), abs_diffs.begin() + mid, abs_diffs.end());
+  const double mad = abs_diffs[mid];
+  return mad / (0.6744897501960817 * std::sqrt(2.0));
+}
+
+// Two-segment RSS of a split, used to rank PELT's change points when it
+// reports more than one. Centered at the grand mean (the SplitRss lesson).
+double TwoSegmentRss(std::span<const double> values, size_t split) {
+  const double grand_mean = Mean(values);
+  double sum_b = 0.0, sq_b = 0.0, sum_a = 0.0, sq_a = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double c = values[i] - grand_mean;
+    if (i < split) {
+      sum_b += c;
+      sq_b += c * c;
+    } else {
+      sum_a += c;
+      sq_a += c * c;
+    }
+  }
+  const double nb = static_cast<double>(split);
+  const double na = static_cast<double>(values.size() - split);
+  const double rss_b = std::max(0.0, sq_b - sum_b * sum_b / nb);
+  const double rss_a = std::max(0.0, sq_a - sum_a * sum_a / na);
+  return rss_b + rss_a;
+}
+
+class CusumEmBackend final : public ChangePointBackend {
+ public:
+  std::string_view name() const override { return "cusum_em"; }
+
+  ChangePoint Detect(std::span<const double> values,
+                     const ChangePointBackendOptions& options) const override {
+    ChangePointConfig config;
+    config.min_segment = options.min_segment;
+    config.max_iterations = options.max_em_iterations;
+    config.significance_level = options.significance_level;
+    return DetectChangePoint(values, config);
+  }
+};
+
+class EDivisiveBackend final : public ChangePointBackend {
+ public:
+  std::string_view name() const override { return "e_divisive"; }
+
+  ChangePoint Detect(std::span<const double> values,
+                     const ChangePointBackendOptions& options) const override {
+    EDivisiveConfig config;
+    config.min_segment = options.min_segment;
+    config.significance_level = options.significance_level;
+    config.permutations = options.e_divisive_permutations;
+    config.seed = options.e_divisive_seed;
+    const EDivisiveResult ed = EDivisiveSingleSplit(values, config);
+    ChangePoint cp;
+    if (ed.index == 0) {
+      return cp;
+    }
+    FillSegmentMeans(values, ed.index, &cp);
+    cp.p_value = ed.p_value;
+    cp.found = ed.found;
+    return cp;
+  }
+};
+
+class PeltBackend final : public ChangePointBackend {
+ public:
+  std::string_view name() const override { return "pelt"; }
+
+  ChangePoint Detect(std::span<const double> values,
+                     const ChangePointBackendOptions& options) const override {
+    ChangePoint cp;
+    const size_t n = values.size();
+    if (n < 2 * options.min_segment) {
+      return cp;
+    }
+    // With a zero noise estimate (constant or perfectly-stepped data) the
+    // penalty vanishes and PELT over-segments; the strongest-split reduction
+    // and the likelihood-ratio test below still arbitrate correctly.
+    const double sigma = RobustNoiseSigma(values);
+    const double penalty = options.pelt_penalty_factor * sigma * sigma *
+                           std::log(static_cast<double>(n));
+    const Segmentation seg = PeltSegment(values, penalty, options.min_segment);
+    if (!seg.valid || seg.change_points.empty()) {
+      return cp;
+    }
+    // Reduce to the strongest split: the change point that best explains the
+    // series as exactly two segments.
+    size_t best_split = 0;
+    double best_rss = std::numeric_limits<double>::infinity();
+    for (const size_t split : seg.change_points) {
+      if (split < options.min_segment || split + options.min_segment > n) {
+        continue;
+      }
+      const double rss = TwoSegmentRss(values, split);
+      if (rss < best_rss) {
+        best_rss = rss;
+        best_split = split;
+      }
+    }
+    if (best_split == 0) {
+      return cp;
+    }
+    return ValidateSplit(values, best_split, options);
+  }
+};
+
+class BocpdBackend final : public ChangePointBackend {
+ public:
+  std::string_view name() const override { return "bocpd"; }
+
+  ChangePoint Detect(std::span<const double> values,
+                     const ChangePointBackendOptions& options) const override {
+    ChangePoint cp;
+    const size_t n = values.size();
+    if (n < 2 * options.min_segment) {
+      return cp;
+    }
+    BocpdState::Config config;
+    config.hazard = options.bocpd_hazard;
+    config.max_run_length = options.bocpd_max_run_length;
+    BocpdState state(config);
+    // Replay the series through the streaming posterior and keep the moment
+    // it was most convinced a change just happened; the MAP run length at
+    // that moment localizes the change.
+    const int within = static_cast<int>(options.min_segment);
+    double best_mass = 0.0;
+    size_t best_split = 0;
+    for (size_t i = 0; i < n; ++i) {
+      state.Observe(values[i]);
+      if (i + 1 < 2 * options.min_segment) {
+        continue;  // Let the standardizer and posterior warm up.
+      }
+      const double mass = state.change_probability(within);
+      if (mass > best_mass) {
+        best_mass = mass;
+        const size_t run = static_cast<size_t>(std::max(state.map_run_length(), 0));
+        best_split = (run < i + 1) ? i + 1 - run : 0;
+      }
+    }
+    if (best_mass < options.bocpd_change_mass || best_split == 0) {
+      return cp;
+    }
+    const size_t split = std::clamp(best_split, options.min_segment, n - options.min_segment);
+    return ValidateSplit(values, split, options);
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, ChangePointBackendFactory, std::less<>> factories;
+};
+
+// Function-local static with built-ins installed up front: no static-init-
+// order hazard, and the built-ins are present on every first use regardless
+// of which translation unit touches the registry first.
+Registry& GetRegistry() {
+  static Registry* registry = [] {
+    auto* r = new Registry;
+    r->factories.emplace("cusum_em",
+                         +[]() -> std::unique_ptr<ChangePointBackend> {
+                           return std::make_unique<CusumEmBackend>();
+                         });
+    r->factories.emplace("e_divisive",
+                         +[]() -> std::unique_ptr<ChangePointBackend> {
+                           return std::make_unique<EDivisiveBackend>();
+                         });
+    r->factories.emplace("pelt",
+                         +[]() -> std::unique_ptr<ChangePointBackend> {
+                           return std::make_unique<PeltBackend>();
+                         });
+    r->factories.emplace("bocpd",
+                         +[]() -> std::unique_ptr<ChangePointBackend> {
+                           return std::make_unique<BocpdBackend>();
+                         });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+bool RegisterChangePointBackend(std::string_view name, ChangePointBackendFactory factory) {
+  if (name.empty() || factory == nullptr) {
+    return false;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.factories.emplace(std::string(name), factory).second;
+}
+
+std::unique_ptr<ChangePointBackend> MakeChangePointBackend(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.factories.find(name);
+  return it == registry.factories.end() ? nullptr : it->second();
+}
+
+std::vector<std::string> ChangePointBackendNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace fbdetect

@@ -1,0 +1,105 @@
+// Pluggable change-point detection backends (DESIGN.md §17).
+//
+// FBDetect's §5.2.1 CUSUM+EM detector is one point in a wide design space:
+// Hunter (MongoDB) ships E-divisive means, BIPeC a PELT+Bayesian hybrid, and
+// BOCPD powers several streaming detectors. This seam makes the scan stage's
+// detector a named, interchangeable component so backends can be compared on
+// identical data by the bake-off harness (bench_detector_bakeoff) and new
+// detectors can be added without touching the pipeline.
+//
+// Contract for every backend:
+//   - Detect() is const and thread-safe: the scan stage calls one instance
+//     concurrently from every scan worker. All per-call state lives on the
+//     stack.
+//   - Deterministic: identical (values, options) must return identical
+//     results, bit for bit, on every call — stochastic machinery (e.g. the
+//     E-divisive permutation test) must use fixed seeds. This is what keeps
+//     pipeline output byte-identical across scan_threads and repeat runs.
+//   - The returned ChangePoint follows the §5.2.1 semantics the pipeline
+//     expects: `index` is the first post-change element, `delta` the
+//     after-minus-before mean difference on the oriented series, `found`
+//     only when the change is significant at options.significance_level.
+//   - Backends are single-change-point: multi-change engines (PELT) reduce
+//     to the strongest single split before validation.
+//
+// The registry maps names to factories. Built-ins:
+//   "cusum_em"   — the paper's CUSUM-initialized EM split + likelihood-ratio
+//                  validation (the default; byte-identical to the historical
+//                  hard-wired path).
+//   "e_divisive" — energy-distance bisection with permutation significance.
+//   "pelt"       — pruned exact linear-time penalized segmentation, reduced
+//                  to its strongest split, likelihood-ratio validated.
+//   "bocpd"      — offline adapter over the streaming BocpdState run-length
+//                  posterior, likelihood-ratio validated.
+#ifndef FBDETECT_SRC_TSA_CHANGEPOINT_BACKEND_H_
+#define FBDETECT_SRC_TSA_CHANGEPOINT_BACKEND_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/tsa/em_changepoint.h"
+
+namespace fbdetect {
+
+// Per-call options shared by every backend, plus the knobs specific to each
+// built-in. One flat struct (rather than per-backend option types) keeps the
+// stage-side plumbing backend-agnostic: DetectionConfig fills the common
+// fields and leaves backend specifics at their defaults unless a workload
+// overrides them.
+struct ChangePointBackendOptions {
+  // Common.
+  size_t min_segment = 4;            // Minimum points on each side of a split.
+  double significance_level = 0.01;  // Validation level for `found`.
+
+  // cusum_em.
+  int max_em_iterations = 20;
+
+  // e_divisive.
+  int e_divisive_permutations = 199;
+  uint64_t e_divisive_seed = 0x0fbde71f5ULL;
+
+  // pelt. Penalty is penalty_factor * sigma_hat^2 * log n, with sigma_hat a
+  // robust (first-difference MAD) noise-scale estimate; factor 2 is the BIC
+  // choice for a mean-shift parameter.
+  double pelt_penalty_factor = 2.0;
+
+  // bocpd (offline adapter).
+  double bocpd_hazard = 1.0 / 256.0;
+  int bocpd_max_run_length = 64;
+  // Posterior mass on "a change happened within the last min_segment points"
+  // required before a candidate is localized.
+  double bocpd_change_mass = 0.5;
+};
+
+class ChangePointBackend {
+ public:
+  virtual ~ChangePointBackend() = default;
+
+  // Registry name ("cusum_em", ...). Stable across versions.
+  virtual std::string_view name() const = 0;
+
+  // Finds and validates the strongest single change point. Must be
+  // deterministic and safe to call concurrently (see contract above).
+  virtual ChangePoint Detect(std::span<const double> values,
+                             const ChangePointBackendOptions& options) const = 0;
+};
+
+using ChangePointBackendFactory = std::unique_ptr<ChangePointBackend> (*)();
+
+// Registers a backend under `name`. Returns false (and registers nothing)
+// when the name is already taken. Built-ins are registered on first registry
+// use; external callers may add their own before building pipelines.
+bool RegisterChangePointBackend(std::string_view name, ChangePointBackendFactory factory);
+
+// Creates the backend registered under `name`, or nullptr when unknown.
+std::unique_ptr<ChangePointBackend> MakeChangePointBackend(std::string_view name);
+
+// All registered names, sorted. Always includes the four built-ins.
+std::vector<std::string> ChangePointBackendNames();
+
+}  // namespace fbdetect
+
+#endif  // FBDETECT_SRC_TSA_CHANGEPOINT_BACKEND_H_

@@ -1,0 +1,125 @@
+#include "src/tsa/e_divisive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace fbdetect {
+namespace {
+
+// Max of Q(t) over admissible splits, computed in O(n^2) by sliding the
+// split left-to-right and updating the between/within absolute-difference
+// sums incrementally as each point changes sides. Returns 0 when no
+// admissible split exists or the series is constant.
+double MaxEnergySplit(std::span<const double> values, size_t min_segment, size_t* best_index) {
+  const size_t n = values.size();
+  if (best_index != nullptr) {
+    *best_index = 0;
+  }
+  if (n < 2 * min_segment) {
+    return 0.0;
+  }
+
+  // Total pairwise |x_i - x_j| via the sorted-order identity
+  //   Σ_{i<j} |x_i - x_j| = Σ_i (2i - n + 1) * x_(i)
+  // (O(n log n), exact up to rounding).
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double total_pairs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total_pairs += (2.0 * static_cast<double>(i) - static_cast<double>(n) + 1.0) * sorted[i];
+  }
+
+  // Split state at t = 1: X = {values[0]}, Y = the rest.
+  double within_x = 0.0;
+  double between = 0.0;
+  for (size_t j = 1; j < n; ++j) {
+    between += std::fabs(values[0] - values[j]);
+  }
+  double within_y = total_pairs - between;
+
+  double best_q = 0.0;
+  for (size_t t = 1; t + min_segment <= n; ++t) {
+    if (t >= min_segment) {
+      const double m = static_cast<double>(t);
+      const double k = static_cast<double>(n - t);
+      const double energy = 2.0 * between / (m * k) - 2.0 * within_x / (m * (m - 1.0)) -
+                            2.0 * within_y / (k * (k - 1.0));
+      const double q = (m * k / (m + k)) * energy;
+      if (q > best_q) {
+        best_q = q;
+        if (best_index != nullptr) {
+          *best_index = t;
+        }
+      }
+    }
+    // Advance: values[t] moves from Y to X.
+    const double v = values[t];
+    double sum_x = 0.0;
+    for (size_t i = 0; i < t; ++i) {
+      sum_x += std::fabs(v - values[i]);
+    }
+    double sum_y = 0.0;
+    for (size_t j = t + 1; j < n; ++j) {
+      sum_y += std::fabs(v - values[j]);
+    }
+    within_x += sum_x;
+    within_y -= sum_y;
+    between += sum_y - sum_x;
+  }
+  return best_q;
+}
+
+}  // namespace
+
+EDivisiveResult EDivisiveSingleSplit(std::span<const double> values,
+                                     const EDivisiveConfig& config) {
+  EDivisiveResult result;
+  const size_t n = values.size();
+  const size_t min_segment = std::max<size_t>(config.min_segment, 2);
+  if (n < 2 * min_segment) {
+    return result;
+  }
+
+  size_t best_index = 0;
+  const double observed = MaxEnergySplit(values, min_segment, &best_index);
+  if (!(observed > 0.0) || best_index == 0) {
+    return result;  // Constant (all distances zero) or no admissible split.
+  }
+  result.index = best_index;
+  result.statistic = observed;
+
+  // Permutation test with a sequential early stop: once the exceedance count
+  // can no longer produce p < alpha, further permutations cannot change the
+  // verdict and only refine an already-insignificant p. The stop rule
+  // depends only on the deterministic shuffle sequence, so results stay
+  // bit-for-bit reproducible.
+  const int permutations = std::max(config.permutations, 1);
+  const int reject_count = static_cast<int>(
+      std::ceil(config.significance_level * static_cast<double>(permutations + 1)));
+  Rng rng(config.seed);
+  std::vector<double> shuffled(values.begin(), values.end());
+  int exceedances = 0;
+  int performed = 0;
+  for (int r = 0; r < permutations; ++r) {
+    for (size_t i = n - 1; i > 0; --i) {
+      const size_t j = static_cast<size_t>(rng.NextUint64(static_cast<uint64_t>(i + 1)));
+      std::swap(shuffled[i], shuffled[j]);
+    }
+    ++performed;
+    if (MaxEnergySplit(shuffled, min_segment, nullptr) >= observed) {
+      ++exceedances;
+      if (exceedances >= reject_count) {
+        break;  // p >= alpha is already certain.
+      }
+    }
+  }
+  result.p_value = (1.0 + static_cast<double>(exceedances)) /
+                   (1.0 + static_cast<double>(performed));
+  result.found = result.p_value < config.significance_level;
+  return result;
+}
+
+}  // namespace fbdetect

@@ -248,6 +248,42 @@ TEST(PipelineIntegrationTest, ParallelScanMatchesSerial) {
             parallel.long_term_funnel().change_points);
 }
 
+TEST(PipelineIntegrationTest, DefaultBackendMatchesExplicitCusumEmAcrossThreadCounts) {
+  // The backend registry must not perturb the default path: a pipeline left
+  // on the default backend and one explicitly configured with "cusum_em"
+  // produce byte-identical reports, at every scan-thread count.
+  World world(7);
+  CallGraphCodeInfo code_info(&world.service->graph());
+
+  PipelineOptions default_options = world.Options();
+  default_options.scan_threads = 1;
+  Pipeline default_pipeline(&world.fleet.db(), &world.fleet.change_log(), &code_info,
+                            default_options);
+  const std::vector<Regression> baseline =
+      default_pipeline.RunPeriod("svc", Days(2), World::kDuration);
+  EXPECT_FALSE(baseline.empty());
+
+  for (const int threads : {1, 2, 8}) {
+    PipelineOptions options = world.Options();
+    options.scan_threads = threads;
+    options.detection.change_point_backend = "cusum_em";
+    Pipeline pipeline(&world.fleet.db(), &world.fleet.change_log(), &code_info, options);
+    const std::vector<Regression> reports =
+        pipeline.RunPeriod("svc", Days(2), World::kDuration);
+    ASSERT_EQ(reports.size(), baseline.size()) << "threads=" << threads;
+    for (size_t i = 0; i < reports.size(); ++i) {
+      EXPECT_EQ(reports[i].metric, baseline[i].metric) << "threads=" << threads;
+      EXPECT_EQ(reports[i].change_time, baseline[i].change_time) << "threads=" << threads;
+      // Bitwise equality, not EXPECT_DOUBLE_EQ: the guarantee is identity.
+      EXPECT_EQ(reports[i].delta, baseline[i].delta) << "threads=" << threads;
+      EXPECT_EQ(reports[i].p_value, baseline[i].p_value) << "threads=" << threads;
+    }
+    EXPECT_EQ(pipeline.short_term_funnel().change_points,
+              default_pipeline.short_term_funnel().change_points)
+        << "threads=" << threads;
+  }
+}
+
 TEST(WorkloadConfigTest, AllTwelveTable1Presets) {
   const std::vector<DetectionConfig> configs = AllTable1Configs();
   ASSERT_EQ(configs.size(), 12u);

@@ -243,6 +243,61 @@ TEST(HypothesisTest, WelchConstantGroupsDifferentMeans) {
   EXPECT_TRUE(WelchTTest(a, b, 0.05).significant);
 }
 
+TEST(HypothesisTest, WelchConstantGroupsRoundingWobbleNotSignificant) {
+  // Two constant groups whose levels differ by a ~1e-12 relative wobble:
+  // rounding noise, not a regression. The old exact-equality degenerate path
+  // called this significant with p = 0. Levels keep >= 3 trailing zero bits
+  // in the significand so the 8-term iterative sums (and so the means and
+  // variances) are exact and the groups are genuinely zero-variance.
+  const double level = 1.0;
+  const double wobbled = 1.0 + 0x1p-40;  // ~9.1e-13 relative.
+  ASSERT_NE(level, wobbled);
+  const std::vector<double> a(8, level);
+  const std::vector<double> b(8, wobbled);
+  const TTestResult result = WelchTTest(a, b, 0.05);
+  EXPECT_FALSE(result.significant);
+  EXPECT_EQ(result.p_value, 1.0);
+}
+
+TEST(HypothesisTest, WelchConstantGroupsRelativeToleranceScalesWithLevel) {
+  // The floor is relative: at a 1e12 level (ns latencies) an 8-ulp gap is
+  // ~1e-3 absolute and still must not be significant, while a genuine 1e-6
+  // relative step must be. Offsets are multiples of 8 ulps so the constant
+  // groups sum exactly (see the wobble test above).
+  const double level = 1e12;
+  const std::vector<double> a(8, level);
+  const std::vector<double> b(8, level + 0x1p-10);  // 8 ulps at this scale.
+  EXPECT_FALSE(WelchTTest(a, b, 0.05).significant);
+  const std::vector<double> c(8, 1000001000000.0);  // 1e-6 real step.
+  EXPECT_TRUE(WelchTTest(a, c, 0.05).significant);
+}
+
+TEST(HypothesisTest, LikelihoodRatioPerfectFitOneUlpStepNotSignificant) {
+  // Perfect two-segment fit (rss1 == 0) with plateaus 1 ulp apart: the old
+  // exact-equality path returned p = 0 for what is float noise.
+  // Segment lengths are powers of two so the iterative segment sums (and
+  // hence the segment means) are exact and rss1 is exactly zero.
+  const double level = 3.0;
+  const double wobbled = std::nextafter(level, 4.0);
+  std::vector<double> values(16, level);
+  for (size_t i = 8; i < values.size(); ++i) {
+    values[i] = wobbled;
+  }
+  const LikelihoodRatioResult result = MeanShiftLikelihoodRatioTest(values, 8, 0.01);
+  EXPECT_FALSE(result.significant);
+  EXPECT_EQ(result.p_value, 1.0);
+}
+
+TEST(HypothesisTest, LikelihoodRatioPerfectFitRealStepStaysSignificant) {
+  std::vector<double> values(20, 3.0);
+  for (size_t i = 10; i < values.size(); ++i) {
+    values[i] = 3.5;
+  }
+  const LikelihoodRatioResult result = MeanShiftLikelihoodRatioTest(values, 10, 0.01);
+  EXPECT_TRUE(result.significant);
+  EXPECT_EQ(result.p_value, 0.0);
+}
+
 TEST(HypothesisTest, LikelihoodRatioDetectsMeanShift) {
   Rng rng(4);
   std::vector<double> values;
